@@ -1,0 +1,240 @@
+//! Multi-head self-attention with a full analytic backward pass.
+
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Param;
+use colossalai_tensor::init::InitRng;
+use colossalai_tensor::ops::{softmax, softmax_backward};
+use colossalai_tensor::{bmm, bmm_at, bmm_bt, Tensor};
+
+/// Large negative value used for masking (avoids NaN that `-inf` would
+/// produce on fully masked rows).
+const MASK_VALUE: f32 = -1.0e9;
+
+/// Splits `[b, s, d]` into per-head batches `[b*h, s, d/h]`.
+pub fn split_heads(x: &Tensor, heads: usize) -> Tensor {
+    let (b, s, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert_eq!(d % heads, 0, "hidden size {d} not divisible by {heads} heads");
+    let dk = d / heads;
+    x.reshape([b, s, heads, dk])
+        .permute(&[0, 2, 1, 3])
+        .reshaped([b * heads, s, dk])
+}
+
+/// Inverse of [`split_heads`].
+pub fn merge_heads(x: &Tensor, heads: usize) -> Tensor {
+    let (bh, s, dk) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert_eq!(bh % heads, 0, "batch {bh} not divisible by {heads} heads");
+    let b = bh / heads;
+    x.reshape([b, heads, s, dk])
+        .permute(&[0, 2, 1, 3])
+        .reshaped([b, s, heads * dk])
+}
+
+/// Standard multi-head self-attention (`softmax(QK^T / sqrt(dk)) V` followed
+/// by an output projection), optionally causal (GPT-style).
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    causal: bool,
+    cache: Option<AttnCache>,
+}
+
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attn: Tensor,
+}
+
+impl MultiHeadAttention {
+    pub fn new(name: &str, dim: usize, heads: usize, causal: bool, rng: &mut InitRng) -> Self {
+        assert_eq!(dim % heads, 0, "hidden size {dim} not divisible by {heads} heads");
+        MultiHeadAttention {
+            wq: Linear::from_rng(&format!("{name}.q"), dim, dim, true, rng),
+            wk: Linear::from_rng(&format!("{name}.k"), dim, dim, true, rng),
+            wv: Linear::from_rng(&format!("{name}.v"), dim, dim, true, rng),
+            wo: Linear::from_rng(&format!("{name}.o"), dim, dim, true, rng),
+            heads,
+            causal,
+            cache: None,
+        }
+    }
+
+    /// Builds from pre-constructed projections (used by tensor-parallel
+    /// shards, which split the projections by head).
+    pub fn from_parts(wq: Linear, wk: Linear, wv: Linear, wo: Linear, heads: usize, causal: bool) -> Self {
+        MultiHeadAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            heads,
+            causal,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    fn apply_causal_mask(&self, scores: &mut Tensor) {
+        if !self.causal {
+            return;
+        }
+        let s = scores.dims()[1];
+        let data = scores.data_mut();
+        for chunk in data.chunks_mut(s * s) {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    chunk[i * s + j] = MASK_VALUE;
+                }
+            }
+        }
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "attention input must be [batch, seq, dim]");
+        let heads = self.heads;
+        // head width comes from the projection output, not the input: the
+        // two differ in tensor-parallel shards where wq maps d -> d/p
+        let dk = self.wq.d_out() / heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let q = split_heads(&self.wq.forward(x), heads);
+        let k = split_heads(&self.wk.forward(x), heads);
+        let v = split_heads(&self.wv.forward(x), heads);
+
+        let mut scores = bmm_bt(&q, &k);
+        scores.scale(scale);
+        self.apply_causal_mask(&mut scores);
+        let attn = softmax(&scores);
+        let z = bmm(&attn, &v);
+        let merged = merge_heads(&z, heads);
+        let out = self.wo.forward(&merged);
+        self.cache = Some(AttnCache { q, k, v, attn });
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let AttnCache { q, k, v, attn } = self.cache.take().expect("backward before forward");
+        let heads = self.heads;
+        let dk = q.dims()[2];
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let dmerged = self.wo.backward(dy);
+        let dz = split_heads(&dmerged, heads);
+
+        // z = attn @ v
+        let dattn = bmm_bt(&dz, &v);
+        let dv = bmm_at(&attn, &dz);
+        // attn = softmax(scores); masked entries carry ~zero probability, so
+        // their gradient contribution vanishes automatically
+        let mut dscores = softmax_backward(&attn, &dattn);
+        dscores.scale(scale);
+        // scores = q @ k^T
+        let dq = bmm(&dscores, &k);
+        let dk_grad = bmm_at(&dscores, &q);
+
+        let dx_q = self.wq.backward(&merge_heads(&dq, heads));
+        let dx_k = self.wk.backward(&merge_heads(&dk_grad, heads));
+        let dx_v = self.wv.backward(&merge_heads(&dv, heads));
+        dx_q.zip(&dx_k, |a, b| a + b).zip(&dx_v, |a, b| a + b)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::grad_check;
+    use colossalai_tensor::init;
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let x = Tensor::arange(2 * 3 * 8).reshaped([2, 3, 8]);
+        for heads in [1, 2, 4] {
+            let split = split_heads(&x, heads);
+            assert_eq!(split.dims(), &[2 * heads, 3, 8 / heads]);
+            assert_eq!(merge_heads(&split, heads), x);
+        }
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = init::rng(20);
+        let mut mha = MultiHeadAttention::new("attn", 8, 2, false, &mut rng);
+        let x = init::uniform([2, 5, 8], -1.0, 1.0, &mut rng);
+        let y = mha.forward(&x);
+        assert_eq!(y.dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut rng = init::rng(21);
+        let mut mha = MultiHeadAttention::new("attn", 4, 1, true, &mut rng);
+        // two inputs that differ only in the last position must produce the
+        // same outputs at all earlier positions
+        let mut x1 = init::uniform([1, 4, 4], -1.0, 1.0, &mut rng);
+        let y1 = mha.forward(&x1);
+        for i in 0..4 {
+            x1.set(&[0, 3, i], 99.0);
+        }
+        let y2 = mha.forward(&x1);
+        for s in 0..3 {
+            for d in 0..4 {
+                assert!(
+                    (y1.at(&[0, s, d]) - y2.at(&[0, s, d])).abs() < 1e-6,
+                    "position {s} leaked future information"
+                );
+            }
+        }
+        // and the last position must differ
+        assert!((y1.at(&[0, 3, 0]) - y2.at(&[0, 3, 0])).abs() > 1e-4);
+    }
+
+    #[test]
+    fn single_head_grad_check() {
+        let mut rng = init::rng(22);
+        let mut mha = MultiHeadAttention::new("attn", 4, 1, false, &mut rng);
+        let x = init::uniform([1, 3, 4], -1.0, 1.0, &mut rng);
+        grad_check(&mut mha, &x, 1e-2, 8e-2).unwrap();
+    }
+
+    #[test]
+    fn multi_head_grad_check() {
+        let mut rng = init::rng(23);
+        let mut mha = MultiHeadAttention::new("attn", 6, 3, false, &mut rng);
+        let x = init::uniform([2, 3, 6], -1.0, 1.0, &mut rng);
+        grad_check(&mut mha, &x, 1e-2, 8e-2).unwrap();
+    }
+
+    #[test]
+    fn causal_grad_check() {
+        let mut rng = init::rng(24);
+        let mut mha = MultiHeadAttention::new("attn", 4, 2, true, &mut rng);
+        let x = init::uniform([1, 4, 4], -1.0, 1.0, &mut rng);
+        grad_check(&mut mha, &x, 1e-2, 8e-2).unwrap();
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = init::rng(25);
+        let mut mha = MultiHeadAttention::new("attn", 8, 2, false, &mut rng);
+        // 4 projections of 8x8 + bias 8
+        assert_eq!(mha.n_params(), 4 * (64 + 8));
+    }
+}

@@ -1,0 +1,143 @@
+//! Learning-rate schedules: linear warmup composed with constant, linear or
+//! cosine decay — the schedules behind the paper's ViT/BERT training runs.
+
+/// A learning-rate schedule: step number -> multiplier of the base LR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant at the base LR.
+    Constant,
+    /// Linear warmup over `warmup` steps, then constant.
+    WarmupConstant { warmup: u64 },
+    /// Linear warmup, then linear decay to zero at `total` steps.
+    WarmupLinear { warmup: u64, total: u64 },
+    /// Linear warmup, then cosine decay to `min_factor` at `total` steps.
+    WarmupCosine {
+        warmup: u64,
+        total: u64,
+        min_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The LR multiplier at (0-based) optimizer step `step`.
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupConstant { warmup } => warmup_factor(step, warmup),
+            LrSchedule::WarmupLinear { warmup, total } => {
+                assert!(total > warmup, "total must exceed warmup");
+                if step < warmup {
+                    warmup_factor(step, warmup)
+                } else if step >= total {
+                    0.0
+                } else {
+                    (total - step) as f32 / (total - warmup) as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                min_factor,
+            } => {
+                assert!(total > warmup, "total must exceed warmup");
+                assert!((0.0..=1.0).contains(&min_factor));
+                if step < warmup {
+                    warmup_factor(step, warmup)
+                } else {
+                    let progress =
+                        ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                    min_factor + (1.0 - min_factor) * cos
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate at `step` for a base LR.
+    pub fn lr(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.factor(step)
+    }
+}
+
+fn warmup_factor(step: u64, warmup: u64) -> f32 {
+    if step >= warmup {
+        // covers warmup == 0 as well
+        1.0
+    } else {
+        (step + 1) as f32 / warmup as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for s in [0u64, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let sched = LrSchedule::WarmupConstant { warmup: 4 };
+        assert_eq!(sched.factor(0), 0.25);
+        assert_eq!(sched.factor(1), 0.5);
+        assert_eq!(sched.factor(3), 1.0);
+        assert_eq!(sched.factor(100), 1.0);
+    }
+
+    #[test]
+    fn linear_decays_to_zero() {
+        let sched = LrSchedule::WarmupLinear {
+            warmup: 2,
+            total: 10,
+        };
+        assert!(sched.factor(1) <= 1.0);
+        assert_eq!(sched.factor(2), 1.0);
+        assert_eq!(sched.factor(6), 0.5);
+        assert_eq!(sched.factor(10), 0.0);
+        assert_eq!(sched.factor(50), 0.0);
+    }
+
+    #[test]
+    fn cosine_hits_min_at_total() {
+        let sched = LrSchedule::WarmupCosine {
+            warmup: 0,
+            total: 100,
+            min_factor: 0.1,
+        };
+        assert!((sched.factor(0) - 1.0).abs() < 1e-6);
+        assert!((sched.factor(50) - 0.55).abs() < 1e-5); // midpoint of [0.1, 1]
+        assert!((sched.factor(100) - 0.1).abs() < 1e-6);
+        assert!((sched.factor(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedules_are_monotone_after_warmup() {
+        for sched in [
+            LrSchedule::WarmupLinear { warmup: 5, total: 50 },
+            LrSchedule::WarmupCosine { warmup: 5, total: 50, min_factor: 0.0 },
+        ] {
+            let mut prev = f32::INFINITY;
+            for s in 5..60 {
+                let f = sched.factor(s);
+                assert!(f <= prev + 1e-6, "{sched:?} rose at step {s}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn lr_scales_base() {
+        let sched = LrSchedule::WarmupConstant { warmup: 2 };
+        assert_eq!(sched.lr(0.02, 0), 0.01);
+        assert_eq!(sched.lr(0.02, 5), 0.02);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_full() {
+        assert_eq!(LrSchedule::WarmupConstant { warmup: 0 }.factor(0), 1.0);
+    }
+}

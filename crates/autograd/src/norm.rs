@@ -1,0 +1,84 @@
+//! Layer normalization.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use colossalai_tensor::{ops, Tensor};
+
+/// Layer normalization over the last dimension with learned scale and shift.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<(Tensor, Vec<f32>, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// Standard initialization: gamma = 1, beta = 0.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones([dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros([dim])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (y, means, inv_stds) = ops::layernorm(x, self.gamma.value(), self.beta.value(), self.eps);
+        self.cache = Some((x.clone(), means, inv_stds));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (x, means, inv_stds) = self.cache.take().expect("backward before forward");
+        let (dx, dgamma, dbeta) =
+            ops::layernorm_backward(&x, dy, self.gamma.value(), &means, &inv_stds);
+        self.gamma.accumulate_grad(&dgamma);
+        self.beta.accumulate_grad(&dbeta);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::grad_check;
+    use colossalai_tensor::init;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut ln = LayerNorm::new("ln", 8);
+        let mut rng = init::rng(13);
+        let x = init::uniform([4, 8], -3.0, 3.0, &mut rng);
+        let y = ln.forward(&x);
+        for row in y.data().chunks(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_check_layernorm() {
+        let mut ln = LayerNorm::new("ln", 5);
+        let mut rng = init::rng(14);
+        let x = init::uniform([3, 5], -1.0, 1.0, &mut rng);
+        grad_check(&mut ln, &x, 1e-2, 5e-2).unwrap();
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(LayerNorm::new("ln", 16).n_params(), 32);
+    }
+}

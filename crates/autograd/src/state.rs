@@ -1,0 +1,228 @@
+//! Model state serialization: a `state_dict`-style snapshot of named
+//! parameters, with a compact self-describing binary format (no external
+//! serialization dependency — the format is 16 bytes of header per entry
+//! plus raw little-endian payloads).
+
+use crate::layer::Layer;
+use colossalai_tensor::{Shape, Tensor};
+use std::collections::BTreeMap;
+
+/// An ordered snapshot of a model's parameters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl StateDict {
+    /// Captures every parameter of `model` by name.
+    ///
+    /// Panics if two parameters share a name (checkpoints would silently
+    /// lose one).
+    pub fn capture(model: &mut dyn Layer) -> StateDict {
+        let mut entries = BTreeMap::new();
+        model.visit_params(&mut |p| {
+            let prev = entries.insert(p.name().to_string(), p.value().clone());
+            assert!(prev.is_none(), "duplicate parameter name: {}", p.name());
+        });
+        StateDict { entries }
+    }
+
+    /// Restores a snapshot into `model`. Every model parameter must be
+    /// present with a matching shape; extra entries are an error too
+    /// (strict loading, like `load_state_dict(strict=True)`).
+    pub fn restore(&self, model: &mut dyn Layer) -> Result<(), String> {
+        let mut used = 0usize;
+        let mut err = None;
+        model.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            match self.entries.get(p.name()) {
+                Some(v) if v.shape() == p.value().shape() => {
+                    p.set_value(v.clone());
+                    used += 1;
+                }
+                Some(v) => {
+                    err = Some(format!(
+                        "shape mismatch for {}: checkpoint {} vs model {}",
+                        p.name(),
+                        v.shape(),
+                        p.value().shape()
+                    ));
+                }
+                None => err = Some(format!("missing parameter: {}", p.name())),
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if used != self.entries.len() {
+            return Err(format!(
+                "checkpoint has {} entries but the model used {used}",
+                self.entries.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one entry.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CAI1"); // magic + version
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, tensor) in &self.entries {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(tensor.rank() as u32).to_le_bytes());
+            for &d in tensor.dims() {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &v in tensor.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the binary format back. Strictly validates structure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StateDict, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > bytes.len() {
+                return Err("truncated checkpoint".to_string());
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let magic = take(&mut pos, 4)?;
+        if magic != b"CAI1" {
+            return Err("bad magic (not a colossalai checkpoint)".to_string());
+        }
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| "invalid utf-8 parameter name".to_string())?;
+            let rank = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize);
+            }
+            let shape = Shape::new(dims);
+            let numel = shape.numel();
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                data.push(f32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
+            }
+            entries.insert(name, Tensor::from_vec(shape, data));
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after checkpoint".to_string());
+        }
+        Ok(StateDict { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::layer::Sequential;
+    use colossalai_tensor::init;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = init::rng(seed);
+        Sequential::new(vec![
+            Box::new(Linear::from_rng("a", 3, 4, true, &mut rng)),
+            Box::new(Linear::from_rng("b", 4, 2, false, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut m1 = model(1);
+        let sd = StateDict::capture(&mut m1);
+        assert_eq!(sd.len(), 3); // a.weight, a.bias, b.weight
+        let mut m2 = model(2); // different init
+        sd.restore(&mut m2).unwrap();
+        let x = init::uniform([2, 3], -1.0, 1.0, &mut init::rng(3));
+        use crate::layer::Layer;
+        assert_eq!(m1.forward(&x).data(), m2.forward(&x).data());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise() {
+        let mut m = model(4);
+        let sd = StateDict::capture(&mut m);
+        let bytes = sd.to_bytes();
+        let back = StateDict::from_bytes(&bytes).unwrap();
+        assert_eq!(sd, back);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut m = model(5);
+        let sd = StateDict::capture(&mut m);
+        let mut rng = init::rng(6);
+        let mut wrong = Sequential::new(vec![
+            Box::new(Linear::from_rng("a", 3, 5, true, &mut rng)), // 5 != 4
+            Box::new(Linear::from_rng("b", 5, 2, false, &mut rng)),
+        ]);
+        let err = sd.restore(&mut wrong).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_missing_and_extra_params() {
+        let mut m = model(7);
+        let sd = StateDict::capture(&mut m);
+        let mut rng = init::rng(8);
+        // renamed layer -> both a missing and an extra entry
+        let mut renamed = Sequential::new(vec![
+            Box::new(Linear::from_rng("z", 3, 4, true, &mut rng)),
+            Box::new(Linear::from_rng("b", 4, 2, false, &mut rng)),
+        ]);
+        assert!(sd.restore(&mut renamed).is_err());
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let mut m = model(9);
+        let bytes = StateDict::capture(&mut m).to_bytes();
+        assert!(StateDict::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(StateDict::from_bytes(&bad_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(StateDict::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_are_caught() {
+        let mut rng = init::rng(10);
+        let mut dup = Sequential::new(vec![
+            Box::new(Linear::from_rng("same", 2, 2, false, &mut rng)),
+            Box::new(Linear::from_rng("same", 2, 2, false, &mut rng)),
+        ]);
+        let _ = StateDict::capture(&mut dup);
+    }
+}

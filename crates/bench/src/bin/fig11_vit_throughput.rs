@@ -1,0 +1,66 @@
+//! E5 — Fig 11: best ViT training throughput per tensor-parallel mode on
+//! System I (full-mesh NVLink) and System II (NVLink between adjacent pairs
+//! only).
+
+use colossalai_bench::print_table;
+use colossalai_models::TransformerConfig;
+use colossalai_parallel::throughput::tp_best_throughput;
+use colossalai_parallel::TpMode;
+use colossalai_topology::systems::{system_i, system_ii};
+use colossalai_topology::Cluster;
+
+fn modes_for(p: usize) -> Vec<TpMode> {
+    let mut m = vec![TpMode::OneD];
+    for cand in [
+        TpMode::TwoD,
+        TpMode::TwoPointFiveD { depth: 2 },
+        TpMode::ThreeD,
+    ] {
+        if cand.admits(p) {
+            m.push(cand);
+        }
+    }
+    m
+}
+
+fn section(cluster: &Cluster) {
+    let mut rows = Vec::new();
+    for (p, cfg) in [
+        (4usize, TransformerConfig::vit_fig11_4gpu()),
+        (8, TransformerConfig::vit_fig11_8gpu()),
+    ] {
+        let devices: Vec<usize> = (0..p).collect();
+        let base = tp_best_throughput(TpMode::OneD, &cfg, cluster, &devices)
+            .expect("1D always admits")
+            .throughput();
+        for mode in modes_for(p) {
+            if let Some(est) = tp_best_throughput(mode, &cfg, cluster, &devices) {
+                rows.push(vec![
+                    p.to_string(),
+                    mode.label(),
+                    est.batch.to_string(),
+                    format!("{:.2}", est.throughput()),
+                    format!("{:+.1}%", 100.0 * (est.throughput() / base - 1.0)),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Fig 11: ViT throughput on {} (64 layers; h=3072/48H on 4 GPUs, h=4096/64H on 8)",
+            cluster.name()
+        ),
+        &["#GPUs", "mode", "best batch", "img/s", "vs 1D"],
+        &rows,
+    );
+}
+
+fn main() {
+    section(&system_i());
+    section(&system_ii());
+    println!(
+        "\nPaper reference: on System I 1D wins everywhere; on System II 2D \
+         is ~40% faster than 1D at 4 GPUs and 2.5D ~20.6% faster at 8 GPUs, \
+         while 3D still trails."
+    );
+}

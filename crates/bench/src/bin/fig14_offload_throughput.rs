@@ -1,0 +1,60 @@
+//! E9 — Fig 14: throughput of sharded + offloaded training (GPT-2 10B,
+//! batch 4/GPU) on System II, scaling 1 to 8 GPUs: DeepSpeed's static
+//! CPU-offload policy vs Colossal-AI's adaptive placement. Includes the
+//! OPT-13B batch-32 companion experiment (paper: 1.33x at 8 GPUs).
+
+use colossalai_bench::{fmt_bytes, print_table};
+use colossalai_memory::offload::PlacementPolicy;
+use colossalai_models::TransformerConfig;
+use colossalai_parallel::throughput::offload_step;
+use colossalai_topology::systems::system_ii;
+
+fn main() {
+    let cluster = system_ii();
+
+    // Fig 14: GPT-2 10B, batch 4 per GPU
+    let gpt = TransformerConfig::gpt2_10b();
+    println!(
+        "GPT-2 10B: {} transformer parameters ({} of fp16 model data per \
+         ZeRO-3 rank at dp=8)",
+        gpt.transformer_params(),
+        fmt_bytes(2 * gpt.transformer_params() / 8)
+    );
+    let mut rows = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let devices: Vec<usize> = (0..p).collect();
+        let s = offload_step(PlacementPolicy::StaticCpu, &gpt, &cluster, &devices, 4);
+        let a = offload_step(PlacementPolicy::Adaptive, &gpt, &cluster, &devices, 4);
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.2}", s.throughput()),
+            format!("{:.2}", a.throughput()),
+            format!("{:.2}x", a.throughput() / s.throughput()),
+        ]);
+    }
+    print_table(
+        "Fig 14: GPT-2 10B throughput (samples/s), batch 4/GPU on System II",
+        &["#GPUs", "DeepSpeed (static offload)", "Colossal-AI (adaptive)", "speedup"],
+        &rows,
+    );
+
+    // OPT-13B at batch 32: memory saturated, smaller but real gap
+    let opt = TransformerConfig::opt_13b();
+    let devices: Vec<usize> = (0..8).collect();
+    let s = offload_step(PlacementPolicy::StaticCpu, &opt, &cluster, &devices, 32);
+    let a = offload_step(PlacementPolicy::Adaptive, &opt, &cluster, &devices, 32);
+    print_table(
+        "OPT-13B, batch 32/GPU, 8 GPUs",
+        &["system", "samples/s"],
+        &[
+            vec!["DeepSpeed (static)".into(), format!("{:.2}", s.throughput())],
+            vec!["Colossal-AI (adaptive)".into(), format!("{:.2}", a.throughput())],
+            vec!["speedup".into(), format!("{:.2}x", a.throughput() / s.throughput())],
+        ],
+    );
+    println!(
+        "\nPaper reference: with free GPU memory (batch 4) the adaptive \
+         policy avoids most CPU traffic and wins decisively; with memory \
+         saturated (OPT-13B, batch 32) it still wins 1.33x at 8 GPUs."
+    );
+}

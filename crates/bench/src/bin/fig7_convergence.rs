@@ -1,0 +1,352 @@
+//! E2 — Fig 7: convergence of tensor-parallel training vs data-parallel.
+//!
+//! The paper trains ViT on ImageNet-1k for 250 epochs and shows the accuracy
+//! curves of every tensor-parallel mode tracking PyTorch DDP. We reproduce
+//! the *arithmetic-equivalence* content of that figure at laptop scale:
+//!
+//! 1. a ViT-tiny trained serially vs with 1D tensor parallelism on 4
+//!    simulated devices — loss curves must coincide;
+//! 2. a two-layer MLP classifier trained under 2D / 2.5D / 3D parallelism
+//!    on 4-8 devices — per-step losses must match the serial run, since
+//!    each distributed linear is numerically equal to the serial one.
+
+use colossalai_autograd::{Layer, Linear};
+use colossalai_bench::print_table;
+use colossalai_comm::World;
+use colossalai_models::data::SyntheticVision;
+use colossalai_models::TransformerConfig;
+use colossalai_parallel::tp25d::{tile_x_25d, Grid25d, Linear25d};
+use colossalai_parallel::tp2d::{tile_of, Grid2d, Linear2d};
+use colossalai_parallel::tp3d::{tile_x_3d, tile_y_3d, Grid3d, Linear3d};
+use colossalai_parallel::vit1d::VisionTransformer1d;
+use colossalai_tensor::ops::{cross_entropy, relu};
+use colossalai_tensor::{init, Tensor};
+use colossalai_topology::systems::system_i;
+
+const STEPS: usize = 20;
+const LR: f32 = 0.05;
+
+fn vit_curves() -> (Vec<f32>, Vec<f32>) {
+    let cfg = TransformerConfig {
+        layers: 2,
+        hidden: 16,
+        heads: 4,
+        mlp_ratio: 2,
+        vocab: 5,
+        max_seq: 8,
+    };
+    let patch_dim = 12;
+    let data = SyntheticVision::new(cfg.max_seq, patch_dim, cfg.vocab, 7);
+
+    // serial reference
+    let mut rng = init::rng(1000);
+    let mut serial = colossalai_models::VisionTransformer::new(&cfg, patch_dim, &mut rng);
+    let mut serial_losses = Vec::new();
+    for step in 0..STEPS {
+        let (x, t) = data.batch(8, step as u64);
+        serial.zero_grad();
+        let logits = serial.forward(&x);
+        let (loss, d) = cross_entropy(&logits, &t);
+        serial_losses.push(loss);
+        let _ = serial.backward(&d);
+        serial.visit_params(&mut |p| {
+            let g = p.grad().clone();
+            p.value_mut().axpy(-LR, &g);
+        });
+    }
+
+    // 1D tensor parallel on 4 devices
+    let world = World::new(system_i());
+    let mut tp_losses = world.run_on(4, |ctx| {
+        let g = ctx.world_group(4);
+        let mut rng = init::rng(1000);
+        let mut vit = VisionTransformer1d::new(ctx, &g, &cfg, patch_dim, &mut rng);
+        let mut losses = Vec::new();
+        for step in 0..STEPS {
+            let (x, t) = data.batch(8, step as u64);
+            vit.zero_grad();
+            let logits = vit.forward(&x);
+            let (loss, d) = cross_entropy(&logits, &t);
+            losses.push(loss);
+            let _ = vit.backward(&d);
+            vit.visit_params(&mut |p| {
+                let gr = p.grad().clone();
+                p.value_mut().axpy(-LR, &gr);
+            });
+        }
+        losses
+    });
+    (serial_losses, tp_losses.swap_remove(0))
+}
+
+/// Serial 2-layer MLP trajectory for the advanced-mode comparison.
+fn serial_mlp_losses(h: usize, data: &SyntheticVision) -> Vec<f32> {
+    let mut rng = init::rng(2000);
+    let w1 = init::lecun_normal(h, h, &mut rng);
+    let w2 = init::lecun_normal(h, 8, &mut rng);
+    let mut l1 = Linear::from_parts("l1", w1, None);
+    let mut l2 = Linear::from_parts("l2", w2, None);
+    let mut losses = Vec::new();
+    for step in 0..STEPS {
+        let (x, t) = data.batch(8, step as u64);
+        let x = x.reshape([8, h]);
+        l1.zero_grad();
+        l2.zero_grad();
+        let hid = relu(&l1.forward(&x));
+        let logits = l2.forward(&hid);
+        let (loss, d) = cross_entropy(&logits, &t);
+        losses.push(loss);
+        let dh = l2.backward(&d);
+        let mask = {
+            let pre = l1.forward(&x); // recompute pre-activation for the mask
+            colossalai_tensor::ops::relu_grad(&pre)
+        };
+        let _ = l1.backward(&dh.zip(&mask, |a, b| a * b));
+        for l in [&mut l1, &mut l2] {
+            l.visit_params(&mut |p| {
+                let g = p.grad().clone();
+                p.value_mut().axpy(-LR, &g);
+            });
+        }
+    }
+    losses
+}
+
+/// The same MLP trained under a tensor-parallel mode; returns rank-0 losses.
+fn parallel_mlp_losses(mode: &str, p: usize, h: usize, data: &SyntheticVision) -> Vec<f32> {
+    let world = World::new(system_i());
+    let mut out = world.run_on(p, |ctx| {
+        let members: Vec<usize> = (0..p).collect();
+        let mut rng = init::rng(2000);
+        let w1 = init::lecun_normal(h, h, &mut rng);
+        let w2 = init::lecun_normal(h, 8, &mut rng);
+        enum M {
+            D2(Grid2d, Linear2d, Linear2d),
+            D25(Grid25d, Linear25d, Linear25d),
+            D3(Grid3d, Linear3d, Linear3d),
+        }
+        let mut m = match mode {
+            "2d" => {
+                let grid = Grid2d::new(ctx, &members);
+                let l1 = Linear2d::from_global(ctx, &grid, "l1", &w1, None);
+                let l2 = Linear2d::from_global(ctx, &grid, "l2", &w2, None);
+                M::D2(grid, l1, l2)
+            }
+            "2.5d" => {
+                let grid = Grid25d::new(ctx, &members, 2);
+                let l1 = Linear25d::from_global(ctx, &grid, "l1", &w1, None);
+                let l2 = Linear25d::from_global(ctx, &grid, "l2", &w2, None);
+                M::D25(grid, l1, l2)
+            }
+            "3d" => {
+                let grid = Grid3d::new(ctx, &members);
+                let l1 = Linear3d::from_global(ctx, &grid, "l1", &w1, None);
+                let l2 = Linear3d::from_global(ctx, &grid, "l2", &w2, None);
+                M::D3(grid, l1, l2)
+            }
+            _ => unreachable!(),
+        };
+        let mut losses = Vec::new();
+        for step in 0..STEPS {
+            let (x, t) = data.batch(8, step as u64);
+            let x = x.reshape([8, h]);
+            // run fwd through both layers with a ReLU between; the ReLU is
+            // elementwise so it applies to tiles directly
+            let loss = match &mut m {
+                M::D2(grid, l1, l2) => {
+                    step_2d(ctx, grid, l1, l2, &x, &t)
+                }
+                M::D25(grid, l1, l2) => step_25d(ctx, grid, l1, l2, &x, &t),
+                M::D3(grid, l1, l2) => step_3d(ctx, grid, l1, l2, &x, &t),
+            };
+            losses.push(loss);
+        }
+        losses
+    });
+    out.swap_remove(0)
+}
+
+fn sgd(l: &mut dyn Layer) {
+    l.visit_params(&mut |p| {
+        let g = p.grad().clone();
+        p.value_mut().axpy(-LR, &g);
+    });
+    l.zero_grad();
+}
+
+fn step_2d(
+    ctx: &colossalai_comm::DeviceCtx,
+    grid: &Grid2d,
+    l1: &mut Linear2d,
+    l2: &mut Linear2d,
+    x: &Tensor,
+    t: &[usize],
+) -> f32 {
+    let x_tile = tile_of(x, grid.j, grid.row, grid.col);
+    let h_tile = l1.forward(&x_tile);
+    let a_tile = relu(&h_tile);
+    let logit_tile = l2.forward(&a_tile);
+    // gather logits to compute the loss identically everywhere
+    let row_full = grid.row_group.all_gather_cat(ctx, logit_tile.clone(), 1);
+    let full = grid.col_group.all_gather_cat(ctx, row_full, 0);
+    let (loss, dfull) = cross_entropy(&full, t);
+    let d_tile = tile_of(&dfull, grid.j, grid.row, grid.col);
+    let da = l2.backward(&d_tile);
+    let mask = colossalai_tensor::ops::relu_grad(&h_tile);
+    let _ = l1.backward(&da.zip(&mask, |a, b| a * b));
+    sgd(l1);
+    sgd(l2);
+    loss
+}
+
+fn step_25d(
+    ctx: &colossalai_comm::DeviceCtx,
+    grid: &Grid25d,
+    l1: &mut Linear25d,
+    l2: &mut Linear25d,
+    x: &Tensor,
+    t: &[usize],
+) -> f32 {
+    let x_tile = tile_x_25d(x, grid);
+    let h_tile = l1.forward(&x_tile);
+    let a_tile = relu(&h_tile);
+    let logit_tile = l2.forward(&a_tile);
+    let g2 = &grid.grid2d;
+    let row_full = g2.row_group.all_gather_cat(ctx, logit_tile.clone(), 1);
+    let layer_full = g2.col_group.all_gather_cat(ctx, row_full, 0);
+    let full = grid.depth_group.all_gather_cat(ctx, layer_full, 0);
+    let (loss, dfull) = cross_entropy(&full, t);
+    let d_tile = tile_x_25d(&dfull, grid);
+    let da = l2.backward(&d_tile);
+    let mask = colossalai_tensor::ops::relu_grad(&h_tile);
+    let _ = l1.backward(&da.zip(&mask, |a, b| a * b));
+    sgd(l1);
+    sgd(l2);
+    loss
+}
+
+fn step_3d(
+    ctx: &colossalai_comm::DeviceCtx,
+    grid: &Grid3d,
+    l1: &mut Linear3d,
+    l2: &mut Linear3d,
+    x: &Tensor,
+    t: &[usize],
+) -> f32 {
+    let x_tile = tile_x_3d(x, grid);
+    let h_tile = l1.forward(&x_tile); // Y layout
+    let a_tile = relu(&h_tile);
+    // the second 3D linear consumes X-layout tiles; convert Y -> X layout by
+    // gathering to full and re-slicing (test-scale shim; a production model
+    // would chain layouts directly)
+    let b = 8;
+    let h_mid = l1_out_cols(grid, &a_tile);
+    let full_mid = gather_y(ctx, grid, &a_tile, b, h_mid);
+    let x2_tile = tile_x_3d(&full_mid, grid);
+    let logit_tile = l2.forward(&x2_tile);
+    let classes = 8;
+    let full = gather_y(ctx, grid, &logit_tile, b, classes);
+    let (loss, dfull) = cross_entropy(&full, t);
+    let d_tile = tile_y_3d(&dfull, grid);
+    let dx2 = l2.backward(&d_tile); // X layout grad of full_mid
+    let dmid_full = gather_x(ctx, grid, &dx2, b, h_mid);
+    let dmid_y = tile_y_3d(&dmid_full, grid);
+    let mask = colossalai_tensor::ops::relu_grad(&h_tile);
+    let _ = l1.backward(&dmid_y.zip(&mask, |a, b| a * b));
+    sgd(l1);
+    sgd(l2);
+    loss
+}
+
+fn l1_out_cols(grid: &Grid3d, tile: &Tensor) -> usize {
+    tile.dims()[1] * grid.l
+}
+
+/// Gathers a Y-layout tile `[M/l^2, N/l]` back to the full `[M, N]` matrix.
+fn gather_y(
+    ctx: &colossalai_comm::DeviceCtx,
+    grid: &Grid3d,
+    tile: &Tensor,
+    m: usize,
+    n: usize,
+) -> Tensor {
+    // row sub-blocks gathered over j, row blocks over i... simplest: gather
+    // over all three axes in layout order: rows over j (sub-block), rows
+    // over i (block), cols over k
+    let rows_j = grid.j_group.all_gather_cat(ctx, tile.clone(), 0);
+    let rows_ij = grid.i_group.all_gather_cat(ctx, rows_j, 0);
+    let full = grid.k_group.all_gather_cat(ctx, rows_ij, 1);
+    assert_eq!(full.dims(), &[m, n]);
+    full
+}
+
+/// Gathers an X-layout tile `[M/l^2, K/l]` back to the full `[M, K]` matrix.
+fn gather_x(
+    ctx: &colossalai_comm::DeviceCtx,
+    grid: &Grid3d,
+    tile: &Tensor,
+    m: usize,
+    k: usize,
+) -> Tensor {
+    let rows_k = grid.k_group.all_gather_cat(ctx, tile.clone(), 0);
+    let rows_ik = grid.i_group.all_gather_cat(ctx, rows_k, 0);
+    let full = grid.j_group.all_gather_cat(ctx, rows_ik, 1);
+    assert_eq!(full.dims(), &[m, k]);
+    full
+}
+
+fn main() {
+    // Part 1: ViT, DP vs 1D TP
+    let (serial, tp1d) = vit_curves();
+    let mut rows = Vec::new();
+    for (i, (s, t)) in serial.iter().zip(&tp1d).enumerate() {
+        rows.push(vec![
+            i.to_string(),
+            format!("{s:.4}"),
+            format!("{t:.4}"),
+            format!("{:.1e}", (s - t).abs()),
+        ]);
+    }
+    print_table(
+        "Fig 7 (part 1): ViT-tiny loss — data parallel vs 1D tensor parallel (4 GPUs)",
+        &["step", "serial/DP", "1D TP", "|diff|"],
+        &rows,
+    );
+    let max_diff = serial
+        .iter()
+        .zip(&tp1d)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max loss deviation: {max_diff:.2e} (arithmetic equivalence)");
+
+    // Part 2: the advanced modes on the 2-layer classifier
+    let h = 16;
+    let data = SyntheticVision::new(4, 4, 8, 13);
+    let serial = serial_mlp_losses(h, &data);
+    let m2d = parallel_mlp_losses("2d", 4, h, &data);
+    let m25d = parallel_mlp_losses("2.5d", 8, h, &data);
+    let m3d = parallel_mlp_losses("3d", 8, h, &data);
+    let mut rows = Vec::new();
+    for i in 0..STEPS {
+        rows.push(vec![
+            i.to_string(),
+            format!("{:.4}", serial[i]),
+            format!("{:.4}", m2d[i]),
+            format!("{:.4}", m25d[i]),
+            format!("{:.4}", m3d[i]),
+        ]);
+    }
+    print_table(
+        "Fig 7 (part 2): classifier loss — serial vs 2D (4 GPUs) / 2.5D / 3D (8 GPUs)",
+        &["step", "serial", "2D", "2.5D", "3D"],
+        &rows,
+    );
+    for (name, losses) in [("2D", &m2d), ("2.5D", &m25d), ("3D", &m3d)] {
+        let d = serial
+            .iter()
+            .zip(losses)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        println!("{name}: max loss deviation from serial = {d:.2e}");
+    }
+}

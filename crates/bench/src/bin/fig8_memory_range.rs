@@ -1,0 +1,80 @@
+//! E3 — Fig 8: range tests for per-device memory of the two-linear-layer
+//! model under each tensor-parallel mode (batch scan and hidden scan, 4 and
+//! 8 GPUs).
+
+use colossalai_bench::{fmt_bytes, print_table};
+use colossalai_parallel::memcalc::fig8_peak_bytes;
+use colossalai_parallel::volume::TpMode;
+
+const SEQ_ROWS: u64 = 512; // rows per batch element ([batch, seq, hidden] input, seq = 512)
+
+fn scan(
+    title: &str,
+    modes: &[TpMode],
+    points: &[(u64, u64)], // (batch, hidden)
+    p: u64,
+) {
+    let mut headers = vec!["batch", "hidden"];
+    let labels: Vec<String> = modes.iter().map(|m| m.label()).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for &(batch, hidden) in points {
+        let mut row = vec![batch.to_string(), hidden.to_string()];
+        for mode in modes {
+            row.push(fmt_bytes(fig8_peak_bytes(*mode, batch * SEQ_ROWS, hidden, p)));
+        }
+        rows.push(row);
+    }
+    print_table(title, &headers, &rows);
+}
+
+fn main() {
+    let modes4 = [TpMode::OneD, TpMode::TwoD, TpMode::TwoPointFiveD { depth: 1 }];
+    let modes8 = [
+        TpMode::OneD,
+        TpMode::TwoPointFiveD { depth: 2 },
+        TpMode::ThreeD,
+    ];
+
+    // Fig 8a/8b: batch scan at fixed hidden
+    let batch_points: Vec<(u64, u64)> =
+        [32u64, 64, 128, 256, 512].iter().map(|&b| (b, 4096)).collect();
+    scan("Fig 8a: batch scan, 4 GPUs (hidden = 4096)", &modes4, &batch_points, 4);
+    scan("Fig 8b: batch scan, 8 GPUs (hidden = 4096)", &modes8, &batch_points, 8);
+
+    // Fig 8c/8d: hidden scan at fixed batch
+    let hidden_points: Vec<(u64, u64)> = [1024u64, 2048, 4096, 8192, 16384]
+        .iter()
+        .map(|&h| (64, h))
+        .collect();
+    scan("Fig 8c: hidden scan, 4 GPUs (batch = 64)", &modes4, &hidden_points, 4);
+    scan("Fig 8d: hidden scan, 8 GPUs (batch = 64)", &modes8, &hidden_points, 8);
+
+    // the paper's headline percentages
+    let b512 = 512 * SEQ_ROWS;
+    let s25 =
+        1.0 - fig8_peak_bytes(TpMode::TwoPointFiveD { depth: 2 }, b512, 4096, 8) as f64
+            / fig8_peak_bytes(TpMode::OneD, b512, 4096, 8) as f64;
+    let s3 = 1.0
+        - fig8_peak_bytes(TpMode::ThreeD, b512, 4096, 8) as f64
+            / fig8_peak_bytes(TpMode::OneD, b512, 4096, 8) as f64;
+    println!(
+        "\nBatch 512 on 8 GPUs: 2.5D uses {:.0}% less memory than 1D \
+         (paper: 44%), 3D uses {:.0}% less (paper: 65%).",
+        100.0 * s25,
+        100.0 * s3
+    );
+    let h16k = 64 * SEQ_ROWS;
+    let s25h = 1.0
+        - fig8_peak_bytes(TpMode::TwoPointFiveD { depth: 2 }, h16k, 16384, 8) as f64
+            / fig8_peak_bytes(TpMode::OneD, h16k, 16384, 8) as f64;
+    let s3h = 1.0
+        - fig8_peak_bytes(TpMode::ThreeD, h16k, 16384, 8) as f64
+            / fig8_peak_bytes(TpMode::OneD, h16k, 16384, 8) as f64;
+    println!(
+        "Hidden 16384 on 8 GPUs: 2.5D {:.0}% better (paper: 62%), 3D {:.0}% \
+         better (paper: 74.2%).",
+        100.0 * s25h,
+        100.0 * s3h
+    );
+}

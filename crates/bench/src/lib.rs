@@ -1,0 +1,86 @@
+//! # colossalai-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation section. Each `src/bin/*` binary prints the rows/series of
+//! one artifact (see DESIGN.md's per-experiment index); the `benches/`
+//! directory holds Criterion micro-benchmarks of the underlying kernels.
+
+/// Prints a fixed-width table: a header row and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats bytes as a human-readable size.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+/// Formats bytes/second as GB/s (decimal, like NCCL reports).
+pub fn fmt_bandwidth(bytes_per_sec: f64) -> String {
+    format!("{:.1} GB/s", bytes_per_sec / 1e9)
+}
+
+/// Formats element counts compactly (K/M/G).
+pub fn fmt_elements(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512.00 B");
+        assert_eq!(fmt_bytes(1 << 20), "1.00 MiB");
+        assert_eq!(fmt_bytes(80 * (1 << 30)), "80.00 GiB");
+    }
+
+    #[test]
+    fn element_formatting() {
+        assert_eq!(fmt_elements(999), "999");
+        assert_eq!(fmt_elements(1_500), "1.50K");
+        assert_eq!(fmt_elements(2_000_000), "2.00M");
+        assert_eq!(fmt_elements(3_000_000_000), "3.00G");
+    }
+
+    #[test]
+    fn bandwidth_formatting() {
+        assert_eq!(fmt_bandwidth(184.0e9), "184.0 GB/s");
+    }
+}

@@ -1,0 +1,633 @@
+//! Process groups and their collective operations.
+//!
+//! Data movement is real (tensors cross threads through a rendezvous slot);
+//! time is virtual (charged from the cluster's alpha-beta model for the
+//! canonical ring algorithm of each collective). Reductions are applied in
+//! rank order, so results are bit-deterministic across runs.
+
+use crate::stats::OpKind;
+use crate::world::DeviceCtx;
+use colossalai_tensor::Tensor;
+use colossalai_topology::{cost, DeviceId};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Wire width of a collective payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// 4 bytes/element (FP32).
+    F32,
+    /// 2 bytes/element (FP16 payloads of mixed-precision/ZeRO traffic).
+    F16,
+}
+
+impl Wire {
+    fn bytes(self) -> u64 {
+        match self {
+            Wire::F32 => 4,
+            Wire::F16 => 2,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Collect,
+    Distribute,
+}
+
+struct SlotState {
+    phase: Phase,
+    inputs: Vec<Option<Tensor>>,
+    outputs: Vec<Option<Tensor>>,
+    arrived: usize,
+    picked: usize,
+    t_max: f64,
+    t_done: f64,
+}
+
+/// Shared state of one process group (all member handles point here).
+pub(crate) struct GroupShared {
+    members: Vec<DeviceId>,
+    slot: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl GroupShared {
+    pub(crate) fn new(members: Vec<DeviceId>) -> Self {
+        let p = members.len();
+        GroupShared {
+            members,
+            slot: Mutex::new(SlotState {
+                phase: Phase::Collect,
+                inputs: vec![None; p],
+                outputs: vec![None; p],
+                arrived: 0,
+                picked: 0,
+                t_max: 0.0,
+                t_done: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// A member's handle to a process group.
+///
+/// All members must invoke the same sequence of collectives (SPMD), exactly
+/// like an MPI communicator or a NCCL process group.
+#[derive(Clone)]
+pub struct Group {
+    shared: Arc<GroupShared>,
+    my_index: usize,
+}
+
+impl Group {
+    pub(crate) fn new(shared: Arc<GroupShared>, device: DeviceId) -> Group {
+        let my_index = shared
+            .members
+            .iter()
+            .position(|&m| m == device)
+            .expect("device not in group");
+        Group { shared, my_index }
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// This member's rank within the group (0-based, in member-list order).
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Global device ids of the members, in group-rank order.
+    pub fn members(&self) -> &[DeviceId] {
+        &self.shared.members
+    }
+
+    /// Core rendezvous: every rank deposits `input`; the last arrival runs
+    /// `finish` (producing one output per rank, the op's virtual cost, the
+    /// op kind and its element-hop count); every rank leaves with its output
+    /// and a clock advanced to `max(arrival clocks) + cost`.
+    fn rendezvous<F>(&self, ctx: &DeviceCtx, input: Tensor, finish: F) -> Tensor
+    where
+        F: FnOnce(&[Tensor]) -> (Vec<Tensor>, f64, OpKind, u64, Wire),
+    {
+        let p = self.size();
+        if p == 1 {
+            // single-rank group: identity, no cost
+            let (mut outs, _, _, _, _) = finish(std::slice::from_ref(&input));
+            return outs.pop().expect("finish produced no output");
+        }
+        let shared = &*self.shared;
+        let mut st = shared.slot.lock();
+        // wait for the previous op to fully drain
+        while st.phase == Phase::Distribute {
+            shared.cv.wait(&mut st);
+        }
+        assert!(st.inputs[self.my_index].is_none(), "rank reentered collective");
+        st.inputs[self.my_index] = Some(input);
+        st.arrived += 1;
+        st.t_max = st.t_max.max(ctx.clock());
+        if st.arrived == p {
+            // last arrival: combine and publish
+            let inputs: Vec<Tensor> = st.inputs.iter_mut().map(|i| i.take().unwrap()).collect();
+            let (outputs, cost, kind, elements, wire) = finish(&inputs);
+            assert_eq!(outputs.len(), p, "finish must produce one output per rank");
+            st.outputs = outputs.into_iter().map(Some).collect();
+            st.t_done = st.t_max + cost;
+            st.phase = Phase::Distribute;
+            ctx.record_stats(kind, elements, elements * wire.bytes());
+            shared.cv.notify_all();
+        } else {
+            while st.phase == Phase::Collect {
+                shared.cv.wait(&mut st);
+            }
+        }
+        let out = st.outputs[self.my_index].take().expect("output already taken");
+        let t_done = st.t_done;
+        st.picked += 1;
+        if st.picked == p {
+            // last picker resets the slot for the next op
+            st.phase = Phase::Collect;
+            st.arrived = 0;
+            st.picked = 0;
+            st.t_max = 0.0;
+            shared.cv.notify_all();
+        }
+        drop(st);
+        ctx.advance_to(t_done);
+        out
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    /// Sum all-reduce at FP32 wire width.
+    pub fn all_reduce(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire(ctx, t, Wire::F32)
+    }
+
+    /// Sum all-reduce at FP16 wire width (mixed-precision gradient traffic).
+    pub fn all_reduce_half(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire(ctx, t, Wire::F16)
+    }
+
+    fn all_reduce_wire(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire) -> Tensor {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let mut sum = inputs[0].clone();
+            for x in &inputs[1..] {
+                sum.axpy(1.0, x);
+            }
+            let n = sum.numel() as u64;
+            let cost = cost::allreduce_time(&cluster, &members, n * wire.bytes());
+            let elements = 2 * (p as u64 - 1) * n;
+            (vec![sum; p], cost, OpKind::AllReduce, elements, wire)
+        })
+    }
+
+    /// All-gather with concatenation along `dim`: every rank contributes a
+    /// shard, every rank receives the full concatenation (in rank order).
+    pub fn all_gather_cat(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.all_gather_cat_wire(ctx, t, dim, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::all_gather_cat`].
+    pub fn all_gather_cat_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.all_gather_cat_wire(ctx, t, dim, Wire::F16)
+    }
+
+    fn all_gather_cat_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let contrib = inputs[0].numel() as u64;
+            let full = Tensor::cat(inputs, dim);
+            let cost = cost::allgather_time(&cluster, &members, contrib * wire.bytes());
+            let elements = (p as u64 - 1) * p as u64 * contrib;
+            (vec![full; p], cost, OpKind::AllGather, elements, wire)
+        })
+    }
+
+    /// Reduce-scatter: sums all contributions, then each rank keeps its
+    /// rank-th chunk along `dim`.
+    pub fn reduce_scatter(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire(ctx, t, dim, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::reduce_scatter`].
+    pub fn reduce_scatter_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire(ctx, t, dim, Wire::F16)
+    }
+
+    fn reduce_scatter_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let mut sum = inputs[0].clone();
+            for x in &inputs[1..] {
+                sum.axpy(1.0, x);
+            }
+            let n = sum.numel() as u64;
+            let outs = sum.chunk(dim, p);
+            let cost = cost::reduce_scatter_time(&cluster, &members, n * wire.bytes());
+            let elements = (p as u64 - 1) * n;
+            (outs, cost, OpKind::ReduceScatter, elements, wire)
+        })
+    }
+
+    /// Broadcast from group-rank `root`. Non-root ranks' inputs are ignored
+    /// (pass an empty tensor, e.g. `Tensor::zeros([0])`).
+    pub fn broadcast(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        let p = self.size();
+        assert!(root < p, "broadcast root {root} out of range");
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let src = inputs[root].clone();
+            let n = src.numel() as u64;
+            let cost = cost::broadcast_time(&cluster, &members, n * 4);
+            let elements = (p as u64 - 1) * n;
+            (vec![src; p], cost, OpKind::Broadcast, elements, Wire::F32)
+        })
+    }
+
+    /// Scatter from group-rank `root`: the root's tensor is chunked along
+    /// `dim` into `size()` pieces; rank i receives piece i. Non-root inputs
+    /// are ignored.
+    pub fn scatter(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        let p = self.size();
+        assert!(root < p, "scatter root {root} out of range");
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let src = &inputs[root];
+            let n = src.numel() as u64;
+            let outs = src.chunk(dim, p);
+            let chunk_bytes = n / p as u64 * 4;
+            let cost = cost::alltoall_time(&cluster, &members, chunk_bytes);
+            let elements = (p as u64 - 1) * (n / p as u64);
+            (outs, cost, OpKind::Scatter, elements, Wire::F32)
+        })
+    }
+
+    /// Gather to group-rank `root` with concatenation along `dim`; the root
+    /// receives the concatenation, other ranks receive an empty tensor.
+    pub fn gather_cat(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        let p = self.size();
+        assert!(root < p, "gather root {root} out of range");
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let contrib = inputs[0].numel() as u64;
+            let full = Tensor::cat(inputs, dim);
+            let outs = (0..p)
+                .map(|r| if r == root { full.clone() } else { Tensor::zeros([0]) })
+                .collect();
+            let cost = cost::alltoall_time(&cluster, &members, contrib * 4);
+            let elements = (p as u64 - 1) * contrib;
+            (outs, cost, OpKind::Gather, elements, Wire::F32)
+        })
+    }
+
+    /// All-to-all: each rank's tensor is chunked along `dim`; rank i ends
+    /// with the concatenation (along `dim`) of everyone's chunk i.
+    pub fn all_to_all(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let n = inputs[0].numel() as u64;
+            let per_rank: Vec<Vec<Tensor>> = inputs.iter().map(|t| t.chunk(dim, p)).collect();
+            let outs = (0..p)
+                .map(|i| {
+                    let mine: Vec<Tensor> =
+                        per_rank.iter().map(|chunks| chunks[i].clone()).collect();
+                    Tensor::cat(&mine, dim)
+                })
+                .collect();
+            let chunk_bytes = n / p as u64 * 4;
+            let cost = cost::alltoall_time(&cluster, &members, chunk_bytes);
+            let elements = p as u64 * (p as u64 - 1) * (n / p as u64);
+            (outs, cost, OpKind::AllToAll, elements, Wire::F32)
+        })
+    }
+
+    /// Elementwise-max all-reduce (used by distributed gradient-norm and
+    /// loss-scale synchronization).
+    pub fn all_reduce_max(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let mut acc = inputs[0].clone();
+            for x in &inputs[1..] {
+                acc = acc.zip(x, f32::max);
+            }
+            let n = acc.numel() as u64;
+            let cost = cost::allreduce_time(&cluster, &members, n * 4);
+            let elements = 2 * (p as u64 - 1) * n;
+            (vec![acc; p], cost, OpKind::AllReduce, elements, Wire::F32)
+        })
+    }
+
+    /// Sum-reduce to group-rank `root`: the root receives the elementwise
+    /// sum of all contributions, other ranks receive an empty tensor.
+    /// (Cost model: the mirror image of a pipelined broadcast.)
+    pub fn reduce_sum(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range");
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        self.rendezvous(ctx, t, move |inputs| {
+            let mut sum = inputs[0].clone();
+            for x in &inputs[1..] {
+                sum.axpy(1.0, x);
+            }
+            let n = sum.numel() as u64;
+            let outs = (0..p)
+                .map(|r| if r == root { sum.clone() } else { Tensor::zeros([0]) })
+                .collect();
+            let cost = cost::broadcast_time(&cluster, &members, n * 4);
+            let elements = (p as u64 - 1) * n;
+            (outs, cost, OpKind::Reduce, elements, Wire::F32)
+        })
+    }
+
+    /// Synchronization barrier; costs one latency-bound all-reduce.
+    pub fn barrier(&self, ctx: &DeviceCtx) {
+        let p = self.size();
+        let members = self.members().to_vec();
+        let cluster = ctx.cluster().clone();
+        let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
+            let cost = cost::allreduce_time(&cluster, &members, 4);
+            (vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, Wire::F32)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use colossalai_topology::systems::{system_i, system_ii};
+
+    #[test]
+    fn all_reduce_sums_contributions() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = Tensor::full([2, 2], (ctx.rank() + 1) as f32);
+            g.all_reduce(ctx, t)
+        });
+        for o in &out {
+            assert!(o.allclose(&Tensor::full([2, 2], 10.0), 0.0));
+        }
+    }
+
+    #[test]
+    fn all_reduce_deterministic_order() {
+        // reductions in rank order must be bitwise stable across runs
+        let world = World::new(system_i());
+        let a = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            g.all_reduce(ctx, Tensor::full([8], 0.1 + ctx.rank() as f32 * 1e-7))
+        });
+        let b = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            g.all_reduce(ctx, Tensor::full([8], 0.1 + ctx.rank() as f32 * 1e-7))
+        });
+        assert_eq!(a[0].data(), b[0].data());
+    }
+
+    #[test]
+    fn all_gather_rank_order() {
+        let world = World::new(system_i());
+        let out = world.run_on(3, |ctx| {
+            let g = ctx.world_group(3);
+            g.all_gather_cat(ctx, Tensor::full([1, 2], ctx.rank() as f32), 0)
+        });
+        for o in &out {
+            assert_eq!(o.dims(), &[3, 2]);
+            assert_eq!(o.data(), &[0., 0., 1., 1., 2., 2.]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = Tensor::arange(8).reshaped([8]);
+            let full = g.all_reduce(ctx, t.clone());
+            let mine = g.reduce_scatter(ctx, t, 0);
+            let rebuilt = g.all_gather_cat(ctx, mine, 0);
+            (full, rebuilt)
+        });
+        for (full, rebuilt) in &out {
+            assert_eq!(full.data(), rebuilt.data());
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = if ctx.rank() == 2 {
+                Tensor::full([3], 42.0)
+            } else {
+                Tensor::zeros([0])
+            };
+            g.broadcast(ctx, t, 2)
+        });
+        for o in &out {
+            assert!(o.allclose(&Tensor::full([3], 42.0), 0.0));
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = if ctx.rank() == 0 {
+                Tensor::arange(8)
+            } else {
+                Tensor::zeros([0])
+            };
+            g.scatter(ctx, t, 0, 0)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o.data(), &[(2 * r) as f32, (2 * r + 1) as f32]);
+        }
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        let world = World::new(system_i());
+        let out = world.run_on(3, |ctx| {
+            let g = ctx.world_group(3);
+            g.gather_cat(ctx, Tensor::full([1], ctx.rank() as f32), 0, 1)
+        });
+        assert_eq!(out[0].numel(), 0);
+        assert_eq!(out[1].data(), &[0., 1., 2.]);
+        assert_eq!(out[2].numel(), 0);
+    }
+
+    #[test]
+    fn all_to_all_transposes_chunks() {
+        let world = World::new(system_i());
+        let out = world.run_on(2, |ctx| {
+            let g = ctx.world_group(2);
+            // rank r holds [r*10, r*10+1]
+            let t = Tensor::from_vec([2], vec![ctx.rank() as f32 * 10.0, ctx.rank() as f32 * 10.0 + 1.0]);
+            g.all_to_all(ctx, t, 0)
+        });
+        assert_eq!(out[0].data(), &[0., 10.]);
+        assert_eq!(out[1].data(), &[1., 11.]);
+    }
+
+    #[test]
+    fn all_reduce_max_takes_elementwise_max() {
+        let world = World::new(system_i());
+        let out = world.run_on(3, |ctx| {
+            let g = ctx.world_group(3);
+            // rank r holds [r, -r]
+            let t = Tensor::from_vec([2], vec![ctx.rank() as f32, -(ctx.rank() as f32)]);
+            g.all_reduce_max(ctx, t)
+        });
+        for o in &out {
+            assert_eq!(o.data(), &[2.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn subgroups_are_independent() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let members: Vec<usize> = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let g = ctx.group(&members);
+            g.all_reduce(ctx, Tensor::scalar(1.0)).item()
+        });
+        assert_eq!(out, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn collective_advances_clock_per_cost_model() {
+        let bytes: usize = 1 << 20;
+        let n = bytes / 4;
+        for (cluster, name) in [(system_i(), "I"), (system_ii(), "II")] {
+            let expected = colossalai_topology::cost::allreduce_time(
+                &cluster,
+                &(0..8).collect::<Vec<_>>(),
+                bytes as u64,
+            );
+            let world = World::new(cluster);
+            let clocks = world.run(|ctx| {
+                let g = ctx.world_group(8);
+                let _ = g.all_reduce(ctx, Tensor::zeros([n]));
+                ctx.clock()
+            });
+            for c in &clocks {
+                assert!((c - expected).abs() < 1e-12, "system {name}: {c} vs {expected}");
+            }
+        }
+        // System II must be slower than System I for the same collective
+        let t1 = colossalai_topology::cost::allreduce_time(&system_i(), &(0..8).collect::<Vec<_>>(), bytes as u64);
+        let t2 = colossalai_topology::cost::allreduce_time(&system_ii(), &(0..8).collect::<Vec<_>>(), bytes as u64);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn stats_count_ring_allreduce_elements() {
+        let world = World::new(system_i());
+        world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let _ = g.all_reduce(ctx, Tensor::zeros([100]));
+        });
+        let stats = world.stats();
+        // 2(p-1) * n = 2*3*100
+        assert_eq!(stats.elements_of(OpKind::AllReduce), 600);
+        assert_eq!(stats.ops_of(OpKind::AllReduce), 1);
+    }
+
+    #[test]
+    fn half_wire_halves_bytes() {
+        let world = World::new(system_i());
+        world.run_on(2, |ctx| {
+            let g = ctx.world_group(2);
+            let _ = g.all_reduce(ctx, Tensor::zeros([100]));
+        });
+        let full = world.stats().bytes;
+        let world2 = World::new(system_i());
+        world2.run_on(2, |ctx| {
+            let g = ctx.world_group(2);
+            let _ = g.all_reduce_half(ctx, Tensor::zeros([100]));
+        });
+        let half = world2.stats().bytes;
+        assert_eq!(full, 2 * half);
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slot() {
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += g.all_reduce(ctx, Tensor::scalar(i as f32)).item();
+            }
+            acc
+        });
+        let expect: f32 = (0..50).map(|i| (i * 4) as f32).sum();
+        assert_eq!(out, vec![expect; 4]);
+    }
+
+    #[test]
+    fn many_concurrent_groups_stay_deterministic() {
+        // 8 devices using overlapping row/col/pair groups concurrently for
+        // many rounds: results and virtual clocks must replay identically
+        let run = || {
+            let world = World::new(system_i());
+            
+            world.run(|ctx| {
+                let r = ctx.rank();
+                let row = ctx.group(&if r < 4 { vec![0, 1, 2, 3] } else { vec![4, 5, 6, 7] });
+                let col: Vec<usize> = (0..2).map(|q| q * 4 + (r % 4)).collect();
+                let col = ctx.group(&col);
+                let mut acc = Tensor::full([16], r as f32 * 0.01);
+                for _ in 0..20 {
+                    acc = row.all_reduce(ctx, acc);
+                    acc = col.all_reduce(ctx, acc);
+                    acc.scale(0.125);
+                }
+                (acc, ctx.clock())
+            })
+        };
+        let a = run();
+        let b = run();
+        for ((ta, ca), (tb, cb)) in a.iter().zip(&b) {
+            assert_eq!(ta.data(), tb.data(), "tensor results must replay");
+            assert_eq!(ca, cb, "virtual clocks must replay");
+        }
+    }
+
+    #[test]
+    fn single_rank_group_is_identity() {
+        let world = World::new(system_i());
+        let out = world.run_on(1, |ctx| {
+            let g = ctx.world_group(1);
+            let t = g.all_reduce(ctx, Tensor::full([3], 7.0));
+            (t, ctx.clock())
+        });
+        assert!(out[0].0.allclose(&Tensor::full([3], 7.0), 0.0));
+        assert_eq!(out[0].1, 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! The simulated multi-device world: one OS thread per device, a shared
+//! cluster model, a virtual clock per device, and global traffic stats.
+
+use crate::group::{Group, GroupShared};
+use crate::stats::CommStats;
+use colossalai_tensor::Tensor;
+use colossalai_topology::{Cluster, DeviceId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-to-point mailboxes keyed by (from, to, tag); each message carries
+/// its virtual arrival time.
+type Mailbox = HashMap<(DeviceId, DeviceId, u64), VecDeque<(Tensor, f64)>>;
+
+/// Shared state behind a [`World`].
+pub(crate) struct WorldInner {
+    pub(crate) cluster: Cluster,
+    pub(crate) stats: Mutex<CommStats>,
+    groups: Mutex<HashMap<Vec<DeviceId>, Arc<GroupShared>>>,
+    mailbox: Mutex<Mailbox>,
+    mailbox_cv: Condvar,
+}
+
+/// A simulated cluster execution context.
+///
+/// `World::run` launches one thread per participating device and hands each
+/// a [`DeviceCtx`]. Collectives exchange real tensors through shared memory
+/// while charging virtual time according to the cluster's link model, so
+/// results are numerically real and timings follow the modeled hardware.
+///
+/// # Examples
+///
+/// ```
+/// use colossalai_comm::World;
+/// use colossalai_tensor::Tensor;
+/// use colossalai_topology::systems::system_i;
+///
+/// let world = World::new(system_i());
+/// let sums = world.run_on(4, |ctx| {
+///     let group = ctx.world_group(4);
+///     group.all_reduce(ctx, Tensor::scalar(ctx.rank() as f32)).item()
+/// });
+/// assert_eq!(sums, vec![6.0; 4]); // 0 + 1 + 2 + 3 on every rank
+/// ```
+pub struct World {
+    inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Creates a world over `cluster`.
+    pub fn new(cluster: Cluster) -> World {
+        World {
+            inner: Arc::new(WorldInner {
+                cluster,
+                stats: Mutex::new(CommStats::default()),
+                groups: Mutex::new(HashMap::new()),
+                mailbox: Mutex::new(HashMap::new()),
+                mailbox_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The cluster model.
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// Runs `f` on the first `n` devices of the cluster, one thread each,
+    /// and returns the per-rank results ordered by rank.
+    ///
+    /// Panics in any device thread propagate (the run aborts with that
+    /// panic), so test assertions inside device closures work as usual.
+    pub fn run_on<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&DeviceCtx) -> R + Send + Sync,
+    {
+        assert!(n >= 1 && n <= self.inner.cluster.n_devices(),
+            "cannot run on {n} devices of a {}-device cluster", self.inner.cluster.n_devices());
+        let inner = &self.inner;
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let inner = Arc::clone(inner);
+                    scope.spawn(move || {
+                        let ctx = DeviceCtx {
+                            world: inner,
+                            rank,
+                            clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+                            flops: Arc::new(AtomicU64::new(0)),
+                        };
+                        f(&ctx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs `f` on every device of the cluster.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&DeviceCtx) -> R + Send + Sync,
+    {
+        self.run_on(self.inner.cluster.n_devices(), f)
+    }
+
+    /// Snapshot of the accumulated communication statistics.
+    pub fn stats(&self) -> CommStats {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Clears accumulated statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.lock() = CommStats::default();
+    }
+}
+
+/// Per-device execution context handed to the closure of [`World::run`].
+///
+/// Holds the device's virtual clock. Compute is charged explicitly via
+/// [`DeviceCtx::charge_flops_f32`] / [`DeviceCtx::charge_seconds`];
+/// communication is charged implicitly by the collectives in
+/// [`Group`] type.
+/// Cloning a `DeviceCtx` yields a handle to the *same* device: clones share
+/// the clock and FLOP counter, so layers and optimizers can each hold one.
+#[derive(Clone)]
+pub struct DeviceCtx {
+    pub(crate) world: Arc<WorldInner>,
+    pub(crate) rank: DeviceId,
+    clock: Arc<AtomicU64>,
+    flops: Arc<AtomicU64>,
+}
+
+impl DeviceCtx {
+    /// Global device id of this context.
+    pub fn rank(&self) -> DeviceId {
+        self.rank
+    }
+
+    /// The cluster model.
+    pub fn cluster(&self) -> &Cluster {
+        &self.world.cluster
+    }
+
+    /// Current virtual time in seconds.
+    ///
+    /// The clock is only ever written by its own device thread, so relaxed
+    /// atomics are sufficient — the `Arc<AtomicU64>` exists to let clones of
+    /// the ctx (held by layers, optimizers, schedules) share one clock, not
+    /// for cross-thread communication.
+    pub fn clock(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    fn set_clock(&self, t: f64) {
+        self.clock.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Advances the virtual clock by `dt` seconds.
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "negative time step");
+        self.set_clock(self.clock() + dt);
+    }
+
+    /// Forces the clock to at least `t` (used when receiving messages).
+    pub(crate) fn advance_to(&self, t: f64) {
+        if t > self.clock() {
+            self.set_clock(t);
+        }
+    }
+
+    /// Charges `flops` of FP32 compute at this device's modeled rate.
+    pub fn charge_flops_f32(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+        let dt = self.world.cluster.gpu(self.rank).compute_time_f32(flops);
+        self.advance(dt);
+    }
+
+    /// Charges `flops` of FP16 tensor-core compute.
+    pub fn charge_flops_f16(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+        let dt = self.world.cluster.gpu(self.rank).compute_time_f16(flops);
+        self.advance(dt);
+    }
+
+    /// Charges raw seconds (e.g. host-side optimizer time, offload DMA).
+    pub fn charge_seconds(&self, dt: f64) {
+        self.advance(dt);
+    }
+
+    /// Total FLOPs charged so far.
+    pub fn flops(&self) -> u64 {
+        self.flops.load(Ordering::Relaxed)
+    }
+
+    /// Records traffic into the world-level stats (one call per group op).
+    pub(crate) fn record_stats(&self, kind: crate::stats::OpKind, elements: u64, bytes: u64) {
+        self.world.stats.lock().record(kind, elements, bytes);
+    }
+
+    /// Obtains (or creates) the process group over `members`.
+    ///
+    /// Every member must call with the *same* member list (order included);
+    /// the calling device must itself be a member.
+    pub fn group(&self, members: &[DeviceId]) -> Group {
+        assert!(
+            members.contains(&self.rank),
+            "device {} is not in group {:?}",
+            self.rank,
+            members
+        );
+        let mut dedup = members.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), members.len(), "duplicate members in {members:?}");
+        let shared = {
+            let mut groups = self.world.groups.lock();
+            Arc::clone(
+                groups
+                    .entry(members.to_vec())
+                    .or_insert_with(|| Arc::new(GroupShared::new(members.to_vec()))),
+            )
+        };
+        Group::new(shared, self.rank)
+    }
+
+    /// The group of all devices participating in runs of size `n`
+    /// (devices `0..n`).
+    pub fn world_group(&self, n: usize) -> Group {
+        let members: Vec<DeviceId> = (0..n).collect();
+        self.group(&members)
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Sends `t` to device `to` under `tag`. Synchronous-send model: the
+    /// sender's clock advances by the full transfer time and the message
+    /// becomes visible to the receiver at the sender's post-send clock.
+    pub fn send(&self, to: DeviceId, tag: u64, t: Tensor) {
+        assert_ne!(to, self.rank, "send to self");
+        let bytes = (t.numel() * 4) as u64;
+        let dt = self.world.cluster.p2p_time(self.rank, to, bytes);
+        self.advance(dt);
+        let arrival = self.clock();
+        {
+            let mut stats = self.world.stats.lock();
+            stats.record(crate::stats::OpKind::SendRecv, t.numel() as u64, bytes);
+        }
+        let mut mb = self.world.mailbox.lock();
+        mb.entry((self.rank, to, tag)).or_default().push_back((t, arrival));
+        self.world.mailbox_cv.notify_all();
+    }
+
+    /// Receives the next message from `from` under `tag`, blocking until it
+    /// arrives. The receiver's clock advances to at least the message's
+    /// arrival time.
+    pub fn recv(&self, from: DeviceId, tag: u64) -> Tensor {
+        assert_ne!(from, self.rank, "recv from self");
+        let key = (from, self.rank, tag);
+        let mut mb = self.world.mailbox.lock();
+        loop {
+            if let Some(queue) = mb.get_mut(&key) {
+                if let Some((t, arrival)) = queue.pop_front() {
+                    drop(mb);
+                    self.advance_to(arrival);
+                    return t;
+                }
+            }
+            self.world.mailbox_cv.wait(&mut mb);
+        }
+    }
+
+    /// Full-duplex ring exchange: sends `t` to `to` while receiving from
+    /// `from`. Both transfers overlap, so only one transfer time is charged
+    /// (the p2p links are modeled as full duplex).
+    pub fn ring_exchange(&self, to: DeviceId, from: DeviceId, tag: u64, t: Tensor) -> Tensor {
+        self.send(to, tag, t);
+        self.recv(from, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_topology::systems::system_i;
+
+    #[test]
+    fn run_returns_rank_ordered_results() {
+        let world = World::new(system_i());
+        let ranks = world.run(|ctx| ctx.rank());
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_on_subset() {
+        let world = World::new(system_i());
+        let out = world.run_on(3, |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn clock_advances_with_flops() {
+        let world = World::new(system_i());
+        let clocks = world.run_on(2, |ctx| {
+            ctx.charge_flops_f32(1_000_000_000_000);
+            ctx.clock()
+        });
+        // 1 TFLOP on a 19.5 TFLOPS A100 at 40% MFU: ~0.128s
+        assert!(clocks[0] > 0.1 && clocks[0] < 0.2, "clock {}", clocks[0]);
+        assert_eq!(clocks[0], clocks[1]);
+    }
+
+    #[test]
+    fn p2p_moves_data_and_time() {
+        let world = World::new(system_i());
+        let out = world.run_on(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, Tensor::from_vec([3], vec![1., 2., 3.]));
+                ctx.clock()
+            } else {
+                let t = ctx.recv(0, 0);
+                assert_eq!(t.data(), &[1., 2., 3.]);
+                ctx.clock()
+            }
+        });
+        assert!(out[0] > 0.0);
+        assert!(out[1] >= out[0]);
+    }
+
+    #[test]
+    fn p2p_fifo_per_tag() {
+        let world = World::new(system_i());
+        world.run_on(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, Tensor::scalar(1.0));
+                ctx.send(1, 7, Tensor::scalar(2.0));
+                ctx.send(1, 9, Tensor::scalar(3.0));
+            } else {
+                // tag 9 can be drained before tag 7
+                assert_eq!(ctx.recv(0, 9).item(), 3.0);
+                assert_eq!(ctx.recv(0, 7).item(), 1.0);
+                assert_eq!(ctx.recv(0, 7).item(), 2.0);
+            }
+        });
+    }
+
+    #[test]
+    fn ring_exchange_charges_once() {
+        let world = World::new(system_i());
+        let clocks = world.run_on(2, |ctx| {
+            let to = 1 - ctx.rank();
+            let got = ctx.ring_exchange(to, to, 0, Tensor::scalar(ctx.rank() as f32));
+            assert_eq!(got.item(), to as f32);
+            ctx.clock()
+        });
+        let single = system_i().p2p_time(0, 1, 4);
+        assert!((clocks[0] - single).abs() < 1e-12, "{} vs {}", clocks[0], single);
+    }
+
+    #[test]
+    #[should_panic(expected = "device thread panicked")]
+    fn group_requires_membership() {
+        let world = World::new(system_i());
+        world.run_on(2, |ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.group(&[1]);
+            }
+        });
+    }
+}

@@ -1,0 +1,178 @@
+//! Automatic mixed precision: fp16 parameter/gradient emulation with
+//! dynamic loss scaling, plus the Fig 6 storage-reuse accounting.
+//!
+//! Numerics: master weights stay fp32; before each forward the working
+//! parameters are rounded through binary16 (software [`colossalai_tensor::F16`]),
+//! gradients are computed against those rounded weights and rounded to fp16
+//! themselves — the exact numeric path of GPU fp16 training with fp32
+//! accumulate.
+
+use colossalai_autograd::Layer;
+use colossalai_tensor::f16::round_trip_f16;
+use colossalai_tensor::Tensor;
+
+/// Dynamic loss scaler (the DeepSpeed/Apex scheme): scale doubles after a
+/// streak of finite-gradient steps and halves on overflow, skipping the
+/// step.
+#[derive(Clone, Debug)]
+pub struct GradScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+}
+
+impl Default for GradScaler {
+    fn default() -> Self {
+        GradScaler {
+            scale: 65536.0,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 200,
+            good_steps: 0,
+        }
+    }
+}
+
+impl GradScaler {
+    pub fn new(initial_scale: f32) -> Self {
+        GradScaler {
+            scale: initial_scale,
+            ..Default::default()
+        }
+    }
+
+    /// Current loss scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Scales the loss gradient before backward.
+    pub fn scale_grad(&self, dy: &Tensor) -> Tensor {
+        dy.map(|v| v * self.scale)
+    }
+
+    /// Unscales accumulated gradients and updates the scale. Returns `false`
+    /// (step must be skipped, gradients cleared) when any gradient is
+    /// non-finite.
+    pub fn unscale_and_update(&mut self, model: &mut dyn Layer) -> bool {
+        let mut finite = true;
+        model.visit_params(&mut |p| {
+            if p.grad().data().iter().any(|v| !v.is_finite()) {
+                finite = false;
+            }
+        });
+        if !finite {
+            self.scale *= self.backoff_factor;
+            self.good_steps = 0;
+            model.zero_grad();
+            return false;
+        }
+        let inv = 1.0 / self.scale;
+        model.visit_params(&mut |p| p.grad_mut().scale(inv));
+        self.good_steps += 1;
+        if self.good_steps >= self.growth_interval {
+            self.scale *= self.growth_factor;
+            self.good_steps = 0;
+        }
+        true
+    }
+}
+
+/// Rounds every parameter through fp16 (the "cast weights to half for the
+/// forward" step). Master copies should be snapshotted by the optimizer
+/// before calling this.
+pub fn quantize_params_f16(model: &mut dyn Layer) {
+    model.visit_params(&mut |p| round_trip_f16(p.value_mut().data_mut()));
+}
+
+/// Rounds every gradient through fp16 (gradients live in the reused fp16
+/// storage of Fig 6).
+pub fn quantize_grads_f16(model: &mut dyn Layer) {
+    model.visit_params(&mut |p| round_trip_f16(p.grad_mut().data_mut()));
+}
+
+/// FP16 model-data bytes for `n` parameters with and without the Fig 6
+/// parameter/gradient storage reuse.
+pub fn fp16_model_bytes(n_params: u64, reuse_storage: bool) -> u64 {
+    if reuse_storage {
+        colossalai_memory::reuse::peak_bytes_with_reuse(n_params)
+    } else {
+        colossalai_memory::reuse::peak_bytes_without_reuse(n_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_autograd::{Linear, Param};
+    use colossalai_tensor::init;
+
+    fn model_with_grad(grad_val: f32) -> Linear {
+        let mut rng = init::rng(42);
+        let mut l = Linear::from_rng("l", 2, 2, false, &mut rng);
+        l.visit_params(&mut |p: &mut Param| {
+            p.accumulate_grad(&Tensor::full([2, 2], grad_val));
+        });
+        l
+    }
+
+    #[test]
+    fn overflow_halves_scale_and_skips() {
+        let mut scaler = GradScaler::new(1024.0);
+        let mut m = model_with_grad(f32::INFINITY);
+        assert!(!scaler.unscale_and_update(&mut m));
+        assert_eq!(scaler.scale(), 512.0);
+        // gradients were cleared so the step is safely skippable
+        m.visit_params(&mut |p| assert!(p.grad().data().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn finite_grads_are_unscaled() {
+        let mut scaler = GradScaler::new(8.0);
+        let mut m = model_with_grad(16.0);
+        assert!(scaler.unscale_and_update(&mut m));
+        m.visit_params(&mut |p| assert_eq!(p.grad().data(), &[2.0; 4]));
+        assert_eq!(scaler.scale(), 8.0, "scale unchanged before growth interval");
+    }
+
+    #[test]
+    fn scale_grows_after_interval() {
+        let mut scaler = GradScaler::new(4.0);
+        scaler.growth_interval = 3;
+        for _ in 0..3 {
+            let mut m = model_with_grad(1.0);
+            assert!(scaler.unscale_and_update(&mut m));
+        }
+        assert_eq!(scaler.scale(), 8.0);
+    }
+
+    #[test]
+    fn scale_grad_multiplies() {
+        let scaler = GradScaler::new(4.0);
+        let dy = Tensor::full([3], 0.5);
+        assert_eq!(scaler.scale_grad(&dy).data(), &[2.0; 3]);
+    }
+
+    #[test]
+    fn quantization_rounds_through_f16() {
+        let mut rng = init::rng(43);
+        let mut l = Linear::from_rng("l", 4, 4, false, &mut rng);
+        let before: Vec<f32> = l.weight().value().data().to_vec();
+        quantize_params_f16(&mut l);
+        let after = l.weight().value().data();
+        for (b, a) in before.iter().zip(after) {
+            assert!((b - a).abs() <= b.abs() * 2.0f32.powi(-11) + 1e-8);
+            // and the value is exactly representable in f16 now
+            let h = colossalai_tensor::F16::from_f32(*a);
+            assert_eq!(h.to_f32(), *a);
+        }
+    }
+
+    #[test]
+    fn reuse_accounting() {
+        assert_eq!(fp16_model_bytes(1000, true), 2000);
+        assert_eq!(fp16_model_bytes(1000, false), 4000);
+    }
+}

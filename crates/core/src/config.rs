@@ -1,0 +1,280 @@
+//! The user-facing configuration schema (Listing 1 of the paper).
+//!
+//! Users describe *what* acceleration they want declaratively; `initialize`
+//! turns it into process groups, wrapped models and optimizers. The schema
+//! mirrors the Python dict of Listing 1:
+//!
+//! ```json
+//! {
+//!   "parallel": {
+//!     "tensor":   { "size": 4, "mode": "2d" },
+//!     "pipeline": { "size": 2 },
+//!     "data":     { "size": 1 }
+//!   },
+//!   "zero": { "stage": 2 },
+//!   "mixed_precision": true,
+//!   "activation_checkpoint": false
+//! }
+//! ```
+
+use colossalai_parallel::TpMode;
+use serde::{Deserialize, Serialize};
+
+/// Tensor-parallel mode names accepted in config files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum TensorModeName {
+    #[serde(rename = "1d")]
+    OneD,
+    #[serde(rename = "2d")]
+    TwoD,
+    #[serde(rename = "2.5d")]
+    TwoPointFiveD,
+    #[serde(rename = "3d")]
+    ThreeD,
+    #[serde(rename = "sequence")]
+    Sequence,
+}
+
+/// Tensor-parallel section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorConfig {
+    pub size: usize,
+    pub mode: TensorModeName,
+    /// Depth for 2.5D (ignored otherwise).
+    #[serde(default = "default_depth")]
+    pub depth: usize,
+}
+
+fn default_depth() -> usize {
+    1
+}
+
+/// Pipeline-parallel section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    pub size: usize,
+    #[serde(default = "default_micro_batches")]
+    pub micro_batches: usize,
+}
+
+fn default_micro_batches() -> usize {
+    4
+}
+
+/// The `parallel` section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ParallelConfig {
+    #[serde(default)]
+    pub tensor: Option<TensorConfig>,
+    #[serde(default)]
+    pub pipeline: Option<PipelineConfig>,
+    /// Data-parallel degree; 0 or missing = "use all remaining devices".
+    #[serde(default)]
+    pub data: Option<usize>,
+}
+
+/// ZeRO section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroConfig {
+    pub stage: u8,
+}
+
+/// Top-level configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Config {
+    #[serde(default)]
+    pub parallel: ParallelConfig,
+    #[serde(default)]
+    pub zero: Option<ZeroConfig>,
+    #[serde(default)]
+    pub mixed_precision: bool,
+    #[serde(default)]
+    pub activation_checkpoint: bool,
+    /// Gradient clipping threshold (0 disables).
+    #[serde(default)]
+    pub grad_clip: f32,
+    /// Micro-batches accumulated per optimizer step (0/1 = no accumulation).
+    #[serde(default)]
+    pub gradient_accumulation: u32,
+}
+
+impl Config {
+    /// Parses a JSON config string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use colossalai_core::Config;
+    ///
+    /// let cfg = Config::from_json(
+    ///     r#"{ "parallel": { "tensor": { "size": 4, "mode": "2d" } },
+    ///          "mixed_precision": true }"#,
+    /// ).unwrap();
+    /// assert_eq!(cfg.tensor_size(), 4);
+    /// assert!(cfg.mixed_precision);
+    /// ```
+    pub fn from_json(json: &str) -> Result<Config, String> {
+        let cfg: Config = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Tensor-parallel degree (1 when unset).
+    pub fn tensor_size(&self) -> usize {
+        self.parallel.tensor.map_or(1, |t| t.size)
+    }
+
+    /// Pipeline-parallel degree (1 when unset).
+    pub fn pipeline_size(&self) -> usize {
+        self.parallel.pipeline.map_or(1, |p| p.size)
+    }
+
+    /// The tensor-parallel mode as the `colossalai-parallel` enum, or
+    /// `None` for sequence parallelism / no tensor parallelism.
+    pub fn tp_mode(&self) -> Option<TpMode> {
+        let t = self.parallel.tensor?;
+        Some(match t.mode {
+            TensorModeName::OneD => TpMode::OneD,
+            TensorModeName::TwoD => TpMode::TwoD,
+            TensorModeName::TwoPointFiveD => TpMode::TwoPointFiveD { depth: t.depth },
+            TensorModeName::ThreeD => TpMode::ThreeD,
+            TensorModeName::Sequence => return None,
+        })
+    }
+
+    /// True if the tensor section requests sequence parallelism.
+    pub fn is_sequence_parallel(&self) -> bool {
+        matches!(
+            self.parallel.tensor,
+            Some(TensorConfig {
+                mode: TensorModeName::Sequence,
+                ..
+            })
+        )
+    }
+
+    /// Validates internal consistency (grid shapes, ZeRO stage range, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(t) = self.parallel.tensor {
+            if t.size == 0 {
+                return Err("tensor parallel size must be >= 1".into());
+            }
+            if let Some(mode) = self.tp_mode() {
+                if !mode.admits(t.size) {
+                    return Err(format!(
+                        "{} tensor parallelism does not admit size {} (fall back to 1d)",
+                        mode.label(),
+                        t.size
+                    ));
+                }
+            }
+        }
+        if let Some(p) = self.parallel.pipeline {
+            if p.size == 0 || p.micro_batches == 0 {
+                return Err("pipeline size and micro_batches must be >= 1".into());
+            }
+        }
+        if self.gradient_accumulation > 1 && self.zero.is_some() {
+            return Err("gradient accumulation with ZeRO is not supported in this reproduction".into());
+        }
+        if let Some(z) = self.zero {
+            if !(1..=3).contains(&z.stage) {
+                return Err(format!("ZeRO stage must be 1..=3, got {}", z.stage));
+            }
+            if self.tensor_size() > 1 {
+                return Err("ZeRO combines with data parallelism only in this reproduction".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Total devices this configuration occupies per data-parallel replica.
+    pub fn devices_per_replica(&self) -> usize {
+        self.tensor_size() * self.pipeline_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_style_config_parses() {
+        let cfg = Config::from_json(
+            r#"{ "parallel": { "tensor": { "size": 4, "mode": "1d" } } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.tensor_size(), 4);
+        assert_eq!(cfg.tp_mode(), Some(TpMode::OneD));
+        assert_eq!(cfg.pipeline_size(), 1);
+    }
+
+    #[test]
+    fn all_modes_parse() {
+        for (name, size) in [("1d", 3), ("2d", 4), ("2.5d", 8), ("3d", 8), ("sequence", 5)] {
+            let json = format!(
+                r#"{{ "parallel": {{ "tensor": {{ "size": {size}, "mode": "{name}", "depth": 2 }} }} }}"#
+            );
+            let cfg = Config::from_json(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(cfg.tensor_size(), size);
+        }
+    }
+
+    #[test]
+    fn invalid_grid_rejected() {
+        let err = Config::from_json(
+            r#"{ "parallel": { "tensor": { "size": 3, "mode": "2d" } } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("does not admit"), "{err}");
+    }
+
+    #[test]
+    fn zero_stage_bounds() {
+        assert!(Config::from_json(r#"{ "zero": { "stage": 0 } }"#).is_err());
+        assert!(Config::from_json(r#"{ "zero": { "stage": 4 } }"#).is_err());
+        assert!(Config::from_json(r#"{ "zero": { "stage": 3 } }"#).is_ok());
+    }
+
+    #[test]
+    fn zero_with_tensor_parallel_rejected() {
+        let err = Config::from_json(
+            r#"{ "parallel": { "tensor": { "size": 2, "mode": "1d" } }, "zero": { "stage": 2 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("ZeRO"), "{err}");
+    }
+
+    #[test]
+    fn gradient_accumulation_parses_and_guards() {
+        let cfg = Config::from_json(r#"{ "gradient_accumulation": 4 }"#).unwrap();
+        assert_eq!(cfg.gradient_accumulation, 4);
+        assert!(Config::from_json(
+            r#"{ "gradient_accumulation": 2, "zero": { "stage": 1 } }"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn defaults_are_serial() {
+        let cfg = Config::from_json("{}").unwrap();
+        assert_eq!(cfg.devices_per_replica(), 1);
+        assert!(!cfg.mixed_precision);
+        assert!(cfg.tp_mode().is_none());
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let cfg = Config::from_json(
+            r#"{ "parallel": { "tensor": { "size": 8, "mode": "2.5d", "depth": 2 },
+                               "pipeline": { "size": 2, "micro_batches": 8 } },
+                 "mixed_precision": true, "grad_clip": 1.0 }"#,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back = Config::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(back.devices_per_replica(), 16);
+    }
+}

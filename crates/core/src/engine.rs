@@ -1,0 +1,626 @@
+//! The execution engine behind `colossalai.initialize` (Listing 1): wraps a
+//! model with the configured gradient synchronization, optimizer, mixed
+//! precision and clipping, behind the same five calls the paper's snippet
+//! uses — `zero_grad / forward / criterion / backward / step`.
+
+use crate::amp::GradScaler;
+use crate::config::Config;
+use crate::context::{ParallelAxis, ParallelContext};
+use colossalai_autograd::{AdamW, Checkpoint, Layer, LrSchedule, Sgd};
+use colossalai_comm::{DeviceCtx, Group};
+use colossalai_parallel::zero::{ZeroOptimizer, ZeroStage};
+use colossalai_tensor::Tensor;
+
+/// Optimizer choice passed to [`initialize`].
+pub enum OptimizerSpec {
+    AdamW { lr: f32, weight_decay: f32 },
+    Sgd { lr: f32, momentum: f32 },
+}
+
+enum EngineOptimizer {
+    AdamW(AdamW),
+    Sgd(Sgd),
+    Zero(ZeroOptimizer),
+}
+
+/// The training engine: owns the model and drives one rank's training.
+pub struct Engine {
+    model: Box<dyn Layer>,
+    optimizer: EngineOptimizer,
+    dp_group: Option<Group>,
+    /// Tensor(model)-parallel group; gradient-norm clipping must span it
+    /// because each rank holds only a shard of the parameters.
+    mp_group: Option<Group>,
+    ctx: DeviceCtx,
+    scaler: Option<GradScaler>,
+    grad_clip: f32,
+    lr_schedule: LrSchedule,
+    base_lr: f32,
+    /// Micro-batches per optimizer step (>= 1).
+    accumulation: u32,
+    micro_steps: u32,
+    steps: u64,
+    skipped: u64,
+}
+
+/// Builds an [`Engine`] from a config — the Rust analogue of
+/// `colossalai.initialize(model, optimizer, ...)`.
+///
+/// `world` is the number of devices participating in this run (the closure
+/// count passed to `World::run_on`).
+pub fn initialize(
+    ctx: &DeviceCtx,
+    config: &Config,
+    world: usize,
+    model: Box<dyn Layer>,
+    optimizer: OptimizerSpec,
+) -> Engine {
+    config.validate().expect("invalid configuration");
+    // activation checkpointing: wrap the whole model (the paper's engine
+    // applies it per injected module; at engine granularity the numerics
+    // are identical and the memory model is strictly conservative)
+    let mut model: Box<dyn Layer> = if config.activation_checkpoint {
+        Box::new(Checkpoint::new(model))
+    } else {
+        model
+    };
+    let pctx = ParallelContext::new(config, ctx.rank(), world);
+    let dp_members = pctx.group_members(ParallelAxis::Data);
+    let dp_group = (dp_members.len() > 1).then(|| ctx.group(&dp_members));
+    let mp_members = pctx.group_members(ParallelAxis::Tensor);
+    let mp_group = (mp_members.len() > 1).then(|| ctx.group(&mp_members));
+
+    let optimizer = match (config.zero, optimizer) {
+        (Some(z), OptimizerSpec::AdamW { lr, weight_decay }) => {
+            let stage = match z.stage {
+                1 => ZeroStage::One,
+                2 => ZeroStage::Two,
+                _ => ZeroStage::Three,
+            };
+            let group = dp_group
+                .clone()
+                .unwrap_or_else(|| ctx.group(&[ctx.rank()]));
+            EngineOptimizer::Zero(ZeroOptimizer::new(
+                ctx,
+                &group,
+                model.as_mut(),
+                stage,
+                lr,
+                weight_decay,
+            ))
+        }
+        (Some(_), OptimizerSpec::Sgd { .. }) => {
+            panic!("ZeRO requires the AdamW optimizer in this reproduction")
+        }
+        (None, OptimizerSpec::AdamW { lr, weight_decay }) => {
+            EngineOptimizer::AdamW(AdamW::new(lr, weight_decay))
+        }
+        (None, OptimizerSpec::Sgd { lr, momentum }) => EngineOptimizer::Sgd(Sgd::new(lr, momentum)),
+    };
+
+    let base_lr = match &optimizer {
+        EngineOptimizer::AdamW(o) => o.lr,
+        EngineOptimizer::Sgd(o) => o.lr,
+        EngineOptimizer::Zero(o) => o.lr,
+    };
+    Engine {
+        model,
+        optimizer,
+        dp_group,
+        mp_group,
+        ctx: ctx.clone(),
+        scaler: config.mixed_precision.then(GradScaler::default),
+        grad_clip: config.grad_clip,
+        lr_schedule: LrSchedule::Constant,
+        base_lr,
+        accumulation: config.gradient_accumulation.max(1),
+        micro_steps: 0,
+        steps: 0,
+        skipped: 0,
+    }
+}
+
+impl Engine {
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.model.zero_grad();
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.model.forward(x)
+    }
+
+    /// Backward pass from the loss gradient (scaled when mixed precision is
+    /// on). Returns the input gradient.
+    pub fn backward(&mut self, dloss: &Tensor) -> Tensor {
+        let dy = match &self.scaler {
+            Some(s) => s.scale_grad(dloss),
+            None => dloss.clone(),
+        };
+        self.model.backward(&dy)
+    }
+
+    /// Synchronizes gradients, applies unscaling/clipping and takes one
+    /// optimizer step. Returns `false` if the step was skipped because of
+    /// fp16 overflow.
+    ///
+    /// Under gradient accumulation (`gradient_accumulation > 1` in the
+    /// config), the first `n-1` calls only bank gradients (cheap, no
+    /// communication); the n-th call synchronizes once with the mean over
+    /// all accumulated micro-batches and applies the optimizer — the
+    /// standard large-effective-batch recipe.
+    pub fn step(&mut self) -> bool {
+        self.micro_steps += 1;
+        if self.micro_steps < self.accumulation {
+            return true; // bank gradients, defer the optimizer
+        }
+        self.micro_steps = 0;
+        if self.accumulation > 1 {
+            let inv = 1.0 / self.accumulation as f32;
+            self.model.visit_params(&mut |p| p.grad_mut().scale(inv));
+        }
+        // ZeRO synchronizes inside its own step; plain optimizers need the
+        // data-parallel mean first
+        if !matches!(self.optimizer, EngineOptimizer::Zero(_)) {
+            if let Some(g) = &self.dp_group {
+                let p = g.size() as f32;
+                let ctx = self.ctx.clone();
+                let g = g.clone();
+                self.model.visit_params(&mut |param| {
+                    let mut reduced = g.all_reduce(&ctx, param.grad().clone());
+                    reduced.scale(1.0 / p);
+                    *param.grad_mut() = reduced;
+                });
+            }
+        }
+        if let Some(scaler) = &mut self.scaler {
+            if !scaler.unscale_and_update(self.model.as_mut()) {
+                self.skipped += 1;
+                return false;
+            }
+        }
+        if self.grad_clip > 0.0 {
+            match &self.mp_group {
+                // sharded parameters: the global norm spans the tensor-
+                // parallel group (replicated layers are counted once per
+                // rank, a consistent overestimate that keeps replicas in
+                // lockstep — the Megatron approximation)
+                Some(g) => {
+                    let g = g.clone();
+                    clip_grad_norm_distributed(&self.ctx, &g, self.model.as_mut(), self.grad_clip);
+                }
+                None => {
+                    clip_grad_norm(self.model.as_mut(), self.grad_clip);
+                }
+            }
+        }
+        // schedule the learning rate for this optimizer step
+        let lr = self.lr_schedule.lr(self.base_lr, self.steps);
+        match &mut self.optimizer {
+            EngineOptimizer::AdamW(o) => o.lr = lr,
+            EngineOptimizer::Sgd(o) => o.lr = lr,
+            EngineOptimizer::Zero(o) => o.lr = lr,
+        }
+        match &mut self.optimizer {
+            EngineOptimizer::AdamW(o) => {
+                o.step_layer(self.model.as_mut());
+                self.model.zero_grad();
+            }
+            EngineOptimizer::Sgd(o) => {
+                o.step_layer(self.model.as_mut());
+                self.model.zero_grad();
+            }
+            EngineOptimizer::Zero(o) => o.step(self.model.as_mut()),
+        }
+        self.steps += 1;
+        true
+    }
+
+    /// The wrapped model.
+    pub fn model_mut(&mut self) -> &mut dyn Layer {
+        self.model.as_mut()
+    }
+
+    /// Installs a learning-rate schedule applied on top of the base LR.
+    pub fn set_lr_schedule(&mut self, schedule: LrSchedule) {
+        self.lr_schedule = schedule;
+    }
+
+    /// The learning rate the *next* optimizer step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.lr_schedule.lr(self.base_lr, self.steps)
+    }
+
+    /// Optimizer steps taken (excluding overflow skips).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Steps skipped by the loss scaler.
+    pub fn skipped_steps(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The device context driving this engine.
+    pub fn device(&self) -> &DeviceCtx {
+        &self.ctx
+    }
+
+    /// Snapshots the model parameters (per-rank: tensor-parallel engines
+    /// checkpoint their shards, which restore onto the same parallel
+    /// layout).
+    pub fn state_dict(&mut self) -> colossalai_autograd::StateDict {
+        colossalai_autograd::StateDict::capture(self.model.as_mut())
+    }
+
+    /// Restores a snapshot produced by [`Engine::state_dict`] on the same
+    /// model/parallel layout.
+    pub fn load_state_dict(
+        &mut self,
+        sd: &colossalai_autograd::StateDict,
+    ) -> Result<(), String> {
+        sd.restore(self.model.as_mut())
+    }
+}
+
+/// Distributed gradient clipping for model-parallel shards: the global
+/// gradient norm spans parameters scattered over a tensor-parallel group,
+/// so each rank contributes its local sum of squares and the group
+/// all-reduces the scalar before scaling (the Megatron `clip_grad_norm`
+/// with a model-parallel reduction).
+pub fn clip_grad_norm_distributed(
+    ctx: &DeviceCtx,
+    group: &Group,
+    model: &mut dyn Layer,
+    max_norm: f32,
+) -> f32 {
+    let mut sq = 0.0f64;
+    model.visit_params(&mut |p| {
+        sq += p.grad().data().iter().map(|&g| g as f64 * g as f64).sum::<f64>();
+    });
+    let global_sq = group.all_reduce(ctx, Tensor::scalar(sq as f32)).item();
+    let norm = global_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| p.grad_mut().scale(scale));
+    }
+    norm
+}
+
+/// Clips gradients to a global L2 norm (Megatron-style).
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    model.visit_params(&mut |p| {
+        sq += p.grad().data().iter().map(|&g| g as f64 * g as f64).sum::<f64>();
+    });
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| p.grad_mut().scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_autograd::{Linear, Param, Sequential};
+    use colossalai_comm::World;
+    use colossalai_tensor::init;
+    use colossalai_tensor::ops::cross_entropy;
+    use colossalai_topology::systems::system_i;
+
+    fn make_model(seed: u64) -> Box<dyn Layer> {
+        let mut rng = init::rng(seed);
+        Box::new(Sequential::new(vec![
+            Box::new(Linear::from_rng("l1", 4, 8, true, &mut rng)),
+            Box::new(colossalai_autograd::Gelu::new()),
+            Box::new(Linear::from_rng("l2", 8, 3, true, &mut rng)),
+        ]))
+    }
+
+    #[test]
+    fn serial_engine_trains() {
+        let world = World::new(system_i());
+        let losses = world.run_on(1, |ctx| {
+            let cfg = Config::from_json("{}").unwrap();
+            let mut engine = initialize(
+                ctx,
+                &cfg,
+                1,
+                make_model(10),
+                OptimizerSpec::AdamW { lr: 0.02, weight_decay: 0.0 },
+            );
+            let mut rng = init::rng(11);
+            let x = init::uniform([6, 4], -1.0, 1.0, &mut rng);
+            let t: Vec<usize> = (0..6).map(|i| i % 3).collect();
+            let mut losses = Vec::new();
+            for _ in 0..15 {
+                engine.zero_grad();
+                let logits = engine.forward(&x);
+                let (loss, dlogits) = cross_entropy(&logits, &t);
+                losses.push(loss);
+                let _ = engine.backward(&dlogits);
+                assert!(engine.step());
+            }
+            losses
+        });
+        let l = &losses[0];
+        assert!(l.last().unwrap() < &(l[0] * 0.7), "{l:?}");
+    }
+
+    #[test]
+    fn dp_engine_matches_across_ranks() {
+        let world = World::new(system_i());
+        let params = world.run_on(4, |ctx| {
+            let cfg = Config::from_json("{}").unwrap();
+            let mut engine = initialize(
+                ctx,
+                &cfg,
+                4,
+                make_model(20),
+                OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.01 },
+            );
+            // per-rank data
+            let mut rng = init::rng(21 + ctx.rank() as u64);
+            for _ in 0..3 {
+                let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+                let t = vec![0usize, 1];
+                engine.zero_grad();
+                let logits = engine.forward(&x);
+                let (_, d) = cross_entropy(&logits, &t);
+                let _ = engine.backward(&d);
+                engine.step();
+            }
+            colossalai_parallel::data_parallel::flatten_params(engine.model_mut())
+        });
+        for p in &params[1..] {
+            assert_eq!(p.data(), params[0].data(), "replicas diverged");
+        }
+    }
+
+    #[test]
+    fn zero_engine_matches_plain_dp() {
+        let run = |zero_json: &str| {
+            let world = World::new(system_i());
+            let mut out = world.run_on(2, |ctx| {
+                let cfg = Config::from_json(zero_json).unwrap();
+                let mut engine = initialize(
+                    ctx,
+                    &cfg,
+                    2,
+                    make_model(30),
+                    OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.0 },
+                );
+                let mut rng = init::rng(31 + ctx.rank() as u64);
+                for _ in 0..3 {
+                    let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+                    engine.zero_grad();
+                    let logits = engine.forward(&x);
+                    let (_, d) = cross_entropy(&logits, &[0, 2]);
+                    let _ = engine.backward(&d);
+                    engine.step();
+                }
+                colossalai_parallel::data_parallel::flatten_params(engine.model_mut())
+            });
+            out.swap_remove(0)
+        };
+        let plain = run("{}");
+        for stage in 1..=3 {
+            let z = run(&format!(r#"{{ "zero": {{ "stage": {stage} }} }}"#));
+            assert_eq!(z.data(), plain.data(), "ZeRO-{stage} diverged from DDP");
+        }
+    }
+
+    #[test]
+    fn mixed_precision_skips_on_overflow() {
+        let world = World::new(system_i());
+        world.run_on(1, |ctx| {
+            let cfg = Config::from_json(r#"{ "mixed_precision": true }"#).unwrap();
+            let mut engine = initialize(
+                ctx,
+                &cfg,
+                1,
+                make_model(40),
+                OptimizerSpec::Sgd { lr: 0.1, momentum: 0.0 },
+            );
+            // poison the gradient
+            engine.model_mut().visit_params(&mut |p: &mut Param| {
+                p.accumulate_grad(&Tensor::full(p.value().shape().clone(), f32::NAN));
+            });
+            assert!(!engine.step());
+            assert_eq!(engine.skipped_steps(), 1);
+            assert_eq!(engine.steps(), 0);
+        });
+    }
+
+    #[test]
+    fn lr_schedule_drives_the_optimizer() {
+        let world = World::new(system_i());
+        world.run_on(1, |ctx| {
+            let cfg = Config::from_json("{}").unwrap();
+            let mut engine = initialize(
+                ctx,
+                &cfg,
+                1,
+                make_model(97),
+                OptimizerSpec::Sgd { lr: 1.0, momentum: 0.0 },
+            );
+            engine.set_lr_schedule(LrSchedule::WarmupConstant { warmup: 2 });
+            assert_eq!(engine.current_lr(), 0.5);
+            // SGD with lr = 0.5 and grad = 1 moves params by -0.5
+            engine.model_mut().visit_params(&mut |p: &mut Param| {
+                p.accumulate_grad(&Tensor::ones(p.value().shape().clone()));
+            });
+            let mut before = Vec::new();
+            engine.model_mut().visit_params(&mut |p| before.push(p.value().data()[0]));
+            assert!(engine.step());
+            let mut after = Vec::new();
+            engine.model_mut().visit_params(&mut |p| after.push(p.value().data()[0]));
+            assert!((before[0] - after[0] - 0.5).abs() < 1e-6);
+            // after the warmup, full LR
+            assert_eq!(engine.current_lr(), 1.0);
+        });
+    }
+
+    #[test]
+    fn gradient_accumulation_equals_large_batch() {
+        // 4 micro-batches of 2 with accumulation == one batch of 8
+        let mut rng = init::rng(95);
+        let x = init::uniform([8, 4], -1.0, 1.0, &mut rng);
+        let t: Vec<usize> = (0..8).map(|i| i % 3).collect();
+
+        let run = |json: &str, micro: usize| {
+            let world = World::new(system_i());
+            let x = x.clone();
+            let t = t.clone();
+            let mut out = world.run_on(1, |ctx| {
+                let cfg = Config::from_json(json).unwrap();
+                let mut engine = initialize(
+                    ctx,
+                    &cfg,
+                    1,
+                    make_model(96),
+                    OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.0 },
+                );
+                for _ in 0..2 {
+                    // one optimizer step's worth of micro-batches
+                    for m in 0..(8 / micro) {
+                        let xm = x.narrow(0, m * micro, micro);
+                        let tm = t[m * micro..(m + 1) * micro].to_vec();
+                        let logits = engine.forward(&xm);
+                        let (_, d) = cross_entropy(&logits, &tm);
+                        let _ = engine.backward(&d);
+                        assert!(engine.step());
+                    }
+                }
+                colossalai_parallel::data_parallel::flatten_params(engine.model_mut())
+            });
+            out.swap_remove(0)
+        };
+
+        let big = run("{}", 8);
+        let accumulated = run(r#"{ "gradient_accumulation": 4 }"#, 2);
+        // cross_entropy means per micro-batch; accumulation means over the 4
+        // micro means = the big batch's mean (equal micro sizes)
+        assert!(
+            accumulated.allclose(&big, 1e-5),
+            "accumulated diverged by {}",
+            accumulated.max_abs_diff(&big)
+        );
+    }
+
+    #[test]
+    fn checkpointed_engine_matches_plain() {
+        let run = |json: &str| {
+            let world = World::new(system_i());
+            let mut out = world.run_on(1, |ctx| {
+                let cfg = Config::from_json(json).unwrap();
+                let mut engine = initialize(
+                    ctx,
+                    &cfg,
+                    1,
+                    make_model(70),
+                    OptimizerSpec::AdamW { lr: 0.02, weight_decay: 0.0 },
+                );
+                let mut rng = init::rng(71);
+                let x = init::uniform([4, 4], -1.0, 1.0, &mut rng);
+                for _ in 0..4 {
+                    engine.zero_grad();
+                    let logits = engine.forward(&x);
+                    let (_, d) = cross_entropy(&logits, &[0, 1, 2, 0]);
+                    let _ = engine.backward(&d);
+                    engine.step();
+                }
+                colossalai_parallel::data_parallel::flatten_params(engine.model_mut())
+            });
+            out.swap_remove(0)
+        };
+        let plain = run("{}");
+        let ckpt = run(r#"{ "activation_checkpoint": true }"#);
+        assert_eq!(plain.data(), ckpt.data(), "checkpointing must not change numerics");
+    }
+
+    #[test]
+    fn distributed_clip_matches_serial_clip() {
+        // two ranks each hold half the "parameters"; distributed clipping
+        // must produce the same scale a serial clip over all of them would
+        let world = World::new(system_i());
+        let norms = world.run_on(2, |ctx| {
+            let g = ctx.world_group(2);
+            let mut rng = init::rng(90 + ctx.rank() as u64);
+            let mut model: Box<dyn Layer> =
+                Box::new(Linear::from_rng("l", 3, 3, false, &mut rng));
+            model.visit_params(&mut |p: &mut Param| {
+                p.accumulate_grad(&Tensor::full(p.value().shape().clone(), 2.0));
+            });
+            let norm = clip_grad_norm_distributed(ctx, &g, model.as_mut(), 1.0);
+            // check the post-clip global norm is 1
+            let mut sq = 0.0f32;
+            model.visit_params(&mut |p| {
+                sq += p.grad().data().iter().map(|g| g * g).sum::<f32>();
+            });
+            (norm, sq)
+        });
+        // both ranks saw the same pre-clip global norm: sqrt(18 * 4) = 8.485
+        assert!((norms[0].0 - (36.0f32 + 36.0).sqrt()).abs() < 1e-3);
+        assert_eq!(norms[0].0, norms[1].0);
+        // the *global* post-clip norm is 1 => each rank holds half the square
+        let total_sq = norms[0].1 + norms[1].1;
+        assert!((total_sq - 1.0).abs() < 1e-4, "global norm after clip: {}", total_sq.sqrt());
+    }
+
+    #[test]
+    fn engine_checkpoint_roundtrip_preserves_trajectory() {
+        let world = World::new(system_i());
+        world.run_on(1, |ctx| {
+            let cfg = Config::from_json("{}").unwrap();
+            let mut engine = initialize(
+                ctx,
+                &cfg,
+                1,
+                make_model(98),
+                OptimizerSpec::Sgd { lr: 0.05, momentum: 0.0 },
+            );
+            let mut rng = init::rng(99);
+            let x = init::uniform([4, 4], -1.0, 1.0, &mut rng);
+            let step = |e: &mut Engine| {
+                e.zero_grad();
+                let logits = e.forward(&x);
+                let (_, d) = cross_entropy(&logits, &[0, 1, 2, 0]);
+                let _ = e.backward(&d);
+                e.step();
+            };
+            step(&mut engine);
+            let snapshot = engine.state_dict();
+            let bytes = snapshot.to_bytes();
+            step(&mut engine);
+            let after_two =
+                colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
+            // roll back to the snapshot and replay: must land on the same
+            // parameters (SGD without momentum is stateless)
+            let restored = colossalai_autograd::StateDict::from_bytes(&bytes).unwrap();
+            engine.load_state_dict(&restored).unwrap();
+            step(&mut engine);
+            let replayed =
+                colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
+            assert_eq!(replayed.data(), after_two.data());
+        });
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut model = make_model(50);
+        model.visit_params(&mut |p| {
+            p.accumulate_grad(&Tensor::full(p.value().shape().clone(), 1.0));
+        });
+        let n_params = model.n_params() as f32;
+        let before = clip_grad_norm(model.as_mut(), 1.0);
+        assert!((before - n_params.sqrt()).abs() < 1e-3);
+        // all grads now have global norm 1
+        let mut sq = 0.0f32;
+        model.visit_params(&mut |p| sq += p.grad().data().iter().map(|g| g * g).sum::<f32>());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-5);
+    }
+}

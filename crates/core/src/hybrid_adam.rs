@@ -1,0 +1,225 @@
+//! The hybrid (CPU + GPU) Adam of Section 3.2.
+//!
+//! DeepSpeed's CPU Adam statically keeps *all* FP32 master weights in host
+//! memory; Colossal-AI's hybrid Adam watches GPU headroom and keeps a
+//! `gpu_fraction` of the parameters (and their moments) device-resident,
+//! updating on both processors. The arithmetic is the shared
+//! [`colossalai_autograd::adamw_update`] kernel on both halves, so any split
+//! produces *bitwise identical* parameters — only the time and transfer
+//! volume change.
+
+use colossalai_autograd::{adamw_update, Layer};
+use colossalai_memory::offload::{plan, ModelData, OffloadPlan, PlacementPolicy};
+use colossalai_parallel::data_parallel::{flatten_grads, flatten_params, unflatten_into};
+use colossalai_tensor::Tensor;
+use colossalai_topology::{HostSpec, Link};
+
+/// Hybrid AdamW over a flat parameter vector split at `gpu_elems`.
+pub struct HybridAdam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+    /// Number of leading elements updated on the GPU; the rest update on
+    /// the CPU.
+    gpu_elems: usize,
+    n: usize,
+    master: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl HybridAdam {
+    /// Captures the model's parameters; `gpu_fraction` of them will be
+    /// updated device-side.
+    pub fn new(model: &mut dyn Layer, gpu_fraction: f64, lr: f32, weight_decay: f32) -> Self {
+        assert!((0.0..=1.0).contains(&gpu_fraction), "fraction out of range");
+        let master = flatten_params(model).into_vec();
+        let n = master.len();
+        let gpu_elems = ((n as f64) * gpu_fraction).round() as usize;
+        HybridAdam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            gpu_elems,
+            n,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            master,
+        }
+    }
+
+    /// Builds the split from an adaptive placement plan.
+    pub fn from_plan(model: &mut dyn Layer, plan: &OffloadPlan, lr: f32, weight_decay: f32) -> Self {
+        let frac = plan.opt_gpu_fraction;
+        HybridAdam::new(model, frac, lr, weight_decay)
+    }
+
+    /// Parameters updated on the GPU.
+    pub fn gpu_elems(&self) -> usize {
+        self.gpu_elems
+    }
+
+    /// Parameters updated on the CPU.
+    pub fn cpu_elems(&self) -> usize {
+        self.n - self.gpu_elems
+    }
+
+    /// One hybrid step: the GPU half and the CPU half run the identical
+    /// AdamW kernel on their slices, then the model is refreshed from the
+    /// master copy. Returns the modeled step overhead in seconds (PCIe
+    /// traffic for the CPU half's gradients/params + CPU compute time).
+    pub fn step(&mut self, model: &mut dyn Layer, pcie: Link, host: &HostSpec) -> f64 {
+        let grads = flatten_grads(model).into_vec();
+        assert_eq!(grads.len(), self.n, "model parameter set changed");
+        self.t += 1;
+        let g = self.gpu_elems;
+        // "GPU" half
+        adamw_update(
+            &mut self.master[..g],
+            &grads[..g],
+            &mut self.m[..g],
+            &mut self.v[..g],
+            self.t,
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+        );
+        // "CPU" half — same kernel, same hyper-parameters
+        adamw_update(
+            &mut self.master[g..],
+            &grads[g..],
+            &mut self.m[g..],
+            &mut self.v[g..],
+            self.t,
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+        );
+        unflatten_into(model, &Tensor::from_vec([self.n], self.master.clone()));
+        model.zero_grad();
+
+        // cost model: the CPU half's fp16 gradients go down and updated
+        // fp16 params come back over PCIe; CPU Adam runs at host FLOPs
+        let cpu_elems = (self.n - g) as u64;
+        if cpu_elems == 0 {
+            return 0.0;
+        }
+        let bytes = 2 * cpu_elems; // fp16 each way
+        pcie.transfer_time(bytes) * 2.0
+            + (cpu_elems * colossalai_memory::offload::ADAM_FLOPS_PER_PARAM) as f64 / host.cpu_flops
+    }
+}
+
+/// Convenience: the adaptive placement plan for a single device training
+/// `n_params` with `working_bytes` of activations on a `capacity` GPU.
+pub fn adaptive_plan(n_params: u64, capacity: u64, working_bytes: u64) -> OffloadPlan {
+    plan(
+        PlacementPolicy::Adaptive,
+        ModelData {
+            n_params,
+            dp_degree: 1,
+        },
+        capacity,
+        working_bytes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_autograd::{AdamW, Linear, Sequential};
+    use colossalai_tensor::init;
+
+    fn make_model(seed: u64) -> Sequential {
+        let mut rng = init::rng(seed);
+        Sequential::new(vec![
+            Box::new(Linear::from_rng("a", 5, 7, true, &mut rng)),
+            Box::new(Linear::from_rng("b", 7, 3, true, &mut rng)),
+        ])
+    }
+
+    fn set_grads(model: &mut dyn Layer, seed: u64) {
+        let mut rng = init::rng(seed);
+        model.visit_params(&mut |p| {
+            let g = init::uniform(p.value().shape().clone(), -1.0, 1.0, &mut rng);
+            p.accumulate_grad(&g);
+        });
+    }
+
+    #[test]
+    fn any_split_matches_full_gpu_bitwise() {
+        // reference: gpu_fraction = 1.0
+        let run = |frac: f64| -> Vec<f32> {
+            let mut model = make_model(77);
+            let mut opt = HybridAdam::new(&mut model, frac, 0.01, 0.02);
+            for s in 0..4 {
+                set_grads(&mut model, 100 + s);
+                let _ = opt.step(&mut model, Link::pcie(), &HostSpec::dgx());
+            }
+            flatten_params(&mut model).into_vec()
+        };
+        let full_gpu = run(1.0);
+        for frac in [0.0, 0.25, 0.5, 0.9] {
+            assert_eq!(run(frac), full_gpu, "fraction {frac} diverged");
+        }
+    }
+
+    #[test]
+    fn matches_standard_adamw() {
+        let mut reference = make_model(78);
+        let mut std_opt = AdamW::new(0.01, 0.02);
+        let mut hybrid_model = make_model(78);
+        let mut hybrid = HybridAdam::new(&mut hybrid_model, 0.5, 0.01, 0.02);
+        for s in 0..3 {
+            set_grads(&mut reference, 200 + s);
+            std_opt.step_layer(&mut reference);
+            reference.zero_grad();
+            set_grads(&mut hybrid_model, 200 + s);
+            let _ = hybrid.step(&mut hybrid_model, Link::pcie(), &HostSpec::dgx());
+        }
+        let a = flatten_params(&mut reference);
+        let b = flatten_params(&mut hybrid_model);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn overhead_zero_when_fully_on_gpu() {
+        let mut model = make_model(79);
+        let mut opt = HybridAdam::new(&mut model, 1.0, 0.01, 0.0);
+        set_grads(&mut model, 300);
+        let t = opt.step(&mut model, Link::pcie(), &HostSpec::dgx());
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_cpu_share() {
+        let overhead = |frac: f64| -> f64 {
+            let mut model = make_model(80);
+            let mut opt = HybridAdam::new(&mut model, frac, 0.01, 0.0);
+            set_grads(&mut model, 301);
+            opt.step(&mut model, Link::pcie(), &HostSpec::dgx())
+        };
+        let half = overhead(0.5);
+        let none = overhead(0.0);
+        assert!(none > half && half > 0.0);
+    }
+
+    #[test]
+    fn from_plan_uses_opt_fraction() {
+        let mut model = make_model(81);
+        // plenty of headroom: plan keeps everything on GPU
+        let plan = adaptive_plan(1_000, 1 << 30, 0);
+        let opt = HybridAdam::from_plan(&mut model, &plan, 0.01, 0.0);
+        assert_eq!(opt.cpu_elems(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # colossalai-core
+//!
+//! The unified user-facing system of the Colossal-AI paper (Fig 1): a
+//! declarative [`config::Config`] schema, the [`context::ParallelContext`]
+//! that carves devices into data/pipeline/tensor axes, the
+//! [`engine::initialize`] entry point producing a training [`engine::Engine`]
+//! (Listing 1's workflow), a [`trainer::Trainer`] with life-cycle hooks,
+//! automatic mixed precision with dynamic loss scaling ([`amp`]), and the
+//! adaptive CPU+GPU [`hybrid_adam::HybridAdam`] of Section 3.2.
+
+pub mod amp;
+pub mod config;
+pub mod context;
+pub mod engine;
+pub mod hybrid_adam;
+pub mod trainer;
+pub mod zoo;
+
+pub use amp::GradScaler;
+pub use config::Config;
+pub use context::{ParallelAxis, ParallelContext};
+pub use engine::{clip_grad_norm, clip_grad_norm_distributed, initialize, Engine, OptimizerSpec};
+pub use hybrid_adam::HybridAdam;
+pub use trainer::{Hook, LossRecorder, Trainer};
+pub use zoo::{build_bert, build_gpt, build_vit};

@@ -1,0 +1,502 @@
+//! Chunk-based tensor memory management (the PatrickStar strategy that
+//! Section 3.2 integrates).
+//!
+//! Small parameter tensors are packed back-to-back into fixed-size chunks;
+//! data movement between GPU and CPU happens a whole chunk at a time, which
+//! amortizes per-transfer latency and raises effective PCIe bandwidth
+//! utilization — the `chunk_ablation` bench quantifies exactly this against
+//! per-tensor movement.
+
+use crate::tracker::MemoryTracker;
+use colossalai_topology::Link;
+
+/// Which memory tier currently holds a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    Gpu,
+    Cpu,
+    /// NVMe spill tier (only used when a CPU budget is configured).
+    Nvme,
+}
+
+/// Handle to a tensor packed inside a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorRef {
+    chunk: usize,
+    offset: usize,
+    len: usize,
+}
+
+impl TensorRef {
+    /// Number of elements in the referenced tensor.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length tensors.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the chunk holding this tensor.
+    pub fn chunk_index(&self) -> usize {
+        self.chunk
+    }
+}
+
+struct Chunk {
+    data: Vec<f32>,
+    used: usize,
+    tier: Tier,
+    /// Monotonic timestamp of the last access (for LRU eviction).
+    last_access: u64,
+}
+
+/// Cumulative data-movement cost incurred by chunk migrations.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MoveCost {
+    /// Host-to-device bytes.
+    pub h2d_bytes: u64,
+    /// Device-to-host bytes.
+    pub d2h_bytes: u64,
+    /// Bytes moved to or from the NVMe tier.
+    pub nvme_bytes: u64,
+    /// Total virtual seconds spent on migrations.
+    pub seconds: f64,
+    /// Number of chunk migrations.
+    pub moves: u64,
+}
+
+impl MoveCost {
+    fn add(&mut self, bytes: u64, to_gpu: bool, link: Link) {
+        if to_gpu {
+            self.h2d_bytes += bytes;
+        } else {
+            self.d2h_bytes += bytes;
+        }
+        self.seconds += link.transfer_time(bytes);
+        self.moves += 1;
+    }
+
+    fn add_nvme(&mut self, bytes: u64, link: Link) {
+        self.nvme_bytes += bytes;
+        self.seconds += link.transfer_time(bytes);
+        self.moves += 1;
+    }
+}
+
+/// Packs tensors into fixed-size chunks and migrates them between a
+/// GPU-budgeted tier and host memory on access, evicting least-recently-used
+/// chunks when the GPU budget is exhausted.
+pub struct ChunkManager {
+    chunk_elems: usize,
+    chunks: Vec<Chunk>,
+    gpu: MemoryTracker,
+    /// Optional CPU DRAM budget; exceeding it spills LRU CPU chunks to NVMe.
+    cpu: Option<MemoryTracker>,
+    pcie: Link,
+    nvme: Link,
+    cost: MoveCost,
+    tick: u64,
+}
+
+impl ChunkManager {
+    /// Creates a manager with `chunk_elems`-element chunks and a GPU budget
+    /// of `gpu_budget_bytes`, moving data over `pcie`.
+    ///
+    /// New chunks are born on the GPU when the budget allows (they are
+    /// written by compute), otherwise on the CPU.
+    pub fn new(chunk_elems: usize, gpu_budget_bytes: u64, pcie: Link) -> Self {
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        ChunkManager {
+            chunk_elems,
+            chunks: Vec::new(),
+            gpu: MemoryTracker::new(gpu_budget_bytes),
+            cpu: None,
+            pcie,
+            nvme: Link::nvme(),
+            cost: MoveCost::default(),
+            tick: 0,
+        }
+    }
+
+    /// Enables the NVMe spill tier: CPU-resident chunks beyond
+    /// `cpu_budget_bytes` move to NVMe over `nvme` (Section 2.4's
+    /// "CPU or NVMe disks").
+    pub fn with_nvme_tier(mut self, cpu_budget_bytes: u64, nvme: Link) -> Self {
+        self.cpu = Some(MemoryTracker::new(cpu_budget_bytes));
+        self.nvme = nvme;
+        self
+    }
+
+    /// Configured chunk size in elements.
+    pub fn chunk_elems(&self) -> usize {
+        self.chunk_elems
+    }
+
+    /// Number of chunks allocated so far.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes of one chunk (f32 payload).
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_elems as u64 * 4
+    }
+
+    /// GPU-resident bytes right now.
+    pub fn gpu_in_use(&self) -> u64 {
+        self.gpu.in_use()
+    }
+
+    /// Peak GPU-resident bytes.
+    pub fn gpu_peak(&self) -> u64 {
+        self.gpu.peak()
+    }
+
+    /// Cumulative migration cost.
+    pub fn cost(&self) -> MoveCost {
+        self.cost
+    }
+
+    /// Chunk counts per tier: `(gpu, cpu, nvme)`.
+    pub fn tier_census(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.chunks {
+            match c.tier {
+                Tier::Gpu => counts.0 += 1,
+                Tier::Cpu => counts.1 += 1,
+                Tier::Nvme => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Registers a tensor of `data`, packing it into chunks. Tensors larger
+    /// than a chunk are rejected (callers split big parameters first, as
+    /// PatrickStar does).
+    pub fn register(&mut self, data: &[f32]) -> TensorRef {
+        assert!(
+            data.len() <= self.chunk_elems,
+            "tensor of {} elements exceeds chunk size {}",
+            data.len(),
+            self.chunk_elems
+        );
+        // find the last chunk with room, else open a new one
+        let idx = match self.chunks.last() {
+            Some(c) if c.used + data.len() <= self.chunk_elems => self.chunks.len() - 1,
+            _ => {
+                let on_gpu = self.gpu.alloc(self.chunk_bytes()).is_ok();
+                self.chunks.push(Chunk {
+                    data: vec![0.0; self.chunk_elems],
+                    used: 0,
+                    tier: Tier::Gpu, // provisional; corrected below
+                    last_access: self.tick,
+                });
+                let idx = self.chunks.len() - 1;
+                if !on_gpu {
+                    // born on the CPU, which charges the CPU budget (and may
+                    // spill an older CPU chunk to NVMe)
+                    self.demote_to_cpu(idx);
+                }
+                idx
+            }
+        };
+        let chunk = &mut self.chunks[idx];
+        let offset = chunk.used;
+        chunk.data[offset..offset + data.len()].copy_from_slice(data);
+        chunk.used += data.len();
+        TensorRef {
+            chunk: idx,
+            offset,
+            len: data.len(),
+        }
+    }
+
+    /// Tier currently holding the chunk of `r`.
+    pub fn tier_of(&self, r: TensorRef) -> Tier {
+        self.chunks[r.chunk].tier
+    }
+
+    /// Ensures the chunk of `r` is GPU-resident (migrating and evicting as
+    /// needed) and returns a copy of the tensor data.
+    pub fn read(&mut self, r: TensorRef) -> Vec<f32> {
+        self.touch(r.chunk);
+        self.chunks[r.chunk].data[r.offset..r.offset + r.len].to_vec()
+    }
+
+    /// Ensures GPU residency and overwrites the tensor data.
+    pub fn write(&mut self, r: TensorRef, data: &[f32]) {
+        assert_eq!(data.len(), r.len, "write length mismatch");
+        self.touch(r.chunk);
+        self.chunks[r.chunk].data[r.offset..r.offset + r.len].copy_from_slice(data);
+    }
+
+    /// Explicitly evicts the chunk of `r` to the CPU (used by lifecycle
+    /// hooks that know a parameter will not be touched again this pass).
+    pub fn evict(&mut self, r: TensorRef) {
+        self.move_chunk(r.chunk, Tier::Cpu);
+    }
+
+    /// Brings the chunk of `r` to the GPU without reading.
+    pub fn prefetch(&mut self, r: TensorRef) {
+        self.touch(r.chunk);
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.chunks[idx].last_access = self.tick;
+        if self.chunks[idx].tier != Tier::Gpu {
+            self.move_chunk(idx, Tier::Gpu);
+        }
+    }
+
+    fn move_chunk(&mut self, idx: usize, to: Tier) {
+        let from = self.chunks[idx].tier;
+        if from == to {
+            return;
+        }
+        match to {
+            Tier::Gpu => {
+                // make room by demoting LRU GPU chunks
+                while self.gpu.alloc(self.chunk_bytes()).is_err() {
+                    let victim = self
+                        .chunks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, c)| *i != idx && c.tier == Tier::Gpu)
+                        .min_by_key(|(_, c)| c.last_access)
+                        .map(|(i, _)| i)
+                        .expect("GPU budget smaller than one chunk");
+                    self.gpu.free(self.chunk_bytes());
+                    self.cost.add(self.chunk_bytes(), false, self.pcie);
+                    self.demote_to_cpu(victim);
+                }
+                let cb = self.chunk_bytes();
+                if from == Tier::Nvme {
+                    // NVMe -> DRAM -> device
+                    self.cost.add_nvme(cb, self.nvme);
+                }
+                if from == Tier::Cpu {
+                    if let Some(cpu) = &mut self.cpu {
+                        cpu.free(cb);
+                    }
+                }
+                self.chunks[idx].tier = Tier::Gpu;
+                self.cost.add(cb, true, self.pcie);
+            }
+            Tier::Cpu => {
+                assert_eq!(from, Tier::Gpu, "only GPU chunks demote directly to CPU");
+                self.gpu.free(self.chunk_bytes());
+                self.cost.add(self.chunk_bytes(), false, self.pcie);
+                self.demote_to_cpu(idx);
+            }
+            Tier::Nvme => {
+                panic!("chunks spill to NVMe only via CPU-budget pressure");
+            }
+        }
+    }
+
+    /// Places chunk `idx` on the CPU, spilling LRU CPU chunks to NVMe when a
+    /// CPU budget is configured and exhausted.
+    fn demote_to_cpu(&mut self, idx: usize) {
+        let cb = self.chunk_bytes();
+        while let Some(cpu) = &mut self.cpu {
+            if cpu.alloc(cb).is_ok() {
+                break;
+            }
+            let victim = self
+                .chunks
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| *i != idx && c.tier == Tier::Cpu)
+                .min_by_key(|(_, c)| c.last_access)
+                .map(|(i, _)| i)
+                .expect("CPU budget smaller than one chunk");
+            self.chunks[victim].tier = Tier::Nvme;
+            if let Some(cpu) = &mut self.cpu {
+                cpu.free(cb);
+            }
+            self.cost.add_nvme(cb, self.nvme);
+        }
+        self.chunks[idx].tier = Tier::Cpu;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_topology::Link;
+
+    fn mgr(chunk_elems: usize, budget_chunks: u64) -> ChunkManager {
+        ChunkManager::new(chunk_elems, budget_chunks * chunk_elems as u64 * 4, Link::pcie())
+    }
+
+    #[test]
+    fn packs_tensors_into_chunks() {
+        let mut m = mgr(10, 8);
+        let a = m.register(&[1.0; 4]);
+        let b = m.register(&[2.0; 4]);
+        let c = m.register(&[3.0; 4]); // does not fit -> new chunk
+        assert_eq!(a.chunk_index(), 0);
+        assert_eq!(b.chunk_index(), 0);
+        assert_eq!(c.chunk_index(), 1);
+        assert_eq!(m.n_chunks(), 2);
+        assert_eq!(m.read(b), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = mgr(16, 4);
+        let r = m.register(&[0.0; 16]);
+        let payload: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+        m.write(r, &payload);
+        assert_eq!(m.read(r), payload);
+    }
+
+    #[test]
+    fn eviction_when_over_budget() {
+        // budget of 2 chunks, register 3 -> third chunk lands on CPU
+        let mut m = mgr(4, 2);
+        let a = m.register(&[1.0; 4]);
+        let b = m.register(&[2.0; 4]);
+        let c = m.register(&[3.0; 4]);
+        assert_eq!(m.tier_of(a), Tier::Gpu);
+        assert_eq!(m.tier_of(b), Tier::Gpu);
+        assert_eq!(m.tier_of(c), Tier::Cpu);
+        // touching c migrates it in, evicting LRU (a)
+        assert_eq!(m.read(c), vec![3.0; 4]);
+        assert_eq!(m.tier_of(c), Tier::Gpu);
+        assert_eq!(m.tier_of(a), Tier::Cpu);
+        assert_eq!(m.tier_of(b), Tier::Gpu);
+    }
+
+    #[test]
+    fn lru_order_respects_access() {
+        let mut m = mgr(4, 2);
+        let a = m.register(&[1.0; 4]);
+        let b = m.register(&[2.0; 4]);
+        let c = m.register(&[3.0; 4]);
+        // access a so b becomes LRU
+        let _ = m.read(a);
+        let _ = m.read(c);
+        assert_eq!(m.tier_of(b), Tier::Cpu, "b was least recently used");
+        assert_eq!(m.tier_of(a), Tier::Gpu);
+    }
+
+    #[test]
+    fn migration_cost_accumulates() {
+        let mut m = mgr(1024, 1);
+        let a = m.register(&[1.0; 1024]);
+        let b = m.register(&[2.0; 1024]); // CPU-born
+        assert_eq!(m.cost().moves, 0);
+        let _ = m.read(b); // evict a (d2h), fetch b (h2d)
+        let cost = m.cost();
+        assert_eq!(cost.moves, 2);
+        assert_eq!(cost.d2h_bytes, 4096);
+        assert_eq!(cost.h2d_bytes, 4096);
+        assert!(cost.seconds > 0.0);
+        let _ = m.read(a); // and back
+        assert_eq!(m.cost().moves, 4);
+    }
+
+    #[test]
+    fn data_survives_round_trips() {
+        let mut m = mgr(8, 1);
+        let a = m.register(&[7.0; 8]);
+        let b = m.register(&[9.0; 8]);
+        for _ in 0..5 {
+            assert_eq!(m.read(a), vec![7.0; 8]);
+            assert_eq!(m.read(b), vec![9.0; 8]);
+        }
+    }
+
+    #[test]
+    fn explicit_evict_frees_gpu() {
+        let mut m = mgr(4, 2);
+        let a = m.register(&[1.0; 4]);
+        let before = m.gpu_in_use();
+        m.evict(a);
+        assert_eq!(m.gpu_in_use(), before - m.chunk_bytes());
+        assert_eq!(m.tier_of(a), Tier::Cpu);
+    }
+
+    #[test]
+    fn nvme_tier_spills_and_recovers_data() {
+        // GPU fits 1 chunk, CPU fits 1 chunk, third chunk spills to NVMe
+        let chunk_elems = 4usize;
+        let cb = chunk_elems as u64 * 4;
+        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
+            .with_nvme_tier(cb, Link::nvme());
+        let a = m.register(&[1.0; 4]); // GPU
+        let b = m.register(&[2.0; 4]); // CPU (GPU full)
+        let c = m.register(&[3.0; 4]); // CPU... then pressure
+        assert_eq!(m.tier_of(a), Tier::Gpu);
+        // touching c: promote to GPU, evicting a to CPU, which spills b or c
+        assert_eq!(m.read(c), vec![3.0; 4]);
+        let tiers: Vec<Tier> = [a, b, c].iter().map(|r| m.tier_of(*r)).collect();
+        assert!(tiers.contains(&Tier::Nvme), "someone must be on NVMe: {tiers:?}");
+        assert!(m.cost().nvme_bytes > 0);
+        // every tensor's data survives the full tier shuffle
+        assert_eq!(m.read(a), vec![1.0; 4]);
+        assert_eq!(m.read(b), vec![2.0; 4]);
+        assert_eq!(m.read(c), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn tier_census_counts_every_chunk() {
+        let chunk_elems = 4usize;
+        let cb = chunk_elems as u64 * 4;
+        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
+            .with_nvme_tier(cb, Link::nvme());
+        let _ = m.register(&[1.0; 4]);
+        let _ = m.register(&[2.0; 4]);
+        let _ = m.register(&[3.0; 4]);
+        let (g, c, n) = m.tier_census();
+        assert_eq!(g + c + n, 3);
+        assert_eq!(g, 1, "one chunk fits the GPU budget");
+    }
+
+    #[test]
+    fn without_nvme_tier_cpu_is_unbounded() {
+        let mut m = mgr(4, 1);
+        for _ in 0..10 {
+            let _ = m.register(&[0.0; 4]);
+        }
+        // everything beyond the GPU budget sits on the CPU; nothing on NVMe
+        assert_eq!(m.cost().nvme_bytes, 0);
+    }
+
+    #[test]
+    fn nvme_reads_cost_more_than_cpu_reads() {
+        let chunk_elems = 1024usize;
+        let cb = chunk_elems as u64 * 4;
+        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
+            .with_nvme_tier(cb, Link::nvme());
+        let a = m.register(&[1.0; 1024]);
+        let b = m.register(&[2.0; 1024]);
+        let c = m.register(&[3.0; 1024]);
+        // cycle the three: some promotions come from NVMe, which is slower
+        let before = m.cost().seconds;
+        let _ = m.read(a);
+        let _ = m.read(b);
+        let _ = m.read(c);
+        let after = m.cost();
+        assert!(after.seconds > before);
+        assert!(after.nvme_bytes > 0, "cycling three chunks through two slots must hit NVMe");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chunk size")]
+    fn oversized_tensor_rejected() {
+        mgr(4, 2).register(&[0.0; 5]);
+    }
+
+    #[test]
+    fn peak_tracks_budget_usage() {
+        let mut m = mgr(4, 3);
+        let _ = m.register(&[0.0; 4]);
+        let _ = m.register(&[0.0; 4]);
+        assert_eq!(m.gpu_peak(), 2 * m.chunk_bytes());
+    }
+}

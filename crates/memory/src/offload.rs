@@ -1,0 +1,361 @@
+//! Heterogeneous-training placement policies (Section 3.2 / Fig 14).
+//!
+//! Models where ZeRO-3 model data lives during mixed-precision training:
+//!
+//! * **StaticCpu** — DeepSpeed's zero-offload policy: all model data (fp16
+//!   parameters, fp16 gradients, fp32 master weights and Adam moments) is
+//!   kept in CPU memory regardless of GPU headroom, and the optimizer runs
+//!   entirely on the CPU.
+//! * **Adaptive** — Colossal-AI's policy: model data stays GPU-resident as
+//!   long as there is headroom after the working set (activations + compute
+//!   scratch); only the overflow is offloaded, and parameters are updated on
+//!   both CPU and GPU ("hybrid Adam").
+//!
+//! The planner returns per-step transfer volumes; combined with the PCIe
+//! link model this yields the throughput gap of Fig 14.
+
+use colossalai_topology::{HostSpec, Link};
+
+/// FLOPs an Adam update spends per parameter (two moments + update math).
+pub const ADAM_FLOPS_PER_PARAM: u64 = 16;
+
+/// Offload placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// DeepSpeed zero-offload: everything on the CPU, always.
+    StaticCpu,
+    /// Colossal-AI: fill available GPU memory first.
+    Adaptive,
+}
+
+/// Byte layout of ZeRO-3 model data on one device for `n_params` total
+/// parameters sharded over `dp_degree` data-parallel ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelData {
+    pub n_params: u64,
+    pub dp_degree: u64,
+}
+
+impl ModelData {
+    /// FP16 parameter shard (gradient storage is the same allocation thanks
+    /// to Fig 6 reuse).
+    pub fn fp16_shard_bytes(&self) -> u64 {
+        2 * self.n_params / self.dp_degree
+    }
+
+    /// FP32 master weights + Adam m + Adam v shard.
+    pub fn optimizer_shard_bytes(&self) -> u64 {
+        12 * self.n_params / self.dp_degree
+    }
+
+    /// Parameters owned (updated) by one rank.
+    pub fn params_per_rank(&self) -> u64 {
+        self.n_params / self.dp_degree
+    }
+}
+
+/// The planner's decision for one training step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OffloadPlan {
+    /// Fraction of the fp16 parameter shard resident on the GPU.
+    pub param_gpu_fraction: f64,
+    /// Fraction of the optimizer-state shard resident on the GPU.
+    pub opt_gpu_fraction: f64,
+    /// Model-data bytes resident on the GPU.
+    pub gpu_model_bytes: u64,
+    /// Model-data bytes resident in CPU DRAM.
+    pub cpu_model_bytes: u64,
+    /// Host-to-device bytes transferred per training step.
+    pub h2d_per_step: u64,
+    /// Device-to-host bytes transferred per training step.
+    pub d2h_per_step: u64,
+    /// Parameters updated by the CPU Adam per step.
+    pub cpu_adam_params: u64,
+    /// Parameters updated by the GPU Adam per step.
+    pub gpu_adam_params: u64,
+}
+
+/// Plans placement for one device.
+///
+/// `gpu_capacity` is the device memory; `working_bytes` is the activation +
+/// scratch footprint of one step at the chosen batch size, which model data
+/// must not displace.
+pub fn plan(
+    policy: PlacementPolicy,
+    model: ModelData,
+    gpu_capacity: u64,
+    working_bytes: u64,
+) -> OffloadPlan {
+    let fp16 = model.fp16_shard_bytes();
+    let opt = model.optimizer_shard_bytes();
+    let headroom = match policy {
+        PlacementPolicy::StaticCpu => 0,
+        PlacementPolicy::Adaptive => gpu_capacity.saturating_sub(working_bytes),
+    };
+    // Priority 1: fp16 params (touched twice per step by fwd+bwd).
+    let param_resident = headroom.min(fp16);
+    let f = if fp16 == 0 { 1.0 } else { param_resident as f64 / fp16 as f64 };
+    // Priority 2: optimizer states with what remains.
+    let opt_resident = (headroom - param_resident).min(opt);
+    let g = if opt == 0 { 1.0 } else { opt_resident as f64 / opt as f64 };
+
+    // Non-resident params are streamed in for forward and again for
+    // backward; resident-but-CPU-updated params must be refreshed from the
+    // CPU master copy after the step.
+    let fetch = (2.0 * (1.0 - f) * fp16 as f64) as u64;
+    let refresh = ((f - g).max(0.0) * fp16 as f64) as u64;
+    // Gradients owned by the CPU optimizer portion leave the device.
+    let grads_out = ((1.0 - g) * fp16 as f64) as u64;
+
+    let params = model.params_per_rank();
+    let cpu_params = ((1.0 - g) * params as f64) as u64;
+    OffloadPlan {
+        param_gpu_fraction: f,
+        opt_gpu_fraction: g,
+        gpu_model_bytes: param_resident + opt_resident,
+        cpu_model_bytes: (fp16 - param_resident) + (opt - opt_resident),
+        h2d_per_step: fetch + refresh,
+        d2h_per_step: grads_out,
+        cpu_adam_params: cpu_params,
+        gpu_adam_params: params - cpu_params,
+    }
+}
+
+impl OffloadPlan {
+    /// Per-step overhead seconds attributable to offloading: PCIe traffic
+    /// plus the CPU share of the Adam update. (GPU Adam time is charged by
+    /// the training engine as ordinary device compute.)
+    pub fn overhead_seconds(&self, pcie: Link, host: &HostSpec) -> f64 {
+        let mut t = 0.0;
+        if self.h2d_per_step > 0 {
+            t += pcie.transfer_time(self.h2d_per_step);
+        }
+        if self.d2h_per_step > 0 {
+            t += pcie.transfer_time(self.d2h_per_step);
+        }
+        if self.cpu_adam_params > 0 {
+            t += (self.cpu_adam_params * ADAM_FLOPS_PER_PARAM) as f64 / host.cpu_flops;
+        }
+        t
+    }
+}
+
+/// Three-tier residency split (GPU / CPU DRAM / NVMe) for ZeRO-offload
+/// model data, Section 2.4's "CPU or NVMe disks" path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TieredPlan {
+    /// The two-tier plan for the GPU boundary.
+    pub gpu_plan: OffloadPlan,
+    /// Model-data bytes resident in CPU DRAM.
+    pub dram_bytes: u64,
+    /// Model-data bytes spilled to NVMe (only when DRAM is exhausted).
+    pub nvme_bytes: u64,
+    /// Extra per-step seconds for the NVMe round trips of the spilled
+    /// optimizer data.
+    pub nvme_seconds_per_step: f64,
+}
+
+/// Plans placement across all three tiers: fill GPU headroom first (per
+/// `policy`), then CPU DRAM, then spill the remainder to NVMe. Returns
+/// `None` when the model does not fit even with NVMe (or NVMe is absent
+/// and DRAM overflows).
+pub fn plan_tiered(
+    policy: PlacementPolicy,
+    model: ModelData,
+    gpu_capacity: u64,
+    working_bytes: u64,
+    host: &HostSpec,
+    nvme: Link,
+) -> Option<TieredPlan> {
+    let gpu_plan = plan(policy, model, gpu_capacity, working_bytes);
+    let off_gpu = gpu_plan.cpu_model_bytes;
+    let dram_bytes = off_gpu.min(host.dram_bytes);
+    let nvme_bytes = off_gpu - dram_bytes;
+    if nvme_bytes > 0
+        && (host.nvme_bytes == 0 || nvme_bytes > host.nvme_bytes) {
+            return None;
+        }
+    // every step, the NVMe-resident optimizer slice must be read for the
+    // update and written back
+    let nvme_seconds_per_step = if nvme_bytes > 0 {
+        2.0 * nvme.transfer_time(nvme_bytes)
+    } else {
+        0.0
+    };
+    Some(TieredPlan {
+        gpu_plan,
+        dram_bytes,
+        nvme_bytes,
+        nvme_seconds_per_step,
+    })
+}
+
+impl TieredPlan {
+    /// Total per-step overhead across PCIe, CPU Adam and NVMe.
+    pub fn overhead_seconds(&self, pcie: Link, host: &HostSpec) -> f64 {
+        self.gpu_plan.overhead_seconds(pcie, host) + self.nvme_seconds_per_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn gpt2_10b_on(dp: u64) -> ModelData {
+        ModelData {
+            n_params: 10_000_000_000,
+            dp_degree: dp,
+        }
+    }
+
+    #[test]
+    fn shard_sizes_scale_with_dp() {
+        let m1 = gpt2_10b_on(1);
+        let m8 = gpt2_10b_on(8);
+        assert_eq!(m1.fp16_shard_bytes(), 20_000_000_000);
+        assert_eq!(m8.fp16_shard_bytes(), 2_500_000_000);
+        assert_eq!(m1.optimizer_shard_bytes(), 120_000_000_000);
+    }
+
+    #[test]
+    fn static_policy_keeps_nothing_on_gpu() {
+        let p = plan(PlacementPolicy::StaticCpu, gpt2_10b_on(8), 80 * GIB, 10 * GIB);
+        assert_eq!(p.gpu_model_bytes, 0);
+        assert_eq!(p.param_gpu_fraction, 0.0);
+        // every param streamed twice, every grad offloaded
+        assert_eq!(p.h2d_per_step, 2 * gpt2_10b_on(8).fp16_shard_bytes());
+        assert_eq!(p.d2h_per_step, gpt2_10b_on(8).fp16_shard_bytes());
+        assert_eq!(p.cpu_adam_params, gpt2_10b_on(8).params_per_rank());
+        assert_eq!(p.gpu_adam_params, 0);
+    }
+
+    #[test]
+    fn adaptive_with_ample_headroom_keeps_params_resident() {
+        // 8-way DP of 10B params: fp16 shard 2.5 GB, opt shard 15 GB;
+        // 80 GB GPU with a small batch leaves plenty of room for both.
+        let p = plan(PlacementPolicy::Adaptive, gpt2_10b_on(8), 80 * GIB, 10 * GIB);
+        assert_eq!(p.param_gpu_fraction, 1.0);
+        assert_eq!(p.opt_gpu_fraction, 1.0);
+        assert_eq!(p.h2d_per_step, 0);
+        assert_eq!(p.d2h_per_step, 0);
+        assert_eq!(p.cpu_adam_params, 0);
+    }
+
+    #[test]
+    fn adaptive_with_tight_memory_offloads_partially() {
+        // single GPU, 10B params: fp16 20 GB fits in an 80 GB GPU minus a
+        // 10 GB working set, but the 120 GB optimizer shard only partially.
+        let p = plan(PlacementPolicy::Adaptive, gpt2_10b_on(1), 80 * GIB, 10 * GIB);
+        assert_eq!(p.param_gpu_fraction, 1.0);
+        assert!(p.opt_gpu_fraction > 0.3 && p.opt_gpu_fraction < 0.7, "g = {}", p.opt_gpu_fraction);
+        assert!(p.cpu_adam_params > 0 && p.gpu_adam_params > 0, "hybrid update");
+        assert!(p.h2d_per_step > 0, "cpu-updated params need refresh");
+    }
+
+    #[test]
+    fn adaptive_strictly_cheaper_than_static() {
+        for dp in [1u64, 2, 4, 8] {
+            let model = gpt2_10b_on(dp);
+            let s = plan(PlacementPolicy::StaticCpu, model, 80 * GIB, 10 * GIB);
+            let a = plan(PlacementPolicy::Adaptive, model, 80 * GIB, 10 * GIB);
+            let host = HostSpec::dgx();
+            let ts = s.overhead_seconds(Link::pcie(), &host);
+            let ta = a.overhead_seconds(Link::pcie(), &host);
+            assert!(ta < ts, "dp={dp}: adaptive {ta} !< static {ts}");
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_to_static_when_no_headroom() {
+        let model = gpt2_10b_on(8);
+        let s = plan(PlacementPolicy::StaticCpu, model, 80 * GIB, 10 * GIB);
+        let a = plan(PlacementPolicy::Adaptive, model, 80 * GIB, 80 * GIB);
+        assert_eq!(a.h2d_per_step, s.h2d_per_step);
+        assert_eq!(a.d2h_per_step, s.d2h_per_step);
+        assert_eq!(a.cpu_adam_params, s.cpu_adam_params);
+    }
+
+    #[test]
+    fn tiered_plan_spills_to_nvme_only_when_dram_full() {
+        // a 100B-parameter model: 1.6 TB of model data on one device
+        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let big_host = HostSpec::dgx(); // 1 TiB DRAM + NVMe
+        let plan = plan_tiered(
+            PlacementPolicy::Adaptive,
+            model,
+            80 * GIB,
+            10 * GIB,
+            &big_host,
+            Link::nvme(),
+        )
+        .expect("fits with NVMe");
+        assert!(plan.nvme_bytes > 0, "1.6TB exceeds 1TiB DRAM");
+        assert_eq!(
+            plan.gpu_plan.cpu_model_bytes,
+            plan.dram_bytes + plan.nvme_bytes
+        );
+        assert!(plan.nvme_seconds_per_step > 0.0);
+
+        // 10B params fit in DRAM: no NVMe traffic
+        let small = ModelData { n_params: 10_000_000_000, dp_degree: 1 };
+        let plan = plan_tiered(
+            PlacementPolicy::Adaptive,
+            small,
+            80 * GIB,
+            10 * GIB,
+            &big_host,
+            Link::nvme(),
+        )
+        .unwrap();
+        assert_eq!(plan.nvme_bytes, 0);
+        assert_eq!(plan.nvme_seconds_per_step, 0.0);
+    }
+
+    #[test]
+    fn tiered_plan_fails_without_nvme() {
+        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let no_nvme = HostSpec::workstation(); // 256 GiB DRAM, no NVMe
+        assert!(plan_tiered(
+            PlacementPolicy::StaticCpu,
+            model,
+            80 * GIB,
+            10 * GIB,
+            &no_nvme,
+            Link::nvme(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn nvme_overhead_dominated_by_low_bandwidth() {
+        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let host = HostSpec::dgx();
+        let plan = plan_tiered(
+            PlacementPolicy::StaticCpu,
+            model,
+            80 * GIB,
+            10 * GIB,
+            &host,
+            Link::nvme(),
+        )
+        .unwrap();
+        let total = plan.overhead_seconds(Link::pcie(), &host);
+        assert!(plan.nvme_seconds_per_step > 0.5 * total,
+            "NVMe round trips should dominate: {} of {}", plan.nvme_seconds_per_step, total);
+    }
+
+    #[test]
+    fn residency_bytes_are_conserved() {
+        let model = gpt2_10b_on(2);
+        for (cap, work) in [(80 * GIB, 10 * GIB), (40 * GIB, 30 * GIB), (16 * GIB, 15 * GIB)] {
+            let p = plan(PlacementPolicy::Adaptive, model, cap, work);
+            assert_eq!(
+                p.gpu_model_bytes + p.cpu_model_bytes,
+                model.fp16_shard_bytes() + model.optimizer_shard_bytes()
+            );
+            assert!(p.gpu_model_bytes <= cap.saturating_sub(work));
+        }
+    }
+}

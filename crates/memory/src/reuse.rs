@@ -1,0 +1,155 @@
+//! FP16 storage reuse (Fig 6 of the paper).
+//!
+//! During the forward pass a layer's FP16 parameters must be live; once its
+//! backward has produced the FP16 gradient, the parameter copy is dead until
+//! the optimizer rebuilds it from the FP32 master weights. Colossal-AI
+//! therefore writes the gradient into the *same* storage, halving the FP16
+//! model-data footprint at the backward peak.
+
+use colossalai_tensor::Tensor;
+
+/// What a [`ReusableBuffer`] currently holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Holds {
+    /// FP16 parameters (valid during forward and up to this layer's
+    /// backward).
+    Param,
+    /// FP16 gradients (valid from this layer's backward until the optimizer
+    /// step consumes them).
+    Grad,
+}
+
+/// A single storage area shared by a parameter and its gradient, with the
+/// lifecycle of Fig 6 enforced at runtime.
+#[derive(Clone, Debug)]
+pub struct ReusableBuffer {
+    data: Tensor,
+    holds: Holds,
+}
+
+impl ReusableBuffer {
+    /// Creates the buffer holding parameters.
+    pub fn new_param(param: Tensor) -> Self {
+        ReusableBuffer {
+            data: param,
+            holds: Holds::Param,
+        }
+    }
+
+    /// Current occupant.
+    pub fn holds(&self) -> Holds {
+        self.holds
+    }
+
+    /// The parameter tensor. Panics if the storage has already been
+    /// repurposed for gradients — i.e. catches use-after-free of the fp16
+    /// weights.
+    pub fn param(&self) -> &Tensor {
+        assert_eq!(
+            self.holds,
+            Holds::Param,
+            "fp16 parameter storage already reused for gradients"
+        );
+        &self.data
+    }
+
+    /// The gradient tensor. Panics before the gradient has been stored.
+    pub fn grad(&self) -> &Tensor {
+        assert_eq!(self.holds, Holds::Grad, "gradient not yet materialized");
+        &self.data
+    }
+
+    /// Backward-pass transition: overwrite the parameter storage with the
+    /// gradient (the Fig 6 reuse step). Shapes must match — it is the same
+    /// allocation.
+    pub fn store_grad(&mut self, grad: Tensor) {
+        assert_eq!(self.holds, Holds::Param, "gradient stored twice");
+        assert_eq!(
+            self.data.shape(),
+            grad.shape(),
+            "gradient shape differs from parameter shape"
+        );
+        self.data = grad;
+        self.holds = Holds::Grad;
+    }
+
+    /// Optimizer-step transition: consume the gradient and restore the
+    /// (updated) parameter into the same storage.
+    pub fn restore_param(&mut self, updated_param: Tensor) {
+        assert_eq!(self.holds, Holds::Grad, "restore_param before store_grad");
+        assert_eq!(self.data.shape(), updated_param.shape(), "parameter shape changed");
+        self.data = updated_param;
+        self.holds = Holds::Param;
+    }
+
+    /// Bytes of fp16 storage this buffer occupies (half of the f32 payload,
+    /// since it logically stores binary16).
+    pub fn bytes(&self) -> u64 {
+        (self.data.numel() * 2) as u64
+    }
+}
+
+/// FP16 model-data bytes at the backward-pass peak *without* storage reuse:
+/// parameters and gradients coexist.
+pub fn peak_bytes_without_reuse(param_elems: u64) -> u64 {
+    2 * param_elems * 2
+}
+
+/// FP16 model-data bytes at the backward-pass peak *with* storage reuse:
+/// each layer's storage holds either the parameter or the gradient, never
+/// both.
+pub fn peak_bytes_with_reuse(param_elems: u64) -> u64 {
+    param_elems * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_roundtrip() {
+        let mut b = ReusableBuffer::new_param(Tensor::full([4], 1.0));
+        assert_eq!(b.holds(), Holds::Param);
+        assert_eq!(b.param().data(), &[1.0; 4]);
+        b.store_grad(Tensor::full([4], 0.5));
+        assert_eq!(b.holds(), Holds::Grad);
+        assert_eq!(b.grad().data(), &[0.5; 4]);
+        b.restore_param(Tensor::full([4], 0.9));
+        assert_eq!(b.param().data(), &[0.9; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reused")]
+    fn param_read_after_reuse_is_caught() {
+        let mut b = ReusableBuffer::new_param(Tensor::zeros([2]));
+        b.store_grad(Tensor::zeros([2]));
+        let _ = b.param();
+    }
+
+    #[test]
+    #[should_panic(expected = "stored twice")]
+    fn double_grad_store_is_caught() {
+        let mut b = ReusableBuffer::new_param(Tensor::zeros([2]));
+        b.store_grad(Tensor::zeros([2]));
+        b.store_grad(Tensor::zeros([2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape differs")]
+    fn grad_shape_must_match_storage() {
+        let mut b = ReusableBuffer::new_param(Tensor::zeros([2]));
+        b.store_grad(Tensor::zeros([3]));
+    }
+
+    #[test]
+    fn reuse_halves_peak() {
+        let n = 10_000;
+        assert_eq!(peak_bytes_with_reuse(n) * 2, peak_bytes_without_reuse(n));
+    }
+
+    #[test]
+    fn bytes_reports_fp16() {
+        let b = ReusableBuffer::new_param(Tensor::zeros([100]));
+        assert_eq!(b.bytes(), 200);
+    }
+}

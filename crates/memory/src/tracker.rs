@@ -1,0 +1,201 @@
+//! Per-device memory accounting with peak tracking and OOM detection.
+//!
+//! This is the instrument behind every memory figure in the paper's
+//! evaluation: Fig 8's "max allocated CUDA memory" range tests and Fig 12's
+//! max-batch/max-sequence searches both reduce to "allocate what the
+//! strategy needs and watch the peak / the OOM line".
+
+use std::fmt;
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OomError {
+    pub requested: u64,
+    pub in_use: u64,
+    pub capacity: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} B with {} B in use of {} B capacity",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Tracks live and peak allocation against a fixed capacity.
+#[derive(Clone, Debug)]
+pub struct MemoryTracker {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    alloc_count: u64,
+    free_count: u64,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            alloc_count: 0,
+            free_count: 0,
+        }
+    }
+
+    /// An effectively unbounded tracker (host DRAM in most experiments).
+    pub fn unbounded() -> Self {
+        MemoryTracker::new(u64::MAX)
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Live bytes.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark since construction or the last [`Self::reset_peak`].
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Bytes still allocatable.
+    pub fn headroom(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Fraction of capacity currently in use (0 for an unbounded tracker).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 || self.capacity == u64::MAX {
+            0.0
+        } else {
+            self.in_use as f64 / self.capacity as f64
+        }
+    }
+
+    /// Attempts to allocate `bytes`; fails without side effects on OOM.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OomError> {
+        if bytes > self.headroom() {
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        self.alloc_count += 1;
+        Ok(())
+    }
+
+    /// Releases `bytes`. Panics if more is freed than is live (a
+    /// double-free-style accounting bug).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.in_use,
+            "freeing {bytes} B with only {} B live",
+            self.in_use
+        );
+        self.in_use -= bytes;
+        self.free_count += 1;
+    }
+
+    /// Restarts peak tracking from the current live amount.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.in_use;
+    }
+
+    /// (allocations, frees) so far — used by balance assertions in tests.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.alloc_count, self.free_count)
+    }
+
+    /// Runs `f` with `bytes` temporarily allocated (the transient-activation
+    /// pattern: allocate, compute, free).
+    pub fn with_scratch<R>(&mut self, bytes: u64, f: impl FnOnce(&mut Self) -> R) -> Result<R, OomError> {
+        self.alloc(bytes)?;
+        let r = f(self);
+        self.free(bytes);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut t = MemoryTracker::new(1000);
+        t.alloc(400).unwrap();
+        t.alloc(300).unwrap();
+        t.free(500);
+        t.alloc(100).unwrap();
+        assert_eq!(t.in_use(), 300);
+        assert_eq!(t.peak(), 700);
+    }
+
+    #[test]
+    fn oom_is_side_effect_free() {
+        let mut t = MemoryTracker::new(100);
+        t.alloc(80).unwrap();
+        let err = t.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(t.in_use(), 80);
+        assert_eq!(t.peak(), 80);
+        // exact fit succeeds
+        t.alloc(20).unwrap();
+        assert_eq!(t.headroom(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut t = MemoryTracker::new(100);
+        t.alloc(10).unwrap();
+        t.free(20);
+    }
+
+    #[test]
+    fn scratch_restores_balance() {
+        let mut t = MemoryTracker::new(100);
+        t.alloc(40).unwrap();
+        let peak_inside = t.with_scratch(50, |t| t.in_use()).unwrap();
+        assert_eq!(peak_inside, 90);
+        assert_eq!(t.in_use(), 40);
+        assert_eq!(t.peak(), 90);
+        // scratch larger than headroom fails cleanly
+        assert!(t.with_scratch(100, |_| ()).is_err());
+        assert_eq!(t.in_use(), 40);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut t = MemoryTracker::new(200);
+        assert_eq!(t.utilization(), 0.0);
+        t.alloc(50).unwrap();
+        assert_eq!(t.utilization(), 0.25);
+        assert_eq!(MemoryTracker::unbounded().utilization(), 0.0);
+    }
+
+    #[test]
+    fn reset_peak() {
+        let mut t = MemoryTracker::new(100);
+        t.alloc(60).unwrap();
+        t.free(60);
+        assert_eq!(t.peak(), 60);
+        t.reset_peak();
+        assert_eq!(t.peak(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Vision Transformer (runnable scale) with the paper's ViT structure:
+//! patch projection, learned position embedding, Transformer stack, final
+//! LayerNorm, mean pooling, classification head.
+
+use crate::config::TransformerConfig;
+use crate::transformer::TransformerBlock;
+use colossalai_autograd::{Layer, LayerNorm, Linear, Param, PositionEmbedding};
+use colossalai_tensor::init::InitRng;
+use colossalai_tensor::ops::sum_axis;
+use colossalai_tensor::Tensor;
+
+/// A runnable ViT. Input is pre-patchified: `[batch, n_patches, patch_dim]`
+/// (the dataset generator emits patches directly, standing in for the
+/// image pipeline). Output is `[batch, classes]` logits.
+pub struct VisionTransformer {
+    proj: Linear,
+    pos: PositionEmbedding,
+    blocks: Vec<TransformerBlock>,
+    ln_f: LayerNorm,
+    head: Linear,
+    n_patches: usize,
+}
+
+impl VisionTransformer {
+    /// Builds a ViT with `cfg.vocab` classes over `n_patches` patches of
+    /// `patch_dim` raw features.
+    pub fn new(cfg: &TransformerConfig, patch_dim: usize, rng: &mut InitRng) -> Self {
+        let blocks = (0..cfg.layers)
+            .map(|i| {
+                TransformerBlock::new(
+                    &format!("vit.block{i}"),
+                    cfg.hidden,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    false,
+                    rng,
+                )
+            })
+            .collect();
+        VisionTransformer {
+            proj: Linear::from_rng("vit.patch_proj", patch_dim, cfg.hidden, true, rng),
+            pos: PositionEmbedding::new("vit", cfg.max_seq, cfg.hidden, rng),
+            blocks,
+            ln_f: LayerNorm::new("vit.ln_f", cfg.hidden),
+            head: Linear::from_rng("vit.head", cfg.hidden, cfg.vocab, true, rng),
+            n_patches: cfg.max_seq,
+        }
+    }
+
+    /// Number of patches the model expects.
+    pub fn n_patches(&self) -> usize {
+        self.n_patches
+    }
+}
+
+impl Layer for VisionTransformer {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "ViT input must be [batch, patches, patch_dim]");
+        let b = x.dims()[0];
+        let s = x.dims()[1];
+        let mut h = self.proj.forward(x);
+        h = self.pos.forward(&h);
+        for blk in &mut self.blocks {
+            h = blk.forward(&h);
+        }
+        let h = self.ln_f.forward(&h);
+        // mean pool over patches
+        let pooled = {
+            let mut p = sum_axis(&h, 1);
+            p.scale(1.0 / s as f32);
+            p
+        };
+        let logits = self.head.forward(&pooled);
+        assert_eq!(logits.dims()[0], b);
+        logits
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dpooled = self.head.backward(dy);
+        // un-pool: distribute mean gradient over patches
+        let (b, d) = (dpooled.dims()[0], dpooled.dims()[1]);
+        let s = self.n_patches;
+        let mut dh = Tensor::zeros([b, s, d]);
+        for bi in 0..b {
+            for si in 0..s {
+                for di in 0..d {
+                    let v = dpooled.at(&[bi, di]) / s as f32;
+                    dh.set(&[bi, si, di], v);
+                }
+            }
+        }
+        let mut dh = self.ln_f.backward(&dh);
+        for blk in self.blocks.iter_mut().rev() {
+            dh = blk.backward(&dh);
+        }
+        let dh = self.pos.backward(&dh);
+        self.proj.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.proj.visit_params(f);
+        self.pos.visit_params(f);
+        for blk in &mut self.blocks {
+            blk.visit_params(f);
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_tensor::init;
+    use colossalai_tensor::ops::cross_entropy;
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig {
+            layers: 2,
+            hidden: 8,
+            heads: 2,
+            mlp_ratio: 2,
+            vocab: 5,
+            max_seq: 4,
+        }
+    }
+
+    #[test]
+    fn logits_shape() {
+        let mut rng = init::rng(60);
+        let cfg = tiny_cfg();
+        let mut vit = VisionTransformer::new(&cfg, 6, &mut rng);
+        let x = init::uniform([3, 4, 6], -1.0, 1.0, &mut rng);
+        let y = vit.forward(&x);
+        assert_eq!(y.dims(), &[3, 5]);
+    }
+
+    #[test]
+    fn single_step_reduces_loss() {
+        let mut rng = init::rng(61);
+        let cfg = tiny_cfg();
+        let mut vit = VisionTransformer::new(&cfg, 6, &mut rng);
+        let x = init::uniform([4, 4, 6], -1.0, 1.0, &mut rng);
+        let targets = [0usize, 1, 2, 3];
+
+        let mut losses = Vec::new();
+        for _ in 0..10 {
+            vit.zero_grad();
+            let logits = vit.forward(&x);
+            let (loss, dlogits) = cross_entropy(&logits, &targets);
+            losses.push(loss);
+            let _ = vit.backward(&dlogits);
+            let lr = 0.02;
+            vit.visit_params(&mut |p| {
+                let g = p.grad().clone();
+                p.value_mut().axpy(-lr, &g);
+            });
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss did not drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_shape() {
+        let mut rng = init::rng(62);
+        let cfg = tiny_cfg();
+        let mut vit = VisionTransformer::new(&cfg, 6, &mut rng);
+        let x = init::uniform([2, 4, 6], -1.0, 1.0, &mut rng);
+        let y = vit.forward(&x);
+        let dx = vit.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,257 @@
+//! A fully assembled 1D tensor-parallel BERT encoder: vocabulary-parallel
+//! token embedding, bidirectional head-split Transformer blocks, and a
+//! vocabulary-parallel MLM head — completing the paper's "parallelized
+//! popular model components such as BERT, GPT, ViT" (Section 4) alongside
+//! [`crate::vit1d::VisionTransformer1d`] and [`crate::gpt1d::Gpt1d`].
+
+use crate::tp1d::shard_cols;
+use crate::vit1d::TransformerBlock1d;
+use crate::vocab_parallel::{vocab_parallel_cross_entropy, VocabParallelEmbedding};
+use colossalai_autograd::{Layer, LayerNorm, Linear, Param, PositionEmbedding};
+use colossalai_comm::{DeviceCtx, Group};
+use colossalai_models::TransformerConfig;
+use colossalai_tensor::init::{self, InitRng};
+use colossalai_tensor::Tensor;
+
+/// 1D-parallel BERT. The RNG draw order matches
+/// [`colossalai_models::Bert::new`] so serial and parallel instances share
+/// global weights per seed. (The serial BERT's head has a bias; the
+/// vocabulary-parallel head keeps it sharded along the vocabulary.)
+pub struct Bert1d {
+    ctx: DeviceCtx,
+    group: Group,
+    tok: VocabParallelEmbedding,
+    pos: PositionEmbedding,
+    blocks: Vec<TransformerBlock1d>,
+    ln_f: LayerNorm,
+    head: Linear,
+    vocab: usize,
+}
+
+impl Bert1d {
+    pub fn new(ctx: &DeviceCtx, group: &Group, cfg: &TransformerConfig, rng: &mut InitRng) -> Self {
+        let blocks: Vec<TransformerBlock1d> = (0..cfg.layers)
+            .map(|i| {
+                TransformerBlock1d::from_rng(
+                    ctx,
+                    group,
+                    &format!("bert.block{i}"),
+                    cfg.hidden,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    false,
+                    rng,
+                )
+            })
+            .collect();
+        let tok = VocabParallelEmbedding::new(ctx, group, "bert.tok", cfg.vocab, cfg.hidden, rng);
+        let pos = PositionEmbedding::new("bert", cfg.max_seq, cfg.hidden, rng);
+        let head_global = init::lecun_normal(cfg.hidden, cfg.vocab, rng);
+        let p = group.size();
+        let r = group.rank();
+        // serial Bert's head has a zero bias: shard it along vocab
+        let head = Linear::from_parts(
+            "bert.head",
+            shard_cols(&head_global, p, r),
+            Some(Tensor::zeros([cfg.vocab / p])),
+        );
+        Bert1d {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            tok,
+            pos,
+            blocks,
+            ln_f: LayerNorm::new("bert.ln_f", cfg.hidden),
+            head,
+            vocab: cfg.vocab,
+        }
+    }
+
+    /// Masked-LM loss over flattened-position `targets` at `positions`
+    /// (indices into `[b * s]`), sharded end to end — no rank holds the
+    /// full `[tokens, vocab]` logits.
+    pub fn mlm_loss(
+        &mut self,
+        masked_tokens: &Tensor,
+        targets: &[usize],
+        positions: &[usize],
+    ) -> (f32, Tensor) {
+        assert_eq!(targets.len(), positions.len());
+        let (b, s) = (masked_tokens.dims()[0], masked_tokens.dims()[1]);
+        let local_logits = self.forward(masked_tokens); // [b, s, V/p]
+        let local_v = *local_logits.dims().last().unwrap();
+        let flat = local_logits.reshape([b * s, local_v]);
+        // pick the masked rows
+        let picked_rows: Vec<Tensor> = positions.iter().map(|&p| flat.narrow(0, p, 1)).collect();
+        let picked = Tensor::cat(&picked_rows, 0);
+        let (loss, dpicked) =
+            vocab_parallel_cross_entropy(&self.ctx, &self.group, &picked, targets);
+        // scatter the gradient back into the full (local) logits
+        let mut dlogits = Tensor::zeros([b * s, local_v]);
+        for (i, &p) in positions.iter().enumerate() {
+            for v in 0..local_v {
+                dlogits.set(&[p, v], dpicked.at(&[i, v]));
+            }
+        }
+        (loss, dlogits.reshaped([b, s, local_v]))
+    }
+
+    /// Vocabulary size (global).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+impl Layer for Bert1d {
+    /// Forward to local (vocabulary-sharded) logits `[b, s, vocab/p]`.
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = self.tok.forward(x);
+        h = self.pos.forward(&h);
+        for blk in &mut self.blocks {
+            h = blk.forward(&h);
+        }
+        let h = self.ln_f.forward(&h);
+        self.head.forward(&h)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dh_partial = self.head.backward(dy);
+        let dh = self.group.all_reduce(&self.ctx, dh_partial);
+        let mut dh = self.ln_f.backward(&dh);
+        for blk in self.blocks.iter_mut().rev() {
+            dh = blk.backward(&dh);
+        }
+        let dh = self.pos.backward(&dh);
+        self.tok.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok.visit_params(f);
+        self.pos.visit_params(f);
+        for blk in &mut self.blocks {
+            blk.visit_params(f);
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_comm::World;
+    use colossalai_models::data::SyntheticText;
+    use colossalai_models::Bert;
+    use colossalai_tensor::ops::cross_entropy;
+    use colossalai_topology::systems::system_iii;
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig {
+            layers: 2,
+            hidden: 8,
+            heads: 4,
+            mlp_ratio: 2,
+            vocab: 16,
+            max_seq: 6,
+        }
+    }
+
+    /// Serial MLM step matching Bert1d::mlm_loss semantics.
+    fn serial_mlm_losses(cfg: &TransformerConfig, steps: usize, lr: f32) -> Vec<f32> {
+        let data = SyntheticText::new(cfg.vocab, 33);
+        let mut rng = init::rng(5000);
+        let mut bert = Bert::new(cfg, &mut rng);
+        let mut losses = Vec::new();
+        for step in 0..steps {
+            let tokens = data.batch(2, cfg.max_seq, step as u64 % 2);
+            let (masked, targets, positions) = data.mask_for_mlm(&tokens, 0.3, step as u64 % 2);
+            if targets.is_empty() {
+                losses.push(f32::NAN);
+                continue;
+            }
+            bert.zero_grad();
+            let logits = bert.forward(&masked);
+            let vocab = cfg.vocab;
+            let flat = logits.reshape([2 * cfg.max_seq, vocab]);
+            let rows: Vec<Tensor> = positions.iter().map(|&p| flat.narrow(0, p, 1)).collect();
+            let picked = Tensor::cat(&rows, 0);
+            let (loss, dpicked) = cross_entropy(&picked, &targets);
+            losses.push(loss);
+            let mut dlogits = Tensor::zeros([2 * cfg.max_seq, vocab]);
+            for (i, &p) in positions.iter().enumerate() {
+                for v in 0..vocab {
+                    dlogits.set(&[p, v], dpicked.at(&[i, v]));
+                }
+            }
+            let _ = bert.backward(&dlogits.reshaped([2, cfg.max_seq, vocab]));
+            bert.visit_params(&mut |p| {
+                let g = p.grad().clone();
+                p.value_mut().axpy(-lr, &g);
+            });
+        }
+        losses
+    }
+
+    #[test]
+    fn parallel_bert_mlm_matches_serial() {
+        let cfg = tiny_cfg();
+        let steps = 4;
+        let lr = 0.05;
+        let want = serial_mlm_losses(&cfg, steps, lr);
+        let data = SyntheticText::new(cfg.vocab, 33);
+
+        for p in [2usize, 4] {
+            let world = World::new(system_iii());
+            let results = world.run_on(p, |ctx| {
+                let g = ctx.world_group(p);
+                let mut rng = init::rng(5000);
+                let mut bert = Bert1d::new(ctx, &g, &cfg, &mut rng);
+                let mut losses = Vec::new();
+                for step in 0..steps {
+                    let tokens = data.batch(2, cfg.max_seq, step as u64 % 2);
+                    let (masked, targets, positions) =
+                        data.mask_for_mlm(&tokens, 0.3, step as u64 % 2);
+                    if targets.is_empty() {
+                        losses.push(f32::NAN);
+                        continue;
+                    }
+                    bert.zero_grad();
+                    let (loss, d) = bert.mlm_loss(&masked, &targets, &positions);
+                    losses.push(loss);
+                    let _ = bert.backward(&d);
+                    bert.visit_params(&mut |pp| {
+                        let gr = pp.grad().clone();
+                        pp.value_mut().axpy(-lr, &gr);
+                    });
+                }
+                losses
+            });
+            for losses in &results {
+                for (a, b) in losses.iter().zip(&want) {
+                    if a.is_nan() && b.is_nan() {
+                        continue;
+                    }
+                    assert!(
+                        (a - b).abs() < 3e-3,
+                        "p={p}: MLM loss diverged: {losses:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bert1d_logits_stay_sharded() {
+        let cfg = tiny_cfg();
+        let p = 4;
+        let world = World::new(system_iii());
+        world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rng = init::rng(5001);
+            let mut bert = Bert1d::new(ctx, &g, &cfg, &mut rng);
+            let tokens = Tensor::from_vec([1, 6], vec![0., 1., 2., 3., 4., 5.]);
+            let out = bert.forward(&tokens);
+            assert_eq!(*out.dims().last().unwrap(), cfg.vocab / p);
+        });
+    }
+}

@@ -1,0 +1,248 @@
+//! A fully assembled 1D tensor-parallel GPT: vocabulary-parallel token
+//! embedding, causal head-split Transformer blocks, and a vocabulary-
+//! parallel LM head with the gather-free parallel cross-entropy — the
+//! complete Megatron-LM decoder stack as shipped in Colossal-AI.
+
+use crate::tp1d::shard_cols;
+use crate::vit1d::TransformerBlock1d;
+use crate::vocab_parallel::{vocab_parallel_cross_entropy, VocabParallelEmbedding};
+use colossalai_autograd::{Layer, LayerNorm, Linear, Param, PositionEmbedding};
+use colossalai_comm::{DeviceCtx, Group};
+use colossalai_models::TransformerConfig;
+use colossalai_tensor::init::{self, InitRng};
+use colossalai_tensor::Tensor;
+
+/// 1D-parallel GPT. Construction draws the identical global weights (per
+/// seed) as [`colossalai_models::Gpt::new`], so serial-vs-parallel
+/// trajectories are directly comparable.
+pub struct Gpt1d {
+    ctx: DeviceCtx,
+    group: Group,
+    tok: VocabParallelEmbedding,
+    pos: PositionEmbedding,
+    blocks: Vec<TransformerBlock1d>,
+    ln_f: LayerNorm,
+    /// Column-sharded LM head: produces `[.., vocab/p]` logits that feed the
+    /// vocabulary-parallel cross-entropy without gathering.
+    head: Linear,
+    vocab: usize,
+}
+
+impl Gpt1d {
+    pub fn new(ctx: &DeviceCtx, group: &Group, cfg: &TransformerConfig, rng: &mut InitRng) -> Self {
+        // draw order matches colossalai_models::Gpt::new: blocks first (the
+        // struct initializer evaluates `blocks` before the embeddings)
+        let blocks: Vec<TransformerBlock1d> = (0..cfg.layers)
+            .map(|i| {
+                TransformerBlock1d::from_rng(
+                    ctx,
+                    group,
+                    &format!("gpt.block{i}"),
+                    cfg.hidden,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    true,
+                    rng,
+                )
+            })
+            .collect();
+        let tok = VocabParallelEmbedding::new(ctx, group, "gpt.tok", cfg.vocab, cfg.hidden, rng);
+        let pos = PositionEmbedding::new("gpt", cfg.max_seq, cfg.hidden, rng);
+        let head_global = init::lecun_normal(cfg.hidden, cfg.vocab, rng);
+        let head = Linear::from_parts(
+            "gpt.head",
+            shard_cols(&head_global, group.size(), group.rank()),
+            None,
+        );
+        Gpt1d {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            tok,
+            pos,
+            blocks,
+            ln_f: LayerNorm::new("gpt.ln_f", cfg.hidden),
+            head,
+            vocab: cfg.vocab,
+        }
+    }
+
+    /// Next-token LM loss and the *local* logits gradient, all without ever
+    /// materializing the `[tokens, vocab]` matrix on any rank.
+    pub fn lm_loss(&mut self, tokens: &Tensor) -> (f32, Tensor) {
+        let (b, s) = (tokens.dims()[0], tokens.dims()[1]);
+        let local_logits = self.forward(tokens); // [b, s, vocab/p]
+        let local_v = *local_logits.dims().last().unwrap();
+        // positions 0..s-1 predict tokens 1..s
+        let pred = local_logits.narrow(1, 0, s - 1).reshaped([b * (s - 1), local_v]);
+        let targets: Vec<usize> = (0..b)
+            .flat_map(|bi| (1..s).map(move |si| (bi, si)))
+            .map(|(bi, si)| tokens.at(&[bi, si]) as usize)
+            .collect();
+        let (loss, dpred) =
+            vocab_parallel_cross_entropy(&self.ctx, &self.group, &pred, &targets);
+        let mut dlogits = Tensor::zeros([b, s, local_v]);
+        for bi in 0..b {
+            for si in 0..s - 1 {
+                for v in 0..local_v {
+                    dlogits.set(&[bi, si, v], dpred.at(&[bi * (s - 1) + si, v]));
+                }
+            }
+        }
+        (loss, dlogits)
+    }
+
+    /// Vocabulary size (global).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+impl Layer for Gpt1d {
+    /// Forward to *local* (vocabulary-sharded) logits `[b, s, vocab/p]`.
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = self.tok.forward(x);
+        h = self.pos.forward(&h);
+        for blk in &mut self.blocks {
+            h = blk.forward(&h);
+        }
+        let h = self.ln_f.forward(&h);
+        self.head.forward(&h)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // the head is column-sharded with replicated input: dx contributions
+        // sum across ranks
+        let dh_partial = self.head.backward(dy);
+        let dh = self.group.all_reduce(&self.ctx, dh_partial);
+        let mut dh = self.ln_f.backward(&dh);
+        for blk in self.blocks.iter_mut().rev() {
+            dh = blk.backward(&dh);
+        }
+        let dh = self.pos.backward(&dh);
+        self.tok.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok.visit_params(f);
+        self.pos.visit_params(f);
+        for blk in &mut self.blocks {
+            blk.visit_params(f);
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_comm::World;
+    use colossalai_models::Gpt;
+    use colossalai_topology::systems::system_i;
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig {
+            layers: 2,
+            hidden: 8,
+            heads: 4, // divisible by every tested parallel size
+            mlp_ratio: 2,
+            vocab: 12, // divisible by p = 2 and 4
+            max_seq: 5,
+        }
+    }
+
+    #[test]
+    fn parallel_gpt_matches_serial_loss_and_training() {
+        let cfg = tiny_cfg();
+        let tokens = Tensor::from_vec([2, 5], vec![1., 4., 7., 10., 1., 3., 6., 9., 0., 11.]);
+        let steps = 4;
+        let lr = 0.05;
+
+        // serial trajectory
+        let mut rng = init::rng(4000);
+        let mut serial = Gpt::new(&cfg, &mut rng);
+        let mut want = Vec::new();
+        for _ in 0..steps {
+            serial.zero_grad();
+            let (loss, d) = serial.lm_loss(&tokens);
+            want.push(loss);
+            let _ = serial.backward(&d);
+            serial.visit_params(&mut |p| {
+                let g = p.grad().clone();
+                p.value_mut().axpy(-lr, &g);
+            });
+        }
+
+        for p in [2usize, 4] {
+            let world = World::new(system_i());
+            let results = world.run_on(p, |ctx| {
+                let g = ctx.world_group(p);
+                let mut rng = init::rng(4000);
+                let mut gpt = Gpt1d::new(ctx, &g, &cfg, &mut rng);
+                let mut losses = Vec::new();
+                for _ in 0..steps {
+                    gpt.zero_grad();
+                    let (loss, d) = gpt.lm_loss(&tokens);
+                    losses.push(loss);
+                    let _ = gpt.backward(&d);
+                    gpt.visit_params(&mut |pp| {
+                        let gr = pp.grad().clone();
+                        pp.value_mut().axpy(-lr, &gr);
+                    });
+                }
+                losses
+            });
+            for losses in &results {
+                for (a, b) in losses.iter().zip(&want) {
+                    assert!(
+                        (a - b).abs() < 3e-3,
+                        "p={p}: loss curves diverged: {losses:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_rank_materializes_full_logits() {
+        let cfg = tiny_cfg();
+        let tokens = Tensor::from_vec([1, 5], vec![0., 1., 2., 3., 4.]);
+        let p = 4;
+        let world = World::new(system_i());
+        world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rng = init::rng(4001);
+            let mut gpt = Gpt1d::new(ctx, &g, &cfg, &mut rng);
+            let local = gpt.forward(&tokens);
+            assert_eq!(
+                *local.dims().last().unwrap(),
+                cfg.vocab / p,
+                "logits must stay vocabulary-sharded"
+            );
+        });
+    }
+
+    #[test]
+    fn parallel_gpt_is_causal() {
+        let cfg = tiny_cfg();
+        let p = 2;
+        let world = World::new(system_i());
+        world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rng = init::rng(4002);
+            let mut gpt = Gpt1d::new(ctx, &g, &cfg, &mut rng);
+            let t1 = Tensor::from_vec([1, 5], vec![1., 2., 3., 4., 5.]);
+            let t2 = Tensor::from_vec([1, 5], vec![1., 2., 3., 4., 11.]);
+            let y1 = gpt.forward(&t1);
+            let y2 = gpt.forward(&t2);
+            for s in 0..4 {
+                for v in 0..cfg.vocab / p {
+                    assert!(
+                        (y1.at(&[0, s, v]) - y2.at(&[0, s, v])).abs() < 1e-5,
+                        "position {s} leaked future tokens"
+                    );
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,325 @@
+//! Sequence parallelism (Li et al., Section 2.3): the model is replicated,
+//! the *sequence* dimension of the input is split across devices, and
+//! self-attention is computed with Ring Self-Attention — partial key/value
+//! blocks circulate around the ring so every rank attends over the full
+//! sequence while only ever owning `s/p` of every activation.
+//!
+//! Communication equivalence note: circulating K (and V) around the ring
+//! for `p-1` steps moves exactly the traffic of a ring all-gather, and
+//! returning the dK/dV contributions moves that of a ring reduce-scatter.
+//! We implement the exchange with those collectives — same volume, same
+//! ring bottleneck, substantially less bookkeeping.
+
+use colossalai_autograd::{Layer, Linear, Param};
+use colossalai_comm::{DeviceCtx, Group};
+use colossalai_tensor::ops::{softmax, softmax_backward};
+use colossalai_tensor::{bmm, bmm_at, bmm_bt, Tensor};
+
+/// Splits a `[b, s, ..]` tensor along the sequence dimension for `rank` of
+/// `p` (test/data-loader helper).
+pub fn split_sequence(x: &Tensor, p: usize, rank: usize) -> Tensor {
+    x.chunk(1, p).swap_remove(rank)
+}
+
+/// Ring Self-Attention: multi-head attention over a sequence-sharded input
+/// `[b, s/p, d]`, with Q/K/V/O projections replicated across ranks.
+pub struct RingSelfAttention {
+    ctx: DeviceCtx,
+    group: Group,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    cache: Option<RingCache>,
+}
+
+struct RingCache {
+    q: Tensor,      // [b*h, s/p, dk]
+    k_full: Tensor, // [b*h, s, dk]
+    v_full: Tensor, // [b*h, s, dk]
+    attn: Tensor,   // [b*h, s/p, s]
+}
+
+impl RingSelfAttention {
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_global(
+        ctx: &DeviceCtx,
+        group: &Group,
+        name: &str,
+        heads: usize,
+        wq: (&Tensor, &Tensor),
+        wk: (&Tensor, &Tensor),
+        wv: (&Tensor, &Tensor),
+        wo: (&Tensor, &Tensor),
+    ) -> Self {
+        let mk = |n: &str, (w, b): (&Tensor, &Tensor)| {
+            Linear::from_parts(n, w.clone(), Some(b.clone()))
+        };
+        RingSelfAttention {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            wq: mk(&format!("{name}.q"), wq),
+            wk: mk(&format!("{name}.k"), wk),
+            wv: mk(&format!("{name}.v"), wv),
+            wo: mk(&format!("{name}.o"), wo),
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Unlike 1D tensor parallelism, *any* number of ranks works — heads are
+    /// not divided, the sequence is. (The Fig 12/13 advantage on 8 GPUs.)
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+impl Layer for RingSelfAttention {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "ring attention input must be [b, s/p, d]");
+        let heads = self.heads;
+        use colossalai_autograd::attention::{merge_heads, split_heads};
+        let q = split_heads(&self.wq.forward(x), heads); // [b*h, s/p, dk]
+        let k_local = split_heads(&self.wk.forward(x), heads);
+        let v_local = split_heads(&self.wv.forward(x), heads);
+        let dk = q.dims()[2];
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        // ring-circulate K and V blocks (= ring all-gather along sequence)
+        let k_full = self.group.all_gather_cat(&self.ctx, k_local, 1);
+        let v_full = self.group.all_gather_cat(&self.ctx, v_local, 1);
+
+        let mut scores = bmm_bt(&q, &k_full); // [b*h, s/p, s]
+        scores.scale(scale);
+        let attn = softmax(&scores);
+        let z = bmm(&attn, &v_full); // [b*h, s/p, dk]
+        let out = self.wo.forward(&merge_heads(&z, heads));
+        self.cache = Some(RingCache {
+            q,
+            k_full,
+            v_full,
+            attn,
+        });
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        use colossalai_autograd::attention::{merge_heads, split_heads};
+        let RingCache {
+            q,
+            k_full,
+            v_full,
+            attn,
+        } = self.cache.take().expect("backward before forward");
+        let heads = self.heads;
+        let dk = q.dims()[2];
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let dz = split_heads(&self.wo.backward(dy), heads);
+        let dattn = bmm_bt(&dz, &v_full); // [b*h, s/p, s]
+        let dv_full = bmm_at(&attn, &dz); // [b*h, s, dk]
+        let mut dscores = softmax_backward(&attn, &dattn);
+        dscores.scale(scale);
+        let dq = bmm(&dscores, &k_full); // [b*h, s/p, dk]
+        let dk_full = bmm_at(&dscores, &q); // [b*h, s, dk]
+
+        // contributions to remote K/V blocks ride the ring back
+        // (= ring reduce-scatter along sequence)
+        let dk_local = self.group.reduce_scatter(&self.ctx, dk_full, 1);
+        let dv_local = self.group.reduce_scatter(&self.ctx, dv_full, 1);
+
+        let dx_q = self.wq.backward(&merge_heads(&dq, heads));
+        let dx_k = self.wk.backward(&merge_heads(&dk_local, heads));
+        let dx_v = self.wv.backward(&merge_heads(&dv_local, heads));
+        dx_q.zip(&dx_k, |a, b| a + b).zip(&dx_v, |a, b| a + b)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_autograd::MultiHeadAttention;
+    use colossalai_comm::{OpKind, World};
+    use colossalai_tensor::init;
+    use colossalai_topology::systems::system_iii;
+
+    fn weights(d: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = init::rng(seed);
+        (
+            init::lecun_normal(d, d, &mut rng),
+            init::uniform([d], -0.1, 0.1, &mut rng),
+        )
+    }
+
+    fn run_case(p: usize, b: usize, s: usize, d: usize, heads: usize, seed: u64) {
+        let (wq, bq) = weights(d, seed);
+        let (wk, bk) = weights(d, seed + 1);
+        let (wv, bv) = weights(d, seed + 2);
+        let (wo, bo) = weights(d, seed + 3);
+        let mut rng = init::rng(seed + 4);
+        let x = init::uniform([b, s, d], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([b, s, d], -1.0, 1.0, &mut rng);
+
+        let mut serial = MultiHeadAttention::from_parts(
+            Linear::from_parts("q", wq.clone(), Some(bq.clone())),
+            Linear::from_parts("k", wk.clone(), Some(bk.clone())),
+            Linear::from_parts("v", wv.clone(), Some(bv.clone())),
+            Linear::from_parts("o", wo.clone(), Some(bo.clone())),
+            heads,
+            false,
+        );
+        let y_want = serial.forward(&x);
+        let dx_want = serial.backward(&dy);
+
+        let world = World::new(system_iii());
+        let results = world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rsa = RingSelfAttention::from_global(
+                ctx,
+                &g,
+                "rsa",
+                heads,
+                (&wq, &bq),
+                (&wk, &bk),
+                (&wv, &bv),
+                (&wo, &bo),
+            );
+            let x_local = split_sequence(&x, p, g.rank());
+            let dy_local = split_sequence(&dy, p, g.rank());
+            let y = rsa.forward(&x_local);
+            let dx = rsa.backward(&dy_local);
+            (y, dx)
+        });
+        let y_got = Tensor::cat(&results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), 1);
+        let dx_got = Tensor::cat(&results.iter().map(|(_, dx)| dx.clone()).collect::<Vec<_>>(), 1);
+        assert!(
+            y_got.allclose(&y_want, 2e-4),
+            "p={p}: fwd diff {}",
+            y_got.max_abs_diff(&y_want)
+        );
+        assert!(
+            dx_got.allclose(&dx_want, 2e-4),
+            "p={p}: dx diff {}",
+            dx_got.max_abs_diff(&dx_want)
+        );
+    }
+
+    #[test]
+    fn ring_attention_matches_serial_p2() {
+        run_case(2, 2, 8, 8, 2, 500);
+    }
+
+    #[test]
+    fn ring_attention_matches_serial_p4() {
+        run_case(4, 1, 8, 8, 4, 501);
+    }
+
+    #[test]
+    fn works_when_heads_not_divisible_by_ranks() {
+        // the key flexibility vs 1D TP: 3 heads on 4 ranks is fine because
+        // the *sequence* is split, not the heads
+        run_case(4, 1, 8, 6, 3, 502);
+    }
+
+    #[test]
+    fn weight_grads_match_serial_after_allreduce() {
+        // model is replicated; like data parallelism, summing (all-reducing)
+        // per-rank weight grads must equal the serial gradient
+        let (p, b, s, d, heads) = (2usize, 1usize, 4usize, 4usize, 2usize);
+        let (wq, bq) = weights(d, 510);
+        let (wk, bk) = weights(d, 511);
+        let (wv, bv) = weights(d, 512);
+        let (wo, bo) = weights(d, 513);
+        let mut rng = init::rng(514);
+        let x = init::uniform([b, s, d], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([b, s, d], -1.0, 1.0, &mut rng);
+
+        let mut serial = MultiHeadAttention::from_parts(
+            Linear::from_parts("q", wq.clone(), Some(bq.clone())),
+            Linear::from_parts("k", wk.clone(), Some(bk.clone())),
+            Linear::from_parts("v", wv.clone(), Some(bv.clone())),
+            Linear::from_parts("o", wo.clone(), Some(bo.clone())),
+            heads,
+            false,
+        );
+        let _ = serial.forward(&x);
+        let _ = serial.backward(&dy);
+        let mut want = Vec::new();
+        serial.visit_params(&mut |p| want.push(p.grad().clone()));
+
+        let world = World::new(system_iii());
+        let results = world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rsa = RingSelfAttention::from_global(
+                ctx,
+                &g,
+                "rsa",
+                heads,
+                (&wq, &bq),
+                (&wk, &bk),
+                (&wv, &bv),
+                (&wo, &bo),
+            );
+            let _ = rsa.forward(&split_sequence(&x, p, g.rank()));
+            let _ = rsa.backward(&split_sequence(&dy, p, g.rank()));
+            let mut grads = Vec::new();
+            rsa.visit_params(&mut |p| grads.push(p.grad().clone()));
+            grads
+        });
+        for (i, want_g) in want.iter().enumerate() {
+            let mut sum = results[0][i].clone();
+            for r in &results[1..] {
+                sum.axpy(1.0, &r[i]);
+            }
+            assert!(
+                sum.allclose(want_g, 2e-4),
+                "grad {i} diff {}",
+                sum.max_abs_diff(want_g)
+            );
+        }
+    }
+
+    #[test]
+    fn ring_traffic_is_gather_plus_scatter() {
+        let (p, b, s, d, heads) = (4usize, 1usize, 8usize, 8usize, 2usize);
+        let (wq, bq) = weights(d, 520);
+        let mut rng = init::rng(521);
+        let x = init::uniform([b, s, d], -1.0, 1.0, &mut rng);
+        let world = World::new(system_iii());
+        world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut rsa = RingSelfAttention::from_global(
+                ctx,
+                &g,
+                "rsa",
+                heads,
+                (&wq, &bq),
+                (&wq, &bq),
+                (&wq, &bq),
+                (&wq, &bq),
+            );
+            let x_local = split_sequence(&x, p, g.rank());
+            let y = rsa.forward(&x_local);
+            let _ = rsa.backward(&y);
+        });
+        let stats = world.stats();
+        // forward: 2 all-gathers (K and V); backward: 2 reduce-scatters
+        assert_eq!(stats.ops_of(OpKind::AllGather), 2);
+        assert_eq!(stats.ops_of(OpKind::ReduceScatter), 2);
+        // K block per rank: b*h * s/p * dk = 1*2*2*4 = 16 elements;
+        // all-gather hops = (p-1) * p * 16
+        let block = (b * heads) as u64 * (s / p) as u64 * (d / heads) as u64;
+        assert_eq!(
+            stats.elements_of(OpKind::AllGather),
+            2 * (p as u64 - 1) * p as u64 * block
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! 1D (Megatron-LM) tensor parallelism: column- and row-parallel linear
+//! layers, the parallel MLP of Fig 4, and head-split parallel attention.
+//!
+//! This is both a feature of Colossal-AI and the *baseline* of every tensor
+//! parallelism experiment in the paper ("Megatron-LM tensor parallelism is
+//! annotated as 1D").
+
+use colossalai_autograd::{Gelu, Layer, Linear, MultiHeadAttention, Param};
+use colossalai_comm::{DeviceCtx, Group};
+use colossalai_tensor::ops::sum_axis;
+use colossalai_tensor::Tensor;
+
+/// Shards a `[in, out]` weight along its output (column) dimension.
+pub fn shard_cols(w: &Tensor, parts: usize, rank: usize) -> Tensor {
+    w.chunk(1, parts).swap_remove(rank)
+}
+
+/// Shards a `[in, out]` weight along its input (row) dimension.
+pub fn shard_rows(w: &Tensor, parts: usize, rank: usize) -> Tensor {
+    w.chunk(0, parts).swap_remove(rank)
+}
+
+/// Column-parallel linear: `W` split along the output dimension; the input
+/// is replicated, each rank computes a slice of the output.
+///
+/// Forward: no communication (optionally an all-gather when
+/// `gather_output`). Backward: one all-reduce of the input gradient.
+pub struct ColumnParallelLinear {
+    ctx: DeviceCtx,
+    group: Group,
+    local: Linear,
+    gather_output: bool,
+    full_out: usize,
+}
+
+impl ColumnParallelLinear {
+    /// Builds from the *global* weight/bias, which every rank constructs
+    /// identically from a shared seed and then shards.
+    pub fn from_global(
+        ctx: &DeviceCtx,
+        group: &Group,
+        name: &str,
+        w_global: &Tensor,
+        b_global: Option<&Tensor>,
+        gather_output: bool,
+    ) -> Self {
+        let p = group.size();
+        let r = group.rank();
+        let w = shard_cols(w_global, p, r);
+        let b = b_global.map(|b| b.chunk(0, p).swap_remove(r));
+        ColumnParallelLinear {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            local: Linear::from_parts(name, w, b),
+            gather_output,
+            full_out: w_global.dims()[1],
+        }
+    }
+
+    /// Output width of the *local* shard.
+    pub fn local_out(&self) -> usize {
+        self.local.d_out()
+    }
+}
+
+impl Layer for ColumnParallelLinear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = self.local.forward(x);
+        if self.gather_output {
+            let dim = y.rank() - 1;
+            self.group.all_gather_cat(&self.ctx, y, dim)
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dy_local = if self.gather_output {
+            let dim = dy.rank() - 1;
+            assert_eq!(*dy.dims().last().unwrap(), self.full_out);
+            let each = self.full_out / self.group.size();
+            dy.narrow(dim, self.group.rank() * each, each)
+        } else {
+            dy.clone()
+        };
+        let dx_partial = self.local.backward(&dy_local);
+        // each rank holds the contribution of its column block; the true
+        // input gradient is their sum
+        self.group.all_reduce(&self.ctx, dx_partial)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.local.visit_params(f);
+    }
+}
+
+/// Row-parallel linear: `W` split along the input dimension; the input is
+/// expected pre-split along its last dimension ("input is parallel", the
+/// output of a preceding column-parallel layer), each rank computes a
+/// partial full-width output that is all-reduced.
+pub struct RowParallelLinear {
+    ctx: DeviceCtx,
+    group: Group,
+    local: Linear,
+    /// Bias replicated on every rank and added after the all-reduce (adding
+    /// sharded biases before reduction would multiply it by `p`).
+    bias: Option<Param>,
+    /// When false, the forward narrows a replicated input itself.
+    input_is_parallel: bool,
+}
+
+impl RowParallelLinear {
+    pub fn from_global(
+        ctx: &DeviceCtx,
+        group: &Group,
+        name: &str,
+        w_global: &Tensor,
+        b_global: Option<&Tensor>,
+        input_is_parallel: bool,
+    ) -> Self {
+        let p = group.size();
+        let r = group.rank();
+        let w = shard_rows(w_global, p, r);
+        RowParallelLinear {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            local: Linear::from_parts(name, w, None),
+            bias: b_global.map(|b| Param::new(format!("{name}.bias"), b.clone())),
+            input_is_parallel,
+        }
+    }
+}
+
+impl Layer for RowParallelLinear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let x_local = if self.input_is_parallel {
+            x.clone()
+        } else {
+            let dim = x.rank() - 1;
+            let each = x.dims()[dim] / self.group.size();
+            x.narrow(dim, self.group.rank() * each, each)
+        };
+        let y_partial = self.local.forward(&x_local);
+        let y = self.group.all_reduce(&self.ctx, y_partial);
+        match &self.bias {
+            Some(b) => y.add_bias(b.value()),
+            None => y,
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        if let Some(b) = &mut self.bias {
+            let (rows, out) = dy.shape().as_matrix();
+            b.accumulate_grad(&sum_axis(&dy.reshape([rows, out]), 0));
+        }
+        // dy is replicated (it is the gradient of the all-reduced output),
+        // so the local weight-shard gradient needs no communication
+        let dx_local = self.local.backward(dy);
+        if self.input_is_parallel {
+            dx_local
+        } else {
+            let dim = dx_local.rank() - 1;
+            self.group.all_gather_cat(&self.ctx, dx_local, dim)
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.local.visit_params(f);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+/// The Megatron parallel MLP of Fig 4: column-parallel up-projection, GELU,
+/// row-parallel down-projection. Exactly one all-reduce in forward (the row
+/// layer's output) and one in backward (the column layer's input gradient).
+pub struct ParallelMlp {
+    col: ColumnParallelLinear,
+    act: Gelu,
+    row: RowParallelLinear,
+}
+
+impl ParallelMlp {
+    pub fn from_global(
+        ctx: &DeviceCtx,
+        group: &Group,
+        name: &str,
+        w1: &Tensor,
+        b1: &Tensor,
+        w2: &Tensor,
+        b2: &Tensor,
+    ) -> Self {
+        ParallelMlp {
+            col: ColumnParallelLinear::from_global(
+                ctx,
+                group,
+                &format!("{name}.fc1"),
+                w1,
+                Some(b1),
+                false,
+            ),
+            act: Gelu::new(),
+            row: RowParallelLinear::from_global(
+                ctx,
+                group,
+                &format!("{name}.fc2"),
+                w2,
+                Some(b2),
+                true,
+            ),
+        }
+    }
+}
+
+impl Layer for ParallelMlp {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let h = self.col.forward(x);
+        let h = self.act.forward(&h);
+        self.row.forward(&h)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dh = self.row.backward(dy);
+        let dh = self.act.backward(&dh);
+        self.col.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.col.visit_params(f);
+        self.act.visit_params(f);
+        self.row.visit_params(f);
+    }
+}
+
+/// Head-split parallel attention: Q/K/V projections column-split (each rank
+/// owns `heads / p` heads), output projection row-split. Requires
+/// `heads % p == 0` — the very restriction that forces Fig 12's 1D baseline
+/// onto 4/6/12 GPUs.
+pub struct ParallelAttention1d {
+    ctx: DeviceCtx,
+    group: Group,
+    inner: MultiHeadAttention,
+    bias_o: Param,
+}
+
+impl ParallelAttention1d {
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_global(
+        ctx: &DeviceCtx,
+        group: &Group,
+        name: &str,
+        heads: usize,
+        wq: (&Tensor, &Tensor),
+        wk: (&Tensor, &Tensor),
+        wv: (&Tensor, &Tensor),
+        wo: (&Tensor, &Tensor),
+        causal: bool,
+    ) -> Self {
+        let p = group.size();
+        let r = group.rank();
+        assert_eq!(
+            heads % p,
+            0,
+            "1D tensor parallelism requires heads ({heads}) divisible by the parallel size ({p})"
+        );
+        let mk_col = |n: &str, (w, b): (&Tensor, &Tensor)| {
+            Linear::from_parts(n, shard_cols(w, p, r), Some(b.chunk(0, p).swap_remove(r)))
+        };
+        let wo_local = Linear::from_parts(&format!("{name}.o"), shard_rows(wo.0, p, r), None);
+        ParallelAttention1d {
+            ctx: ctx.clone(),
+            group: group.clone(),
+            inner: MultiHeadAttention::from_parts(
+                mk_col(&format!("{name}.q"), wq),
+                mk_col(&format!("{name}.k"), wk),
+                mk_col(&format!("{name}.v"), wv),
+                wo_local,
+                heads / p,
+                causal,
+            ),
+            bias_o: Param::new(format!("{name}.o.bias"), wo.1.clone()),
+        }
+    }
+}
+
+impl Layer for ParallelAttention1d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y_partial = self.inner.forward(x);
+        let y = self.group.all_reduce(&self.ctx, y_partial);
+        y.add_bias(self.bias_o.value())
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (rows, out) = dy.shape().as_matrix();
+        self.bias_o
+            .accumulate_grad(&sum_axis(&dy.reshape([rows, out]), 0));
+        let dx_partial = self.inner.backward(dy);
+        self.group.all_reduce(&self.ctx, dx_partial)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params(f);
+        f(&mut self.bias_o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colossalai_comm::World;
+    use colossalai_tensor::init;
+    use colossalai_topology::systems::system_i;
+
+    /// Builds identical global weights on every rank from a shared seed.
+    fn global_linear_weights(d_in: usize, d_out: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = init::rng(seed);
+        (
+            init::lecun_normal(d_in, d_out, &mut rng),
+            init::uniform([d_out], -0.1, 0.1, &mut rng),
+        )
+    }
+
+    #[test]
+    fn column_parallel_matches_serial() {
+        let (w, b) = global_linear_weights(6, 8, 100);
+        let mut rng = init::rng(101);
+        let x = init::uniform([3, 6], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([3, 8], -1.0, 1.0, &mut rng);
+
+        let mut serial = Linear::from_parts("s", w.clone(), Some(b.clone()));
+        let y_want = serial.forward(&x);
+        let dx_want = serial.backward(&dy);
+
+        let world = World::new(system_i());
+        let results = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let mut l = ColumnParallelLinear::from_global(ctx, &g, "c", &w, Some(&b), true);
+            let y = l.forward(&x);
+            let dx = l.backward(&dy);
+            let mut wg = Vec::new();
+            l.visit_params(&mut |p| wg.push(p.grad().clone()));
+            (y, dx, wg)
+        });
+        for (y, dx, wg) in &results {
+            assert!(y.allclose(&y_want, 1e-4), "forward diverged");
+            assert!(dx.allclose(&dx_want, 1e-4), "input grad diverged");
+            // each rank's weight-grad shard equals the serial grad's shard
+            let _ = wg;
+        }
+        // check weight grad shards reassemble the serial weight grad
+        let serial_wgrad = serial.weight().grad().clone();
+        let shards: Vec<Tensor> = results.iter().map(|(_, _, wg)| wg[0].clone()).collect();
+        let reassembled = Tensor::cat(&shards, 1);
+        assert!(reassembled.allclose(&serial_wgrad, 1e-4));
+    }
+
+    #[test]
+    fn row_parallel_matches_serial() {
+        let (w, b) = global_linear_weights(8, 6, 102);
+        let mut rng = init::rng(103);
+        let x = init::uniform([3, 8], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([3, 6], -1.0, 1.0, &mut rng);
+
+        let mut serial = Linear::from_parts("s", w.clone(), Some(b.clone()));
+        let y_want = serial.forward(&x);
+        let dx_want = serial.backward(&dy);
+
+        let world = World::new(system_i());
+        let results = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            // feed the replicated input; the layer narrows it itself
+            let mut l = RowParallelLinear::from_global(ctx, &g, "r", &w, Some(&b), false);
+            let y = l.forward(&x);
+            let dx = l.backward(&dy);
+            (y, dx)
+        });
+        for (y, dx) in &results {
+            assert!(y.allclose(&y_want, 1e-4), "forward diverged");
+            assert!(dx.allclose(&dx_want, 1e-4), "input grad diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_mlp_matches_serial_and_uses_two_allreduces() {
+        let h = 8;
+        let (w1, b1) = global_linear_weights(h, 4 * h, 104);
+        let (w2, b2) = global_linear_weights(4 * h, h, 105);
+        let mut rng = init::rng(106);
+        let x = init::uniform([2, 3, h], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([2, 3, h], -1.0, 1.0, &mut rng);
+
+        // serial reference
+        let mut fc1 = Linear::from_parts("fc1", w1.clone(), Some(b1.clone()));
+        let mut act = Gelu::new();
+        let mut fc2 = Linear::from_parts("fc2", w2.clone(), Some(b2.clone()));
+        let y_want = fc2.forward(&act.forward(&fc1.forward(&x)));
+        let dx_want = fc1.backward(&act.backward(&fc2.backward(&dy)));
+
+        let world = World::new(system_i());
+        let results = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let mut mlp = ParallelMlp::from_global(ctx, &g, "mlp", &w1, &b1, &w2, &b2);
+            let y = mlp.forward(&x);
+            let dx = mlp.backward(&dy);
+            (y, dx)
+        });
+        for (y, dx) in &results {
+            assert!(y.allclose(&y_want, 2e-4), "forward diverged: {}", y.max_abs_diff(&y_want));
+            assert!(dx.allclose(&dx_want, 2e-4), "input grad diverged");
+        }
+        // Megatron property: exactly 2 all-reduces per fwd+bwd
+        let stats = world.stats();
+        assert_eq!(stats.ops_of(colossalai_comm::OpKind::AllReduce), 2);
+    }
+
+    #[test]
+    fn parallel_attention_matches_serial() {
+        let d = 8;
+        let heads = 4;
+        let (wq, bq) = global_linear_weights(d, d, 107);
+        let (wk, bk) = global_linear_weights(d, d, 108);
+        let (wv, bv) = global_linear_weights(d, d, 109);
+        let (wo, bo) = global_linear_weights(d, d, 110);
+        let mut rng = init::rng(111);
+        let x = init::uniform([2, 3, d], -1.0, 1.0, &mut rng);
+        let dy = init::uniform([2, 3, d], -1.0, 1.0, &mut rng);
+
+        let mut serial = MultiHeadAttention::from_parts(
+            Linear::from_parts("q", wq.clone(), Some(bq.clone())),
+            Linear::from_parts("k", wk.clone(), Some(bk.clone())),
+            Linear::from_parts("v", wv.clone(), Some(bv.clone())),
+            Linear::from_parts("o", wo.clone(), Some(bo.clone())),
+            heads,
+            false,
+        );
+        let y_want = serial.forward(&x);
+        let dx_want = serial.backward(&dy);
+
+        let world = World::new(system_i());
+        for p in [2usize, 4] {
+            let results = world.run_on(p, |ctx| {
+                let g = ctx.world_group(p);
+                let mut attn = ParallelAttention1d::from_global(
+                    ctx,
+                    &g,
+                    "attn",
+                    heads,
+                    (&wq, &bq),
+                    (&wk, &bk),
+                    (&wv, &bv),
+                    (&wo, &bo),
+                    false,
+                );
+                let y = attn.forward(&x);
+                let dx = attn.backward(&dy);
+                (y, dx)
+            });
+            for (y, dx) in &results {
+                assert!(y.allclose(&y_want, 2e-4), "p={p} forward diverged");
+                assert!(dx.allclose(&dx_want, 2e-4), "p={p} input grad diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "device thread panicked")]
+    fn attention_rejects_indivisible_heads() {
+        let d = 6;
+        let (w, b) = global_linear_weights(d, d, 112);
+        let world = World::new(system_i());
+        world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            // 3 heads over 4 ranks: must panic
+            let _ = ParallelAttention1d::from_global(
+                ctx,
+                &g,
+                "attn",
+                3,
+                (&w, &b),
+                (&w, &b),
+                (&w, &b),
+                (&w, &b),
+                false,
+            );
+        });
+    }
+
+    #[test]
+    fn one_d_volume_matches_table1_for_forward_allreduce() {
+        // The Table 1 "1D" row counts the all-reduce of Y (= S_X elements)
+        // in forward and of dX in backward: 2 * [2(p-1)/2 * ...] — our ring
+        // meter records 2(p-1)*n per all-reduce, n = S_X, and the MLP does
+        // exactly one forward + one backward all-reduce of that size.
+        let h = 4;
+        let (w1, b1) = global_linear_weights(h, 4 * h, 113);
+        let (w2, b2) = global_linear_weights(4 * h, h, 114);
+        let b = 2;
+        let s = 3;
+        let mut rng = init::rng(115);
+        let x = init::uniform([b, s, h], -1.0, 1.0, &mut rng);
+
+        let world = World::new(system_i());
+        let p = 4;
+        world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut mlp = ParallelMlp::from_global(ctx, &g, "mlp", &w1, &b1, &w2, &b2);
+            let y = mlp.forward(&x);
+            let _ = mlp.backward(&y);
+        });
+        let sx = (b * s * h) as u64;
+        let measured = world.stats().elements_of(colossalai_comm::OpKind::AllReduce);
+        // 2 all-reduces of S_X elements, each metered at 2(p-1) * S_X:
+        // total = 2 * 2(p-1) S_X; Table 1 counts one matmul (fwd+bwd of one
+        // W) as 2(p-1) S_X — the MLP has two weight matrices, hence 2x.
+        assert_eq!(measured, 2 * crate::volume::volume_1d(
+            crate::volume::MatmulShape { b, s, h },
+            p
+        ));
+        assert_eq!(measured, 4 * (p as u64 - 1) * sx);
+    }
+}

@@ -1,0 +1,28 @@
+//! # colossalai-tensor
+//!
+//! Dense n-dimensional `f32` tensors and the numeric kernels every other
+//! crate in the Colossal-AI reproduction builds on: blocked matmul, batched
+//! matmul, softmax/layernorm/GELU with analytic backward passes, seeded
+//! initializers, and a software IEEE binary16 type for mixed-precision
+//! storage emulation.
+//!
+//! Design choices:
+//! * tensors are always owned, contiguous and row-major — simulated devices
+//!   exchange buffers by value, so aliasing views would be a hazard, not an
+//!   optimization;
+//! * shape errors panic (like `ndarray`), since they are programming errors
+//!   in a training system, not recoverable conditions;
+//! * all randomness is seeded ChaCha8 so parallel-vs-serial equivalence tests
+//!   can construct identical global parameters.
+
+pub mod f16;
+pub mod init;
+pub mod matmul;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use f16::F16;
+pub use matmul::{bmm, bmm_at, bmm_bt, gemm, matmul, matmul_at, matmul_bt, matmul_nd};
+pub use shape::Shape;
+pub use tensor::Tensor;

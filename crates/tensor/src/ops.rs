@@ -1,0 +1,421 @@
+//! Neural-network math kernels: activations, normalization, reductions.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over the last dimension.
+pub fn softmax(x: &Tensor) -> Tensor {
+    assert!(x.rank() >= 1, "softmax requires rank >= 1");
+    let n = *x.dims().last().unwrap();
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(n) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of softmax: given `y = softmax(x)` and upstream `dy`, returns
+/// `dx = y * (dy - sum(dy * y))` row-wise.
+pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "softmax_backward shape mismatch");
+    let n = *y.dims().last().unwrap();
+    let mut out = dy.clone();
+    for (dy_row, y_row) in out.data_mut().chunks_mut(n).zip(y.data().chunks(n)) {
+        let s: f32 = dy_row.iter().zip(y_row.iter()).map(|(&d, &v)| d * v).sum();
+        for (d, &v) in dy_row.iter_mut().zip(y_row.iter()) {
+            *d = v * (*d - s);
+        }
+    }
+    out
+}
+
+/// The tanh-approximated GELU used by BERT/GPT/ViT.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU.
+pub fn gelu_grad(x: &Tensor) -> Tensor {
+    x.map(|x| {
+        const C: f32 = 0.797_884_6;
+        let inner = C * (x + 0.044_715 * x * x * x);
+        let t = inner.tanh();
+        let dinner = C * (1.0 + 3.0 * 0.044_715 * x * x);
+        0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+    })
+}
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU gradient mask (1 where the input was positive).
+pub fn relu_grad(x: &Tensor) -> Tensor {
+    x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Layer normalization over the last dimension with affine parameters.
+///
+/// Returns `(y, mean, inv_std)`; the statistics are cached for the backward
+/// pass.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let n = *x.dims().last().expect("layernorm on scalar");
+    assert_eq!(gamma.numel(), n, "gamma length mismatch");
+    assert_eq!(beta.numel(), n, "beta length mismatch");
+    let rows = x.numel() / n;
+    let mut out = x.clone();
+    let mut means = Vec::with_capacity(rows);
+    let mut inv_stds = Vec::with_capacity(rows);
+    for row in out.data_mut().chunks_mut(n) {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data().iter())) {
+            *v = (*v - mean) * inv_std * g + b;
+        }
+        means.push(mean);
+        inv_stds.push(inv_std);
+    }
+    (out, means, inv_stds)
+}
+
+/// Backward of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
+pub fn layernorm_backward(
+    x: &Tensor,
+    dy: &Tensor,
+    gamma: &Tensor,
+    means: &[f32],
+    inv_stds: &[f32],
+) -> (Tensor, Tensor, Tensor) {
+    let n = *x.dims().last().unwrap();
+    let rows = x.numel() / n;
+    assert_eq!(means.len(), rows);
+    assert_eq!(inv_stds.len(), rows);
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dgamma = Tensor::zeros([n]);
+    let mut dbeta = Tensor::zeros([n]);
+    for r in 0..rows {
+        let x_row = &x.data()[r * n..(r + 1) * n];
+        let dy_row = &dy.data()[r * n..(r + 1) * n];
+        let mean = means[r];
+        let inv_std = inv_stds[r];
+        // xhat_i = (x_i - mean) * inv_std
+        let mut sum_dy_g = 0.0f32;
+        let mut sum_dy_g_xhat = 0.0f32;
+        for i in 0..n {
+            let xhat = (x_row[i] - mean) * inv_std;
+            let dyg = dy_row[i] * gamma.data()[i];
+            sum_dy_g += dyg;
+            sum_dy_g_xhat += dyg * xhat;
+            dgamma.data_mut()[i] += dy_row[i] * xhat;
+            dbeta.data_mut()[i] += dy_row[i];
+        }
+        let dx_row = &mut dx.data_mut()[r * n..(r + 1) * n];
+        for i in 0..n {
+            let xhat = (x_row[i] - mean) * inv_std;
+            let dyg = dy_row[i] * gamma.data()[i];
+            dx_row[i] = inv_std * (dyg - sum_dy_g / n as f32 - xhat * sum_dy_g_xhat / n as f32);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// Sum along an axis, removing it: `[.., d, ..] -> [.., ..]` as rank-1 less.
+pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
+    assert!(axis < x.rank(), "sum_axis out of range");
+    let extent = x.dims()[axis];
+    let outer: usize = x.dims()[..axis].iter().product();
+    let inner: usize = x.dims()[axis + 1..].iter().product();
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for e in 0..extent {
+            let base = o * extent * inner + e * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &s) in dst.iter_mut().zip(&x.data()[base..base + inner]) {
+                *d += s;
+            }
+        }
+    }
+    let dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != axis)
+        .map(|(_, &d)| d)
+        .collect();
+    Tensor::from_vec(dims, out)
+}
+
+/// Mean along an axis, removing it.
+pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
+    let extent = x.dims()[axis];
+    let mut out = sum_axis(x, axis);
+    out.scale(1.0 / extent.max(1) as f32);
+    out
+}
+
+/// Maximum along an axis, removing it.
+pub fn max_axis(x: &Tensor, axis: usize) -> Tensor {
+    assert!(axis < x.rank(), "max_axis out of range");
+    let extent = x.dims()[axis];
+    assert!(extent > 0, "max_axis over empty extent");
+    let outer: usize = x.dims()[..axis].iter().product();
+    let inner: usize = x.dims()[axis + 1..].iter().product();
+    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    for o in 0..outer {
+        for e in 0..extent {
+            let base = o * extent * inner + e * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &s) in dst.iter_mut().zip(&x.data()[base..base + inner]) {
+                *d = d.max(s);
+            }
+        }
+    }
+    let dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != axis)
+        .map(|(_, &d)| d)
+        .collect();
+    Tensor::from_vec(dims, out)
+}
+
+/// Population variance along an axis, removing it.
+pub fn var_axis(x: &Tensor, axis: usize) -> Tensor {
+    let extent = x.dims()[axis] as f32;
+    let mean = mean_axis(x, axis);
+    let sq = sum_axis(&x.map(|v| v * v), axis);
+    sq.zip(&mean, move |s, m| s / extent - m * m)
+}
+
+/// Index of the maximum element in each row of the last dimension.
+pub fn argmax_rows(x: &Tensor) -> Vec<usize> {
+    let n = *x.dims().last().expect("argmax on scalar");
+    x.data()
+        .chunks(n)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Mean softmax cross-entropy between logits `[rows, classes]` and integer
+/// targets. Returns `(loss, dlogits)` where `dlogits` is already the mean
+/// gradient (`(softmax - onehot) / rows`).
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let classes = *logits.dims().last().expect("cross_entropy on scalar");
+    let rows = logits.numel() / classes;
+    assert_eq!(targets.len(), rows, "target count mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < classes, "target {t} out of range");
+        let p = probs.data()[r * classes + t].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[r * classes + t] -= 1.0;
+    }
+    grad.scale(1.0 / rows as f32);
+    ((loss / rows as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 1000., 1000., 1000.]);
+        let y = softmax(&x);
+        for row in y.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // stable under huge inputs
+        assert!((y.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_matches_fd() {
+        let x = Tensor::from_vec([1, 4], vec![0.3, -0.7, 1.2, 0.05]);
+        let y = softmax(&x);
+        let dy = Tensor::from_vec([1, 4], vec![0.1, 0.4, -0.2, 0.9]);
+        let dx = softmax_backward(&y, &dy);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp: f32 = softmax(&xp).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+            let fm: f32 = softmax(&xm).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-3, "i={i}: {} vs {}", dx.data()[i], fd);
+        }
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        // values from the tanh approximation used by BERT
+        let x = Tensor::from_vec([3], vec![0.0, 1.0, -1.0]);
+        let y = gelu(&x);
+        assert!((y.data()[0]).abs() < 1e-6);
+        assert!((y.data()[1] - 0.841192).abs() < 1e-4);
+        assert!((y.data()[2] + 0.158808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_fd() {
+        let x = Tensor::from_vec([5], vec![-2.0, -0.5, 0.0, 0.5, 2.0]);
+        let g = gelu_grad(&x);
+        let eps = 1e-3;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (gelu(&xp).data()[i] - gelu(&xm).data()[i]) / (2.0 * eps);
+            assert!((g.data()[i] - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = Tensor::from_vec([2, 4], vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let (y, _, _) = layernorm(&x, &gamma, &beta, 1e-5);
+        for row in y.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_fd() {
+        let x = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.4]);
+        let gamma = Tensor::from_vec([3], vec![1.2, 0.8, 1.0]);
+        let beta = Tensor::from_vec([3], vec![0.1, -0.2, 0.0]);
+        let dy = Tensor::from_vec([2, 3], vec![1.0, -0.5, 0.25, 0.7, 0.3, -0.9]);
+        let (y0, means, inv_stds) = layernorm(&x, &gamma, &beta, 1e-5);
+        let _ = y0;
+        let (dx, dgamma, dbeta) = layernorm_backward(&x, &dy, &gamma, &means, &inv_stds);
+        let eps = 1e-3;
+        let f = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let (y, _, _) = layernorm(x, g, b, 1e-5);
+            y.data().iter().zip(dy.data()).map(|(a, d)| a * d).sum()
+        };
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (f(&xp, &gamma, &beta) - f(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 2e-2, "dx[{i}] {} vs fd {}", dx.data()[i], fd);
+        }
+        for i in 0..3 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (f(&x, &gp, &beta) - f(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((dgamma.data()[i] - fd).abs() < 1e-2);
+            let mut bp = beta.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = beta.clone();
+            bm.data_mut()[i] -= eps;
+            let fd = (f(&x, &gamma, &bp) - f(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((dbeta.data()[i] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sum_axis_all_axes() {
+        let x = Tensor::arange(24).reshaped([2, 3, 4]);
+        let s0 = sum_axis(&x, 0);
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.at(&[0, 0]), x.at(&[0, 0, 0]) + x.at(&[1, 0, 0]));
+        let s1 = sum_axis(&x, 1);
+        assert_eq!(s1.dims(), &[2, 4]);
+        assert_eq!(s1.at(&[1, 3]), x.at(&[1, 0, 3]) + x.at(&[1, 1, 3]) + x.at(&[1, 2, 3]));
+        let s2 = sum_axis(&x, 2);
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.at(&[0, 1]), (4..8).map(|i| i as f32).sum::<f32>());
+    }
+
+    #[test]
+    fn mean_max_var_axis() {
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(mean_axis(&x, 1).data(), &[2.0, 5.0]);
+        assert_eq!(mean_axis(&x, 0).data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(max_axis(&x, 1).data(), &[3.0, 6.0]);
+        assert_eq!(max_axis(&x, 0).data(), &[4.0, 5.0, 6.0]);
+        let v = var_axis(&x, 1);
+        // var of [1,2,3] = 2/3
+        assert!((v.data()[0] - 2.0 / 3.0).abs() < 1e-5);
+        assert!((v.data()[1] - 2.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn axis_ops_consistent_with_layernorm_stats() {
+        let x = Tensor::from_vec([1, 4], vec![2.0, 4.0, 4.0, 6.0]);
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let (_, means, inv_stds) = layernorm(&x, &gamma, &beta, 0.0);
+        assert!((means[0] - mean_axis(&x, 1).data()[0]).abs() < 1e-6);
+        let var = var_axis(&x, 1).data()[0];
+        assert!((inv_stds[0] - 1.0 / var.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction() {
+        let logits = Tensor::from_vec([2, 3], vec![100., 0., 0., 0., 0., 100.]);
+        let (loss, grad) = cross_entropy(&logits, &[0, 2]);
+        assert!(loss < 1e-5);
+        assert!(grad.data().iter().all(|&g| g.abs() < 1e-5));
+    }
+
+    #[test]
+    fn cross_entropy_uniform() {
+        let logits = Tensor::zeros([1, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[1]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // gradient: (0.25 - onehot)/1
+        assert!((grad.data()[1] + 0.75).abs() < 1e-5);
+        assert!((grad.data()[0] - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_picks_max() {
+        let x = Tensor::from_vec([2, 3], vec![0., 5., 1., 9., 2., 3.]);
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = Tensor::from_vec([4], vec![-1., 0., 0.5, 2.]);
+        assert_eq!(relu(&x).data(), &[0., 0., 0.5, 2.]);
+        assert_eq!(relu_grad(&x).data(), &[0., 0., 1., 1.]);
+    }
+}

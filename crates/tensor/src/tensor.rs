@@ -1,0 +1,564 @@
+//! The dense `f32` tensor type used across the whole workspace.
+
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// This is the single numeric currency of the reproduction: simulated-device
+/// buffers, parameters, gradients and activations are all `Tensor`s. The type
+/// is deliberately owned-and-contiguous — "views" copy — because buffers are
+/// routinely moved between simulated devices (threads) and must not alias.
+///
+/// # Examples
+///
+/// ```
+/// use colossalai_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::ones([2, 2]);
+/// let c = matmul(&a, &b);
+/// assert_eq!(c.data(), &[3.0, 3.0, 7.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching data buffer.
+    ///
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// `[0, 1, 2, .., n-1]` as a 1-D tensor (useful in tests).
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new([n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Extents as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Read-only view of the backing buffer in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires exactly one element");
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} elements into shape {}",
+            self.numel(),
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place variant of [`Tensor::reshape`] (no buffer copy).
+    pub fn reshaped(mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(shape.numel(), self.numel());
+        self.shape = shape;
+        self
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the fused update at the heart of every
+    /// optimizer and gradient accumulation step.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element. Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max() of empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt() as f32
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True if every element differs from `other` by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose() requires rank 2");
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec([c, r], out)
+    }
+
+    /// Generic dimension permutation (copies).
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permutation rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
+        let out_shape = Shape::new(out_dims);
+        let mut out = vec![0.0f32; self.numel()];
+        let in_strides = self.shape.strides();
+        for (out_off, slot) in out.iter_mut().enumerate() {
+            let out_idx = out_shape.unravel(out_off);
+            let mut in_off = 0;
+            for (k, &p) in perm.iter().enumerate() {
+                in_off += out_idx[k] * in_strides[p];
+            }
+            *slot = self.data[in_off];
+        }
+        Tensor {
+            shape: out_shape,
+            data: out,
+        }
+    }
+
+    /// Copies a contiguous slab `start..start+len` of dimension `dim`.
+    ///
+    /// This is the sharding primitive: splitting a batch, a hidden dimension
+    /// or a sequence across devices is `narrow` along the relevant axis.
+    pub fn narrow(&self, dim: usize, start: usize, len: usize) -> Tensor {
+        assert!(dim < self.rank(), "narrow dim {dim} out of range");
+        let extent = self.dims()[dim];
+        assert!(
+            start + len <= extent,
+            "narrow [{start}, {}) out of bounds for extent {extent}",
+            start + len
+        );
+        let outer: usize = self.dims()[..dim].iter().product();
+        let inner: usize = self.dims()[dim + 1..].iter().product();
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * extent * inner + start * inner;
+            out.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor::from_vec(self.shape.with_dim(dim, len), out)
+    }
+
+    /// Splits dimension `dim` into `parts` equal chunks.
+    ///
+    /// Panics unless the extent divides evenly — all sharding grids in this
+    /// system require exact divisibility, mirroring the paper's constraints
+    /// (e.g. attention heads divisible by the 1D parallel size).
+    pub fn chunk(&self, dim: usize, parts: usize) -> Vec<Tensor> {
+        let extent = self.dims()[dim];
+        assert!(parts > 0 && extent.is_multiple_of(parts),
+            "dim {dim} extent {extent} not divisible into {parts} parts");
+        let each = extent / parts;
+        (0..parts)
+            .map(|p| self.narrow(dim, p * each, each))
+            .collect()
+    }
+
+    /// Concatenates tensors along `dim`. All other extents must agree.
+    pub fn cat(tensors: &[Tensor], dim: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "cat of empty list");
+        let first = &tensors[0];
+        let rank = first.rank();
+        assert!(dim < rank, "cat dim {dim} out of range");
+        let mut total = 0usize;
+        for t in tensors {
+            assert_eq!(t.rank(), rank, "cat rank mismatch");
+            for d in 0..rank {
+                if d != dim {
+                    assert_eq!(t.dims()[d], first.dims()[d], "cat extent mismatch on dim {d}");
+                }
+            }
+            total += t.dims()[dim];
+        }
+        let out_shape = first.shape.with_dim(dim, total);
+        let outer: usize = first.dims()[..dim].iter().product();
+        let inner: usize = first.dims()[dim + 1..].iter().product();
+        let mut out = Vec::with_capacity(out_shape.numel());
+        for o in 0..outer {
+            for t in tensors {
+                let extent = t.dims()[dim];
+                let base = o * extent * inner;
+                out.extend_from_slice(&t.data[base..base + extent * inner]);
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Stacks rank-equal tensors along a new leading dimension.
+    pub fn stack(tensors: &[Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "stack of empty list");
+        let first_shape = tensors[0].shape.clone();
+        let mut data = Vec::with_capacity(first_shape.numel() * tensors.len());
+        for t in tensors {
+            assert_eq!(t.shape, first_shape, "stack shape mismatch");
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first_shape.dims());
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Adds a rank-1 bias of length `n` to the last dimension (`n`-wide rows).
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rank(), 1, "bias must be rank 1");
+        let n = bias.numel();
+        assert_eq!(
+            *self.dims().last().expect("add_bias on scalar"),
+            n,
+            "bias length mismatch"
+        );
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(n) {
+            for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Memory footprint in bytes if stored as `f32`.
+    pub fn bytes_f32(&self) -> usize {
+        self.numel() * 4
+    }
+
+    /// Memory footprint in bytes if stored as `f16`.
+    pub fn bytes_f16(&self) -> usize {
+        self.numel() * 2
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                "data=[{}, {}, .. {} elements])",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip(rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<f32> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|a| a $op rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|a| -a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2x3() -> Tensor {
+        Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = t2x3();
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2x3();
+        let b = Tensor::full([2, 3], 2.0);
+        assert_eq!((&a + &b).data(), &[3., 4., 5., 6., 7., 8.]);
+        assert_eq!((&a * &b).data(), &[2., 4., 6., 8., 10., 12.]);
+        assert_eq!((&a - &b).data(), &[-1., 0., 1., 2., 3., 4.]);
+        assert_eq!((&a / &b).data(), &[0.5, 1., 1.5, 2., 2.5, 3.]);
+        assert_eq!((-&a).data(), &[-1., -2., -3., -4., -5., -6.]);
+        assert_eq!((&a * 10.0).data(), &[10., 20., 30., 40., 50., 60.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::zeros([4]);
+        a.axpy(0.5, &Tensor::from_vec([4], vec![2., 4., 6., 8.]));
+        assert_eq!(a.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = t2x3().transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        // involution
+        assert_eq!(t.transpose(), t2x3());
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let t = t2x3();
+        assert_eq!(t.permute(&[1, 0]), t.transpose());
+        // identity permutation
+        assert_eq!(t.permute(&[0, 1]), t);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::arange(24).reshaped([2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), t.at(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn narrow_middle_dim() {
+        let t = Tensor::arange(24).reshaped([2, 3, 4]);
+        let n = t.narrow(1, 1, 2);
+        assert_eq!(n.dims(), &[2, 2, 4]);
+        assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(n.at(&[1, 1, 3]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn chunk_then_cat_roundtrip() {
+        let t = Tensor::arange(24).reshaped([2, 3, 4]);
+        for dim in 0..3 {
+            let parts = t.dims()[dim];
+            let chunks = t.chunk(dim, parts);
+            assert_eq!(Tensor::cat(&chunks, dim), t);
+        }
+    }
+
+    #[test]
+    fn stack_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::ones([2, 3]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.dims(), &[2, 2, 3]);
+        assert_eq!(s.at(&[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let x = Tensor::zeros([2, 2, 3]);
+        let b = Tensor::from_vec([3], vec![1., 2., 3.]);
+        let y = x.add_bias(&b);
+        assert_eq!(y.at(&[1, 1, 2]), 3.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = t2x3();
+        assert_eq!(t.sum(), 21.0);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.max(), 6.0);
+        assert!((t.norm() - 91.0f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_rejects_shape_mismatch() {
+        let _ = t2x3().zip(&Tensor::zeros([3, 2]), |a, _| a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn chunk_requires_divisibility() {
+        t2x3().chunk(1, 2);
+    }
+}

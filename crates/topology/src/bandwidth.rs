@@ -1,0 +1,106 @@
+//! Bandwidth probing — the simulation analogue of the NCCL bandwidth test
+//! used for Fig 10 of the paper.
+
+use crate::cluster::Cluster;
+use crate::cost;
+use crate::device::DeviceId;
+
+/// Result of probing one GPU pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairProbe {
+    pub a: DeviceId,
+    pub b: DeviceId,
+    /// Effective bandwidth in bytes/s for the probe message size.
+    pub bandwidth: f64,
+}
+
+/// Result of probing a collective over a device group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupProbe {
+    pub group: Vec<DeviceId>,
+    /// Algorithm bandwidth (payload bytes / completion time) in bytes/s.
+    pub bandwidth: f64,
+}
+
+/// Probes every unordered device pair with a `bytes`-sized transfer
+/// (Fig 10a: "Communication Bandwidth between GPU Pairs").
+pub fn probe_pairs(cluster: &Cluster, bytes: u64) -> Vec<PairProbe> {
+    let n = cluster.n_devices();
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push(PairProbe {
+                a,
+                b,
+                bandwidth: cluster.link(a, b).effective_bandwidth(bytes),
+            });
+        }
+    }
+    out
+}
+
+/// Probes a broadcast over each prefix group `{0..k}` for `k` in
+/// `group_sizes` (Fig 10b: "Communication Bandwidth for Collective
+/// Communication", 125 MB broadcast).
+pub fn probe_collective(cluster: &Cluster, group_sizes: &[usize], bytes: u64) -> Vec<GroupProbe> {
+    group_sizes
+        .iter()
+        .map(|&k| {
+            assert!(k >= 2 && k <= cluster.n_devices(), "bad group size {k}");
+            let group: Vec<DeviceId> = (0..k).collect();
+            let t = cost::broadcast_time(cluster, &group, bytes);
+            GroupProbe {
+                group,
+                bandwidth: cost::algorithm_bandwidth(bytes, t),
+            }
+        })
+        .collect()
+}
+
+/// Min / max pairwise bandwidth — the headline numbers of Fig 10a.
+pub fn pairwise_extremes(cluster: &Cluster, bytes: u64) -> (f64, f64) {
+    let probes = probe_pairs(cluster, bytes);
+    let min = probes.iter().map(|p| p.bandwidth).fold(f64::INFINITY, f64::min);
+    let max = probes.iter().map(|p| p.bandwidth).fold(0.0, f64::max);
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{system_i, system_ii};
+
+    const PROBE_BYTES: u64 = 125 << 20; // the paper's 125 MB probe
+
+    #[test]
+    fn system_i_uniform_high_bandwidth() {
+        let (min, max) = pairwise_extremes(&system_i(), PROBE_BYTES);
+        // fully connected: min == max, ~184 GB/s
+        assert!((max - min).abs() / max < 1e-9);
+        assert!(min > 150.0e9);
+    }
+
+    #[test]
+    fn system_ii_bimodal_bandwidth() {
+        let (min, max) = pairwise_extremes(&system_ii(), PROBE_BYTES);
+        // paper: 184 GB/s adjacent vs ~15 GB/s distant
+        assert!(max > 150.0e9, "max {max}");
+        assert!(min < 20.0e9, "min {min}");
+        assert!(max / min > 10.0);
+    }
+
+    #[test]
+    fn collective_bandwidth_drops_on_system_ii() {
+        let sizes = [2, 4, 8];
+        let bw_i = probe_collective(&system_i(), &sizes, PROBE_BYTES);
+        let bw_ii = probe_collective(&system_ii(), &sizes, PROBE_BYTES);
+        // System I stays high at every group size
+        for p in &bw_i {
+            assert!(p.bandwidth > 150.0e9, "I: {:?}", p);
+        }
+        // System II: the 2-GPU group rides NVLink, 4+ hits the PCIe floor
+        assert!(bw_ii[0].bandwidth > 150.0e9);
+        assert!(bw_ii[1].bandwidth < 20.0e9);
+        assert!(bw_ii[2].bandwidth < 20.0e9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Analytic collective-communication cost model (alpha-beta, ring family).
+//!
+//! These estimators convert "which collective, how many bytes, which devices"
+//! into virtual seconds. They are what makes the simulated throughput curves
+//! follow the paper's: the ring bottleneck link differs between a
+//! full-NVLink System I and a partially connected System II, which flips the
+//! 1D-vs-2D/2.5D ranking exactly as in Fig 11.
+
+use crate::cluster::Cluster;
+use crate::device::DeviceId;
+
+/// Seconds for a ring all-reduce of `bytes` over `group`.
+///
+/// Standard ring model: `2 (p-1)` steps, each moving `bytes / p` across the
+/// slowest ring link.
+pub fn allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let link = cluster.ring_bottleneck(group);
+    let steps = 2 * (p - 1);
+    steps as f64 * (link.latency + bytes as f64 / p as f64 / link.bandwidth)
+}
+
+/// Seconds for a ring all-gather where each rank contributes `bytes_per_rank`
+/// and ends with `p * bytes_per_rank`.
+pub fn allgather_time(cluster: &Cluster, group: &[DeviceId], bytes_per_rank: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes_per_rank == 0 {
+        return 0.0;
+    }
+    let link = cluster.ring_bottleneck(group);
+    (p - 1) as f64 * (link.latency + bytes_per_rank as f64 / link.bandwidth)
+}
+
+/// Seconds for a ring reduce-scatter of a `bytes`-sized buffer (each rank
+/// keeps `bytes / p`).
+pub fn reduce_scatter_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let link = cluster.ring_bottleneck(group);
+    (p - 1) as f64 * (link.latency + bytes as f64 / p as f64 / link.bandwidth)
+}
+
+/// Seconds for a pipelined broadcast of `bytes` from `group[0]`.
+///
+/// Pipelined chunking makes large-message broadcast approach `bytes / B_min`,
+/// with a `(p-1) * alpha` pipeline fill.
+pub fn broadcast_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let link = cluster.ring_bottleneck(group);
+    (p - 1) as f64 * link.latency + bytes as f64 / link.bandwidth
+}
+
+/// Seconds for an all-to-all where every rank sends `bytes_per_pair` to every
+/// other rank (pairwise-exchange model on the bottleneck link).
+pub fn alltoall_time(cluster: &Cluster, group: &[DeviceId], bytes_per_pair: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes_per_pair == 0 {
+        return 0.0;
+    }
+    let link = cluster.ring_bottleneck(group);
+    (p - 1) as f64 * (link.latency + bytes_per_pair as f64 / link.bandwidth)
+}
+
+/// Seconds for a *hierarchical* all-reduce: ring reduce-scatter inside each
+/// node, ring all-reduce of the shards across node leaders, ring all-gather
+/// inside each node — the standard two-level NCCL strategy that keeps the
+/// bulk of the traffic on intra-node links.
+///
+/// `group` must contain whole groups of co-located devices; singleton nodes
+/// degrade gracefully to the flat ring.
+pub fn hierarchical_allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    // partition the group by node
+    let mut nodes: Vec<Vec<DeviceId>> = Vec::new();
+    for &d in group {
+        match nodes.iter_mut().find(|n| cluster.node(n[0]) == cluster.node(d)) {
+            Some(n) => n.push(d),
+            None => nodes.push(vec![d]),
+        }
+    }
+    if nodes.len() == 1 || nodes.iter().any(|n| n.len() != nodes[0].len()) {
+        // single node or ragged layout: flat ring
+        return allreduce_time(cluster, group, bytes);
+    }
+    let local = nodes[0].len();
+    let leaders: Vec<DeviceId> = nodes.iter().map(|n| n[0]).collect();
+    // phase 1: intra-node reduce-scatter (slowest node gates)
+    let t1 = nodes
+        .iter()
+        .map(|n| reduce_scatter_time(cluster, n, bytes))
+        .fold(0.0, f64::max);
+    // phase 2: cross-node all-reduce of each shard (1/local of the buffer)
+    let t2 = allreduce_time(cluster, &leaders, bytes / local as u64);
+    // phase 3: intra-node all-gather
+    let t3 = nodes
+        .iter()
+        .map(|n| allgather_time(cluster, n, bytes / local as u64))
+        .fold(0.0, f64::max);
+    t1 + t2 + t3
+}
+
+/// The "algorithm bandwidth" a bandwidth probe would report for a collective
+/// that moved `bytes` of payload in `seconds`: `bytes / seconds`. This is the
+/// quantity plotted in Fig 10b.
+pub fn algorithm_bandwidth(bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes as f64 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::device::{GpuSpec, HostSpec};
+    use crate::link::Link;
+
+    fn nvlink_box() -> Cluster {
+        let mut c = Cluster::homogeneous(
+            "box",
+            1,
+            8,
+            GpuSpec::a100(80),
+            HostSpec::dgx(),
+            Link::infiniband_hdr(),
+        );
+        c.full_mesh_intra_node(Link::nvlink());
+        c
+    }
+
+    fn pcie_box() -> Cluster {
+        // no explicit links: all intra-node pairs fall back to PCIe
+        Cluster::homogeneous(
+            "pcie-box",
+            1,
+            8,
+            GpuSpec::a100(80),
+            HostSpec::dgx(),
+            Link::infiniband_hdr(),
+        )
+    }
+
+    #[test]
+    fn allreduce_faster_on_nvlink() {
+        let group: Vec<usize> = (0..8).collect();
+        let bytes = 125 << 20;
+        let t_nv = allreduce_time(&nvlink_box(), &group, bytes);
+        let t_pcie = allreduce_time(&pcie_box(), &group, bytes);
+        assert!(t_nv < t_pcie / 5.0, "nvlink {t_nv} vs pcie {t_pcie}");
+    }
+
+    #[test]
+    fn trivial_groups_cost_nothing() {
+        let c = nvlink_box();
+        assert_eq!(allreduce_time(&c, &[0], 1 << 20), 0.0);
+        assert_eq!(allgather_time(&c, &[3], 1 << 20), 0.0);
+        assert_eq!(broadcast_time(&c, &[0, 1], 0), 0.0);
+    }
+
+    #[test]
+    fn allreduce_equals_reduce_scatter_plus_allgather() {
+        // ring all-reduce is definitionally RS + AG; the model must agree
+        let c = nvlink_box();
+        let group: Vec<usize> = (0..4).collect();
+        let bytes: u64 = 64 << 20;
+        let ar = allreduce_time(&c, &group, bytes);
+        let rs = reduce_scatter_time(&c, &group, bytes);
+        let ag = allgather_time(&c, &group, bytes / 4);
+        assert!((ar - (rs + ag)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_bandwidth_matches_fig10_shape() {
+        // Fig 10: 125 MB broadcast achieves ~link bandwidth on System I
+        let c = nvlink_box();
+        let group: Vec<usize> = (0..8).collect();
+        let bytes: u64 = 125 << 20;
+        let t = broadcast_time(&c, &group, bytes);
+        let bw = algorithm_bandwidth(bytes, t);
+        assert!(bw > 0.9 * Link::nvlink().bandwidth, "bw {bw}");
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // System III-style: 4 nodes x 4 GPUs, NVLink inside, IB between
+        let mut c = Cluster::homogeneous(
+            "multi",
+            4,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        c.full_mesh_intra_node(Link::nvlink());
+        let group: Vec<usize> = (0..16).collect();
+        let bytes = 256 << 20;
+        let flat = allreduce_time(&c, &group, bytes);
+        let hier = hierarchical_allreduce_time(&c, &group, bytes);
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat flat ring {flat} when the ring crosses IB"
+        );
+    }
+
+    #[test]
+    fn hierarchical_degrades_to_flat_on_one_node() {
+        let c = nvlink_box();
+        let group: Vec<usize> = (0..8).collect();
+        let bytes = 64 << 20;
+        assert_eq!(
+            hierarchical_allreduce_time(&c, &group, bytes),
+            allreduce_time(&c, &group, bytes)
+        );
+    }
+
+    #[test]
+    fn more_ranks_cost_more_per_allgather() {
+        let c = nvlink_box();
+        let t4 = allgather_time(&c, &(0..4).collect::<Vec<_>>(), 1 << 20);
+        let t8 = allgather_time(&c, &(0..8).collect::<Vec<_>>(), 1 << 20);
+        assert!(t8 > t4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Presets for the four experimental systems of Table 2.
+
+use crate::cluster::Cluster;
+use crate::device::{GpuSpec, HostSpec};
+use crate::link::Link;
+
+/// System I: one node, 8x A100-80GB, full-mesh NVLink between any pair
+/// (Fig 9a).
+pub fn system_i() -> Cluster {
+    let mut c = Cluster::homogeneous(
+        "System I",
+        1,
+        8,
+        GpuSpec::a100(80),
+        HostSpec::dgx(),
+        Link::infiniband_hdr(),
+    );
+    c.full_mesh_intra_node(Link::nvlink());
+    c
+}
+
+/// System II: one node, 8x A100-80GB, NVLink only between the four adjacent
+/// pairs (0-1, 2-3, 4-5, 6-7); all other pairs communicate over PCIe
+/// (Fig 9b).
+pub fn system_ii() -> Cluster {
+    let mut c = Cluster::homogeneous(
+        "System II",
+        1,
+        8,
+        GpuSpec::a100(80),
+        HostSpec::dgx(),
+        Link::infiniband_hdr(),
+    );
+    for pair in 0..4 {
+        c.add_link(2 * pair, 2 * pair + 1, Link::nvlink());
+    }
+    c
+}
+
+/// System III: 16 nodes x 4 A100-40GB, NVLink inside a node, InfiniBand HDR
+/// (200 Gb/s) between nodes.
+pub fn system_iii() -> Cluster {
+    let mut c = Cluster::homogeneous(
+        "System III",
+        16,
+        4,
+        GpuSpec::a100(40),
+        HostSpec::workstation(),
+        Link::infiniband_hdr(),
+    );
+    c.full_mesh_intra_node(Link::nvlink());
+    c
+}
+
+/// System IV: 64 nodes x 1 P100-16GB connected by the Cray Aries fabric.
+pub fn system_iv() -> Cluster {
+    Cluster::homogeneous(
+        "System IV",
+        64,
+        1,
+        GpuSpec::p100(),
+        HostSpec::workstation(),
+        Link::aries(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn table2_shapes() {
+        assert_eq!(system_i().n_devices(), 8);
+        assert_eq!(system_i().n_nodes(), 1);
+        assert_eq!(system_ii().n_devices(), 8);
+        assert_eq!(system_iii().n_devices(), 64);
+        assert_eq!(system_iii().n_nodes(), 16);
+        assert_eq!(system_iv().n_devices(), 64);
+        assert_eq!(system_iv().n_nodes(), 64);
+    }
+
+    #[test]
+    fn system_i_fully_connected() {
+        let c = system_i();
+        let all: Vec<usize> = (0..8).collect();
+        assert!(c.fully_nvlinked(&all));
+    }
+
+    #[test]
+    fn system_ii_adjacent_only() {
+        let c = system_ii();
+        assert_eq!(c.link(0, 1).kind, LinkKind::NvLink);
+        assert_eq!(c.link(6, 7).kind, LinkKind::NvLink);
+        assert_eq!(c.link(0, 2).kind, LinkKind::Pcie);
+        assert_eq!(c.link(1, 7).kind, LinkKind::Pcie);
+        assert!(!c.fully_nvlinked(&(0..8).collect::<Vec<_>>()));
+        assert!(c.fully_nvlinked(&[4, 5]));
+    }
+
+    #[test]
+    fn system_iii_cross_node_is_ib() {
+        let c = system_iii();
+        assert_eq!(c.link(0, 4).kind, LinkKind::InfiniBandHdr);
+        assert_eq!(c.link(0, 3).kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn system_iv_all_cross_node() {
+        let c = system_iv();
+        assert_eq!(c.link(0, 1).kind, LinkKind::Aries);
+        assert_eq!(c.gpu(0).name, "P100-16GB");
+    }
+
+    #[test]
+    fn memory_capacities_match_table2() {
+        assert_eq!(system_i().gpu(0).memory_bytes, 80 << 30);
+        assert_eq!(system_iii().gpu(0).memory_bytes, 40 << 30);
+        assert_eq!(system_iv().gpu(0).memory_bytes, 16 << 30);
+    }
+}

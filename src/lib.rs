@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the Colossal-AI reproduction workspace.
+pub use colossalai_autograd as autograd;
+pub use colossalai_comm as comm;
+pub use colossalai_core as core;
+pub use colossalai_memory as memory;
+pub use colossalai_models as models;
+pub use colossalai_parallel as parallel;
+pub use colossalai_tensor as tensor;
+pub use colossalai_topology as topology;

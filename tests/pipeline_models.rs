@@ -1,0 +1,157 @@
+//! Integration: pipeline parallelism over real Transformer blocks — the
+//! model-level version of the paper's pipeline experiments.
+
+use colossalai::comm::World;
+use colossalai::models::TransformerBlock;
+use colossalai::parallel::pipeline::{partition_layers, PipelineStage, Schedule};
+use colossalai::tensor::init;
+use colossalai::tensor::ops::cross_entropy;
+use colossalai::tensor::Tensor;
+use colossalai::topology::systems::system_iii;
+use colossalai_autograd::{Layer, Linear, Sequential};
+
+const DIM: usize = 8;
+const HEADS: usize = 2;
+const LAYERS: usize = 4;
+
+/// Builds the full model (blocks + head) from a shared seed; all ranks call
+/// this and keep only their slice.
+fn full_model(seed: u64) -> Vec<Box<dyn Layer>> {
+    let mut rng = init::rng(seed);
+    let mut layers: Vec<Box<dyn Layer>> = (0..LAYERS)
+        .map(|i| {
+            Box::new(TransformerBlock::new(&format!("blk{i}"), DIM, HEADS, 2, false, &mut rng))
+                as Box<dyn Layer>
+        })
+        .collect();
+    layers.push(Box::new(Linear::from_rng("head", DIM, 3, true, &mut rng)));
+    layers
+}
+
+fn stage_slice(seed: u64, stages: usize, stage: usize) -> Sequential {
+    let mut all = full_model(seed);
+    let parts = partition_layers(all.len(), stages);
+    let (start, end) = parts[stage];
+    let mut tail = all.split_off(start);
+    let _rest = tail.split_off(end - start);
+    Sequential::new(tail)
+}
+
+fn micro_batches(m: usize, seed: u64) -> (Vec<Tensor>, Vec<Vec<usize>>) {
+    let mut rng = init::rng(seed);
+    let micros = (0..m)
+        .map(|_| init::uniform([2, 3, DIM], -1.0, 1.0, &mut rng))
+        .collect();
+    let targets = (0..m).map(|i| vec![i % 3, (i + 1) % 3]).collect();
+    (micros, targets)
+}
+
+/// Token-mean logits head: pool over the sequence then classify — done by
+/// reshaping at loss time (mean over the 3 positions).
+fn loss_of(out: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    // out: [2, 3, 3] token logits; pool by mean over positions
+    let pooled = {
+        let mut p = colossalai::tensor::ops::sum_axis(out, 1);
+        p.scale(1.0 / 3.0);
+        p
+    };
+    let (loss, dpooled) = cross_entropy(&pooled, targets);
+    // un-pool gradient
+    let mut d = Tensor::zeros(out.shape().clone());
+    for b in 0..2 {
+        for s in 0..3 {
+            for c in 0..3 {
+                d.set(&[b, s, c], dpooled.at(&[b, c]) / 3.0);
+            }
+        }
+    }
+    (loss, d)
+}
+
+fn serial_reference(seed: u64, m: usize) -> (f32, Vec<Tensor>) {
+    let mut model = Sequential::new(full_model(seed));
+    let (micros, targets) = micro_batches(m, 1000 + seed);
+    let mut total = 0.0;
+    for (x, t) in micros.iter().zip(&targets) {
+        let out = model.forward(x);
+        let (loss, d) = loss_of(&out, t);
+        total += loss;
+        let _ = model.backward(&d);
+    }
+    let mut grads = Vec::new();
+    model.visit_params(&mut |p| grads.push(p.grad().clone()));
+    (total / m as f32, grads)
+}
+
+fn pipeline_run(schedule: Schedule, stages: usize, m: usize, seed: u64) -> (f32, Vec<Tensor>) {
+    let world = World::new(system_iii());
+    let (micros, targets) = micro_batches(m, 1000 + seed);
+    let results = world.run_on(stages, |ctx| {
+        let devices: Vec<usize> = (0..stages).collect();
+        let mut stage = PipelineStage::new(ctx, &devices, stage_slice(seed, stages, ctx.rank()));
+        let mut lf = |micro: u64, out: &Tensor| loss_of(out, &targets[micro as usize]);
+        let loss = stage.run_step(
+            schedule,
+            stage.is_first().then_some(&micros[..]),
+            stage
+                .is_last()
+                .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
+            m,
+        );
+        let mut grads = Vec::new();
+        stage.visit_params(&mut |p| grads.push(p.grad().clone()));
+        (loss, grads)
+    });
+    let loss = results[stages - 1].0;
+    let grads = results.into_iter().flat_map(|(_, g)| g).collect();
+    (loss, grads)
+}
+
+#[test]
+fn transformer_pipeline_gpipe_matches_serial() {
+    let (want_loss, want_grads) = serial_reference(11, 4);
+    let (loss, grads) = pipeline_run(Schedule::GPipe, 2, 4, 11);
+    assert!((loss - want_loss).abs() < 1e-5, "{loss} vs {want_loss}");
+    assert_eq!(grads.len(), want_grads.len());
+    for (g, w) in grads.iter().zip(&want_grads) {
+        assert!(g.allclose(w, 2e-4), "grad diff {}", g.max_abs_diff(w));
+    }
+}
+
+#[test]
+fn transformer_pipeline_1f1b_matches_serial_3_stages() {
+    let (want_loss, want_grads) = serial_reference(12, 6);
+    let (loss, grads) = pipeline_run(Schedule::OneFOneB, 3, 6, 12);
+    assert!((loss - want_loss).abs() < 1e-5);
+    for (g, w) in grads.iter().zip(&want_grads) {
+        assert!(g.allclose(w, 2e-4), "grad diff {}", g.max_abs_diff(w));
+    }
+}
+
+#[test]
+fn pipeline_cross_node_costs_more_virtual_time() {
+    // stages on System III land on different nodes after 4 devices; more
+    // stages = more inter-stage traffic = more virtual time per step
+    let time_of = |stages: usize| -> f64 {
+        let world = World::new(system_iii());
+        let (micros, targets) = micro_batches(4, 77);
+        let clocks = world.run_on(stages, |ctx| {
+            let devices: Vec<usize> = (0..stages).collect();
+            let mut stage = PipelineStage::new(ctx, &devices, stage_slice(13, stages, ctx.rank()));
+            let mut lf = |micro: u64, out: &Tensor| loss_of(out, &targets[micro as usize]);
+            let _ = stage.run_step(
+                Schedule::GPipe,
+                stage.is_first().then_some(&micros[..]),
+                stage
+                    .is_last()
+                    .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
+                4,
+            );
+            ctx.clock()
+        });
+        clocks.into_iter().fold(0.0, f64::max)
+    };
+    let t1 = time_of(1);
+    let t2 = time_of(2);
+    assert!(t2 > t1, "inter-stage hops must cost virtual time: {t2} vs {t1}");
+}
