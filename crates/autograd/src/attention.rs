@@ -14,7 +14,11 @@ const MASK_VALUE: f32 = -1.0e9;
 /// Splits `[b, s, d]` into per-head batches `[b*h, s, d/h]`.
 pub fn split_heads(x: &Tensor, heads: usize) -> Tensor {
     let (b, s, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
-    assert_eq!(d % heads, 0, "hidden size {d} not divisible by {heads} heads");
+    assert_eq!(
+        d % heads,
+        0,
+        "hidden size {d} not divisible by {heads} heads"
+    );
     let dk = d / heads;
     x.reshape([b, s, heads, dk])
         .permute(&[0, 2, 1, 3])
@@ -52,7 +56,11 @@ struct AttnCache {
 
 impl MultiHeadAttention {
     pub fn new(name: &str, dim: usize, heads: usize, causal: bool, rng: &mut InitRng) -> Self {
-        assert_eq!(dim % heads, 0, "hidden size {dim} not divisible by {heads} heads");
+        assert_eq!(
+            dim % heads,
+            0,
+            "hidden size {dim} not divisible by {heads} heads"
+        );
         MultiHeadAttention {
             wq: Linear::from_rng(&format!("{name}.q"), dim, dim, true, rng),
             wk: Linear::from_rng(&format!("{name}.k"), dim, dim, true, rng),
@@ -66,7 +74,14 @@ impl MultiHeadAttention {
 
     /// Builds from pre-constructed projections (used by tensor-parallel
     /// shards, which split the projections by head).
-    pub fn from_parts(wq: Linear, wk: Linear, wv: Linear, wo: Linear, heads: usize, causal: bool) -> Self {
+    pub fn from_parts(
+        wq: Linear,
+        wk: Linear,
+        wv: Linear,
+        wo: Linear,
+        heads: usize,
+        causal: bool,
+    ) -> Self {
         MultiHeadAttention {
             wq,
             wk,

@@ -15,7 +15,10 @@ pub struct Embedding {
 impl Embedding {
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut InitRng) -> Self {
         Embedding {
-            table: Param::new(format!("{name}.table"), init::normal([vocab, dim], 0.0, 0.02, rng)),
+            table: Param::new(
+                format!("{name}.table"),
+                init::normal([vocab, dim], 0.0, 0.02, rng),
+            ),
             cached_indices: None,
         }
     }
@@ -60,7 +63,11 @@ impl Layer for Embedding {
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let indices = self.cached_indices.take().expect("backward before forward");
         let dim = self.dim();
-        assert_eq!(dy.numel(), indices.len() * dim, "upstream gradient shape mismatch");
+        assert_eq!(
+            dy.numel(),
+            indices.len() * dim,
+            "upstream gradient shape mismatch"
+        );
         {
             let grad = self.table.grad_mut().data_mut();
             for (row, &i) in indices.iter().enumerate() {
@@ -87,7 +94,10 @@ pub struct PositionEmbedding {
 impl PositionEmbedding {
     pub fn new(name: &str, max_len: usize, dim: usize, rng: &mut InitRng) -> Self {
         PositionEmbedding {
-            table: Param::new(format!("{name}.pos"), init::normal([max_len, dim], 0.0, 0.02, rng)),
+            table: Param::new(
+                format!("{name}.pos"),
+                init::normal([max_len, dim], 0.0, 0.02, rng),
+            ),
         }
     }
 }
@@ -96,7 +106,10 @@ impl Layer for PositionEmbedding {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 3, "position embedding expects [b, s, d]");
         let (b, s, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
-        assert!(s <= self.table.value().dims()[0], "sequence longer than max_len");
+        assert!(
+            s <= self.table.value().dims()[0],
+            "sequence longer than max_len"
+        );
         assert_eq!(d, self.table.value().dims()[1], "dim mismatch");
         let mut out = x.clone();
         for bi in 0..b {

@@ -44,8 +44,7 @@ impl LrSchedule {
                 if step < warmup {
                     warmup_factor(step, warmup)
                 } else {
-                    let progress =
-                        ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
+                    let progress = ((step - warmup) as f32 / (total - warmup) as f32).min(1.0);
                     let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                     min_factor + (1.0 - min_factor) * cos
                 }
@@ -117,8 +116,15 @@ mod tests {
     #[test]
     fn schedules_are_monotone_after_warmup() {
         for sched in [
-            LrSchedule::WarmupLinear { warmup: 5, total: 50 },
-            LrSchedule::WarmupCosine { warmup: 5, total: 50, min_factor: 0.0 },
+            LrSchedule::WarmupLinear {
+                warmup: 5,
+                total: 50,
+            },
+            LrSchedule::WarmupCosine {
+                warmup: 5,
+                total: 50,
+                min_factor: 0.0,
+            },
         ] {
             let mut prev = f32::INFINITY;
             for s in 5..60 {

@@ -151,8 +151,14 @@ impl AdamW {
             });
         }
         self.t += 1;
-        let (t, lr, b1, b2, eps, wd) =
-            (self.t, self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (t, lr, b1, b2, eps, wd) = (
+            self.t,
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+        );
         let state = &mut self.state;
         let mut idx = 0;
         layer.visit_params(&mut |p| {
@@ -285,7 +291,18 @@ mod tests {
         let mut v = vec![0.0; 2];
         let grad = p.grad().data().to_vec();
         opt.step(&mut [&mut p]);
-        adamw_update(&mut manual_param, &grad, &mut m, &mut v, 1, 0.01, 0.9, 0.999, 1e-8, 0.1);
+        adamw_update(
+            &mut manual_param,
+            &grad,
+            &mut m,
+            &mut v,
+            1,
+            0.01,
+            0.9,
+            0.999,
+            1e-8,
+            0.1,
+        );
         assert_eq!(p.value().data(), &manual_param[..]);
     }
 

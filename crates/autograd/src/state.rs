@@ -143,8 +143,8 @@ impl StateDict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::linear::Linear;
     use crate::layer::Sequential;
+    use crate::linear::Linear;
     use colossalai_tensor::init;
 
     fn model(seed: u64) -> Sequential {

@@ -3,9 +3,9 @@
 //! ablation compares *modeled PCIe seconds* per training pass, which is the
 //! quantity the chunk strategy actually optimizes (Section 3.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use colossalai_memory::ChunkManager;
 use colossalai_topology::Link;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 /// One "training pass": read every registered tensor once, in order.
 fn pass(mgr: &mut ChunkManager, refs: &[colossalai_memory::TensorRef]) {
@@ -14,7 +14,12 @@ fn pass(mgr: &mut ChunkManager, refs: &[colossalai_memory::TensorRef]) {
     }
 }
 
-fn setup(chunk_elems: usize, n_tensors: usize, tensor_elems: usize, budget_frac: f64) -> (ChunkManager, Vec<colossalai_memory::TensorRef>) {
+fn setup(
+    chunk_elems: usize,
+    n_tensors: usize,
+    tensor_elems: usize,
+    budget_frac: f64,
+) -> (ChunkManager, Vec<colossalai_memory::TensorRef>) {
     let total_bytes = (n_tensors * tensor_elems * 4) as u64;
     let budget = (total_bytes as f64 * budget_frac) as u64;
     let mut mgr = ChunkManager::new(chunk_elems, budget, Link::pcie());
@@ -47,7 +52,10 @@ fn bench_chunking(c: &mut Criterion) {
 
     // the modeled-cost ablation the bench name promises
     println!("\n== chunk ablation: modeled PCIe seconds for 2 passes over 64 x 1KiB tensors at 50% GPU budget ==");
-    for (label, chunk_elems) in [("per-tensor (256 el)", 256usize), ("chunked (4096 el)", 4096)] {
+    for (label, chunk_elems) in [
+        ("per-tensor (256 el)", 256usize),
+        ("chunked (4096 el)", 4096),
+    ] {
         let (mut mgr, refs) = setup(chunk_elems, n_tensors, tensor_elems, 0.5);
         pass(&mut mgr, &refs);
         pass(&mut mgr, &refs);

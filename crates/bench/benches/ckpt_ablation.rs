@@ -2,19 +2,25 @@
 //! recompute it costs (wall time) and the activation memory it saves
 //! (modeled), the trade Colossal-AI's search integrates (Section 3.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use colossalai_autograd::{Checkpoint, Layer, Sequential};
 use colossalai_models::{TransformerBlock, TransformerConfig};
 use colossalai_tensor::init;
 use colossalai_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn make_blocks(n: usize, dim: usize, heads: usize) -> Sequential {
     let mut rng = init::rng(5);
     Sequential::new(
         (0..n)
             .map(|i| {
-                Box::new(TransformerBlock::new(&format!("b{i}"), dim, heads, 2, false, &mut rng))
-                    as Box<dyn Layer>
+                Box::new(TransformerBlock::new(
+                    &format!("b{i}"),
+                    dim,
+                    heads,
+                    2,
+                    false,
+                    &mut rng,
+                )) as Box<dyn Layer>
             })
             .collect(),
     )
@@ -53,7 +59,9 @@ fn bench_ckpt(c: &mut Criterion) {
     let (batch, seq) = (32usize, 512usize);
     let plain = cfg.activation_bytes(batch, seq);
     let ckpt = cfg.layers as u64
-        * colossalai_autograd::checkpoint::checkpointed_activation_bytes((batch * seq * cfg.hidden) as u64)
+        * colossalai_autograd::checkpoint::checkpointed_activation_bytes(
+            (batch * seq * cfg.hidden) as u64,
+        )
         + cfg.activation_bytes_per_layer(batch, seq);
     println!(
         "plain: {:.2} GiB | checkpointed: {:.2} GiB ({:.1}x less) at +1 forward of compute",

@@ -1,10 +1,10 @@
 //! Criterion bench: wall-clock cost of the thread-backed collectives (the
 //! substrate every parallel mode rides on).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use colossalai_comm::World;
 use colossalai_tensor::Tensor;
 use colossalai_topology::systems::system_i;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");

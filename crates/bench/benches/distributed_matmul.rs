@@ -1,7 +1,6 @@
 //! Criterion bench: fwd+bwd of the distributed linear layers (1D column/row
 //! vs 2D SUMMA vs 3D) at a fixed problem size, against the serial kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use colossalai_autograd::{Layer, Linear};
 use colossalai_comm::World;
 use colossalai_parallel::tp1d::ColumnParallelLinear;
@@ -9,6 +8,7 @@ use colossalai_parallel::tp2d::{tile_of, Grid2d, Linear2d};
 use colossalai_parallel::tp3d::{tile_x_3d, tile_y_3d, Grid3d, Linear3d};
 use colossalai_tensor::init;
 use colossalai_topology::systems::system_i;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 const M: usize = 64;
 const K: usize = 64;

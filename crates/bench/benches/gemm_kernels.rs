@@ -1,0 +1,101 @@
+//! Criterion bench: local GEMM kernel generations on transformer shapes.
+//!
+//! Compares the two seed kernels (`gemm_ref_ikj`, `gemm_ref_blocked`) against
+//! the packed register-blocked core (`kernel::gemm_mat`) and its row-panel
+//! threaded variant, on shapes a transformer actually hits:
+//!
+//! * `512x512x512` — the square reference point quoted in `results/`;
+//! * `128x768x768`  — BERT-base attention output projection, 128 tokens;
+//! * `128x768x3072` — BERT-base MLP up-projection, 128 tokens;
+//! * `64x64x64`     — a per-device tile after 2D/3D sharding.
+//!
+//! Run with `cargo bench --bench gemm_kernels`; numbers are recorded in
+//! `results/gemm_kernels.txt`.
+
+use colossalai_tensor::kernel::{gemm_mat, gemm_mat_threaded, Mat};
+use colossalai_tensor::matmul::{gemm_ref_blocked, gemm_ref_ikj, matmul_flops};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SHAPES: &[(usize, usize, usize)] = &[
+    (512, 512, 512),
+    (128, 768, 768),
+    (128, 768, 3072),
+    (64, 64, 64),
+];
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.sample_size(10);
+    for &(m, k, n) in SHAPES {
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 5);
+        let mut out = vec![0.0f32; m * n];
+        let gflop = matmul_flops(m, k, n) as f64 / 1e9;
+        let label = |kernel: &str| format!("{kernel}/{m}x{k}x{n} ({gflop:.2} GFLOP)");
+
+        group.bench_function(label("seed_ikj"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                gemm_ref_ikj(&a, &b, &mut out, m, k, n);
+                std::hint::black_box(&mut out);
+            });
+        });
+
+        group.bench_function(label("seed_blocked"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                gemm_ref_blocked(&a, &b, &mut out, m, k, n);
+                std::hint::black_box(&mut out);
+            });
+        });
+
+        group.bench_function(label("packed"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                gemm_mat(
+                    Mat::row_major(&a, k),
+                    Mat::row_major(&b, n),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                std::hint::black_box(&mut out);
+            });
+        });
+
+        for threads in [2, 4] {
+            group.bench_function(label(&format!("packed_{threads}thr")), |bch| {
+                bch.iter(|| {
+                    out.iter_mut().for_each(|x| *x = 0.0);
+                    gemm_mat_threaded(
+                        Mat::row_major(&a, k),
+                        Mat::row_major(&b, n),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                        threads,
+                    );
+                    std::hint::black_box(&mut out);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

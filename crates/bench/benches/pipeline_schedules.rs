@@ -1,7 +1,6 @@
 //! Criterion bench + ablation: GPipe vs 1F1B schedules — real execution
 //! wall time plus the modeled bubble/memory trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use colossalai_autograd::{Gelu, Linear, Sequential};
 use colossalai_comm::World;
 use colossalai_parallel::pipeline::{bubble_fraction, PipelineStage, Schedule};
@@ -9,6 +8,7 @@ use colossalai_tensor::init::{self, InitRng};
 use colossalai_tensor::ops::cross_entropy;
 use colossalai_tensor::Tensor;
 use colossalai_topology::systems::system_i;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn stage_layers(rng: &mut InitRng) -> Sequential {
     Sequential::new(vec![
@@ -22,8 +22,8 @@ fn run_schedule(schedule: Schedule, p: usize, m: usize) {
     world.run_on(p, |ctx| {
         let devices: Vec<usize> = (0..p).collect();
         let mut rng = init::rng(9); // same seed on all ranks
-        // each rank keeps one chunk of a 2*p-layer model: build p chunks,
-        // keep ours (cheap enough at bench scale)
+                                    // each rank keeps one chunk of a 2*p-layer model: build p chunks,
+                                    // keep ours (cheap enough at bench scale)
         let mut chunks: Vec<Sequential> = (0..p).map(|_| stage_layers(&mut rng)).collect();
         let mine = chunks.swap_remove(ctx.rank());
         let mut stage = PipelineStage::new(ctx, &devices, mine);

@@ -19,10 +19,24 @@ fn main() {
     for p in [4usize, 6, 8, 12] {
         let devices: Vec<usize> = (0..p).collect();
         let sp_b = max_batch(SeqMode::SequenceParallel, &cfg, seq, p, capacity);
-        let sp = bert_step(SeqMode::SequenceParallel, &cfg, &cluster, &devices, sp_b, seq);
+        let sp = bert_step(
+            SeqMode::SequenceParallel,
+            &cfg,
+            &cluster,
+            &devices,
+            sp_b,
+            seq,
+        );
         let (tp_cell, ratio) = if seq_mode_admits(SeqMode::TensorParallel1d, &cfg, p) {
             let tp_b = max_batch(SeqMode::TensorParallel1d, &cfg, seq, p, capacity);
-            let tp = bert_step(SeqMode::TensorParallel1d, &cfg, &cluster, &devices, tp_b, seq);
+            let tp = bert_step(
+                SeqMode::TensorParallel1d,
+                &cfg,
+                &cluster,
+                &devices,
+                tp_b,
+                seq,
+            );
             (
                 format!("{:.1} (b={})", tp.throughput(), tp_b),
                 format!("{:.2}x", sp.throughput() / tp.throughput()),

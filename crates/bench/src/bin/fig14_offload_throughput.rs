@@ -34,7 +34,12 @@ fn main() {
     }
     print_table(
         "Fig 14: GPT-2 10B throughput (samples/s), batch 4/GPU on System II",
-        &["#GPUs", "DeepSpeed (static offload)", "Colossal-AI (adaptive)", "speedup"],
+        &[
+            "#GPUs",
+            "DeepSpeed (static offload)",
+            "Colossal-AI (adaptive)",
+            "speedup",
+        ],
         &rows,
     );
 
@@ -47,9 +52,18 @@ fn main() {
         "OPT-13B, batch 32/GPU, 8 GPUs",
         &["system", "samples/s"],
         &[
-            vec!["DeepSpeed (static)".into(), format!("{:.2}", s.throughput())],
-            vec!["Colossal-AI (adaptive)".into(), format!("{:.2}", a.throughput())],
-            vec!["speedup".into(), format!("{:.2}x", a.throughput() / s.throughput())],
+            vec![
+                "DeepSpeed (static)".into(),
+                format!("{:.2}", s.throughput()),
+            ],
+            vec![
+                "Colossal-AI (adaptive)".into(),
+                format!("{:.2}", a.throughput()),
+            ],
+            vec![
+                "speedup".into(),
+                format!("{:.2}x", a.throughput() / s.throughput()),
+            ],
         ],
     );
     println!(

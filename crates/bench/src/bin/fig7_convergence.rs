@@ -153,9 +153,7 @@ fn parallel_mlp_losses(mode: &str, p: usize, h: usize, data: &SyntheticVision) -
             // run fwd through both layers with a ReLU between; the ReLU is
             // elementwise so it applies to tiles directly
             let loss = match &mut m {
-                M::D2(grid, l1, l2) => {
-                    step_2d(ctx, grid, l1, l2, &x, &t)
-                }
+                M::D2(grid, l1, l2) => step_2d(ctx, grid, l1, l2, &x, &t),
                 M::D25(grid, l1, l2) => step_25d(ctx, grid, l1, l2, &x, &t),
                 M::D3(grid, l1, l2) => step_3d(ctx, grid, l1, l2, &x, &t),
             };

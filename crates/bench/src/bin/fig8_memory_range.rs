@@ -21,7 +21,12 @@ fn scan(
     for &(batch, hidden) in points {
         let mut row = vec![batch.to_string(), hidden.to_string()];
         for mode in modes {
-            row.push(fmt_bytes(fig8_peak_bytes(*mode, batch * SEQ_ROWS, hidden, p)));
+            row.push(fmt_bytes(fig8_peak_bytes(
+                *mode,
+                batch * SEQ_ROWS,
+                hidden,
+                p,
+            )));
         }
         rows.push(row);
     }
@@ -29,7 +34,11 @@ fn scan(
 }
 
 fn main() {
-    let modes4 = [TpMode::OneD, TpMode::TwoD, TpMode::TwoPointFiveD { depth: 1 }];
+    let modes4 = [
+        TpMode::OneD,
+        TpMode::TwoD,
+        TpMode::TwoPointFiveD { depth: 1 },
+    ];
     let modes8 = [
         TpMode::OneD,
         TpMode::TwoPointFiveD { depth: 2 },
@@ -37,23 +46,45 @@ fn main() {
     ];
 
     // Fig 8a/8b: batch scan at fixed hidden
-    let batch_points: Vec<(u64, u64)> =
-        [32u64, 64, 128, 256, 512].iter().map(|&b| (b, 4096)).collect();
-    scan("Fig 8a: batch scan, 4 GPUs (hidden = 4096)", &modes4, &batch_points, 4);
-    scan("Fig 8b: batch scan, 8 GPUs (hidden = 4096)", &modes8, &batch_points, 8);
+    let batch_points: Vec<(u64, u64)> = [32u64, 64, 128, 256, 512]
+        .iter()
+        .map(|&b| (b, 4096))
+        .collect();
+    scan(
+        "Fig 8a: batch scan, 4 GPUs (hidden = 4096)",
+        &modes4,
+        &batch_points,
+        4,
+    );
+    scan(
+        "Fig 8b: batch scan, 8 GPUs (hidden = 4096)",
+        &modes8,
+        &batch_points,
+        8,
+    );
 
     // Fig 8c/8d: hidden scan at fixed batch
     let hidden_points: Vec<(u64, u64)> = [1024u64, 2048, 4096, 8192, 16384]
         .iter()
         .map(|&h| (64, h))
         .collect();
-    scan("Fig 8c: hidden scan, 4 GPUs (batch = 64)", &modes4, &hidden_points, 4);
-    scan("Fig 8d: hidden scan, 8 GPUs (batch = 64)", &modes8, &hidden_points, 8);
+    scan(
+        "Fig 8c: hidden scan, 4 GPUs (batch = 64)",
+        &modes4,
+        &hidden_points,
+        4,
+    );
+    scan(
+        "Fig 8d: hidden scan, 8 GPUs (batch = 64)",
+        &modes8,
+        &hidden_points,
+        8,
+    );
 
     // the paper's headline percentages
     let b512 = 512 * SEQ_ROWS;
-    let s25 =
-        1.0 - fig8_peak_bytes(TpMode::TwoPointFiveD { depth: 2 }, b512, 4096, 8) as f64
+    let s25 = 1.0
+        - fig8_peak_bytes(TpMode::TwoPointFiveD { depth: 2 }, b512, 4096, 8) as f64
             / fig8_peak_bytes(TpMode::OneD, b512, 4096, 8) as f64;
     let s3 = 1.0
         - fig8_peak_bytes(TpMode::ThreeD, b512, 4096, 8) as f64

@@ -24,7 +24,7 @@ fn run(schedule: Schedule) -> (Vec<Vec<TraceEvent>>, f64) {
         let devices: Vec<usize> = (0..P).collect();
         let mut srng = init::rng(7 + ctx.rank() as u64);
         let layers = Sequential::new(vec![
-            Box::new(Linear::from_rng("l", 8, 8, true, &mut srng)) as Box<dyn Layer>,
+            Box::new(Linear::from_rng("l", 8, 8, true, &mut srng)) as Box<dyn Layer>
         ]);
         let mut stage = PipelineStage::new(ctx, &devices, layers);
         stage.micro_forward_seconds = T_FWD;

@@ -7,7 +7,9 @@ use colossalai_bench::print_table;
 use colossalai_memory::offload::PlacementPolicy;
 use colossalai_models::TransformerConfig;
 use colossalai_parallel::memcalc::{self, SeqMode};
-use colossalai_parallel::throughput::{bert_pipeline_step, bert_step, offload_step, tp_best_throughput};
+use colossalai_parallel::throughput::{
+    bert_pipeline_step, bert_step, offload_step, tp_best_throughput,
+};
 use colossalai_parallel::volume::TpMode;
 use colossalai_topology::bandwidth::pairwise_extremes;
 use colossalai_topology::systems::{system_i, system_ii, system_iii, system_iv};
@@ -20,7 +22,11 @@ fn main() {
 
     // E1 — Table 1 / Fig 5
     {
-        let shape = colossalai_parallel::volume::MatmulShape { b: 32, s: 512, h: 1024 };
+        let shape = colossalai_parallel::volume::MatmulShape {
+            b: 32,
+            s: 512,
+            h: 1024,
+        };
         let v1 = TpMode::OneD.volume(shape, 64) as f64;
         let v3 = TpMode::ThreeD.volume(shape, 64) as f64;
         row(
@@ -121,8 +127,26 @@ fn main() {
         let cfg = TransformerConfig::bert_base();
         let cluster = system_iii();
         let devices: Vec<usize> = (0..4).collect();
-        let tp = bert_pipeline_step(SeqMode::TensorParallel1d, &cfg, &cluster, &devices, 64, 512, 4, 8);
-        let sp = bert_pipeline_step(SeqMode::SequenceParallel, &cfg, &cluster, &devices, 64, 512, 4, 8);
+        let tp = bert_pipeline_step(
+            SeqMode::TensorParallel1d,
+            &cfg,
+            &cluster,
+            &devices,
+            64,
+            512,
+            4,
+            8,
+        );
+        let sp = bert_pipeline_step(
+            SeqMode::SequenceParallel,
+            &cfg,
+            &cluster,
+            &devices,
+            64,
+            512,
+            4,
+            8,
+        );
         let flat_tp = bert_step(SeqMode::TensorParallel1d, &cfg, &cluster, &devices, 64, 512);
         let flat_sp = bert_step(SeqMode::SequenceParallel, &cfg, &cluster, &devices, 64, 512);
         row(

@@ -13,16 +13,40 @@ fn main() {
     // (gpus, modes) per Table 3 row group; model config per the paper:
     // 24L/2048h/32H for 4-8 GPUs, 32L/4096h/64H from 16 GPUs on
     let row_groups: Vec<(usize, Vec<TpMode>)> = vec![
-        (4, vec![TpMode::OneD, TpMode::TwoD, TpMode::TwoPointFiveD { depth: 1 }]),
-        (8, vec![TpMode::OneD, TpMode::TwoPointFiveD { depth: 2 }, TpMode::ThreeD]),
-        (16, vec![TpMode::OneD, TpMode::TwoD, TpMode::TwoPointFiveD { depth: 1 }]),
+        (
+            4,
+            vec![
+                TpMode::OneD,
+                TpMode::TwoD,
+                TpMode::TwoPointFiveD { depth: 1 },
+            ],
+        ),
+        (
+            8,
+            vec![
+                TpMode::OneD,
+                TpMode::TwoPointFiveD { depth: 2 },
+                TpMode::ThreeD,
+            ],
+        ),
+        (
+            16,
+            vec![
+                TpMode::OneD,
+                TpMode::TwoD,
+                TpMode::TwoPointFiveD { depth: 1 },
+            ],
+        ),
         (32, vec![TpMode::OneD, TpMode::TwoPointFiveD { depth: 2 }]),
-        (64, vec![
-            TpMode::OneD,
-            TpMode::TwoD,
-            TpMode::TwoPointFiveD { depth: 4 },
-            TpMode::ThreeD,
-        ]),
+        (
+            64,
+            vec![
+                TpMode::OneD,
+                TpMode::TwoD,
+                TpMode::TwoPointFiveD { depth: 4 },
+                TpMode::ThreeD,
+            ],
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -58,7 +82,16 @@ fn main() {
     }
     print_table(
         "Table 3: tensor-parallel ViT throughput on System IV",
-        &["#GPUs", "mode", "layers", "hidden", "heads", "batch", "img/s", "speedup vs 1D"],
+        &[
+            "#GPUs",
+            "mode",
+            "layers",
+            "hidden",
+            "heads",
+            "batch",
+            "img/s",
+            "speedup vs 1D",
+        ],
         &rows,
     );
     println!(

@@ -127,7 +127,10 @@ impl Group {
         while st.phase == Phase::Distribute {
             shared.cv.wait(&mut st);
         }
-        assert!(st.inputs[self.my_index].is_none(), "rank reentered collective");
+        assert!(
+            st.inputs[self.my_index].is_none(),
+            "rank reentered collective"
+        );
         st.inputs[self.my_index] = Some(input);
         st.arrived += 1;
         st.t_max = st.t_max.max(ctx.clock());
@@ -146,7 +149,9 @@ impl Group {
                 shared.cv.wait(&mut st);
             }
         }
-        let out = st.outputs[self.my_index].take().expect("output already taken");
+        let out = st.outputs[self.my_index]
+            .take()
+            .expect("output already taken");
         let t_done = st.t_done;
         st.picked += 1;
         if st.picked == p {
@@ -242,9 +247,19 @@ impl Group {
         })
     }
 
-    /// Broadcast from group-rank `root`. Non-root ranks' inputs are ignored
-    /// (pass an empty tensor, e.g. `Tensor::zeros([0])`).
+    /// Broadcast from group-rank `root` at FP32 wire width. Non-root ranks'
+    /// inputs are ignored (pass an empty tensor, e.g. `Tensor::zeros([0])`).
     pub fn broadcast(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        self.broadcast_wire(ctx, t, root, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::broadcast`] (mixed-precision parameter
+    /// fan-out charges half the bytes on the wire).
+    pub fn broadcast_half(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        self.broadcast_wire(ctx, t, root, Wire::F16)
+    }
+
+    fn broadcast_wire(&self, ctx: &DeviceCtx, t: Tensor, root: usize, wire: Wire) -> Tensor {
         let p = self.size();
         assert!(root < p, "broadcast root {root} out of range");
         let members = self.members().to_vec();
@@ -252,9 +267,9 @@ impl Group {
         self.rendezvous(ctx, t, move |inputs| {
             let src = inputs[root].clone();
             let n = src.numel() as u64;
-            let cost = cost::broadcast_time(&cluster, &members, n * 4);
+            let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
-            (vec![src; p], cost, OpKind::Broadcast, elements, Wire::F32)
+            (vec![src; p], cost, OpKind::Broadcast, elements, wire)
         })
     }
 
@@ -288,7 +303,13 @@ impl Group {
             let contrib = inputs[0].numel() as u64;
             let full = Tensor::cat(inputs, dim);
             let outs = (0..p)
-                .map(|r| if r == root { full.clone() } else { Tensor::zeros([0]) })
+                .map(|r| {
+                    if r == root {
+                        full.clone()
+                    } else {
+                        Tensor::zeros([0])
+                    }
+                })
                 .collect();
             let cost = cost::alltoall_time(&cluster, &members, contrib * 4);
             let elements = (p as u64 - 1) * contrib;
@@ -352,7 +373,13 @@ impl Group {
             }
             let n = sum.numel() as u64;
             let outs = (0..p)
-                .map(|r| if r == root { sum.clone() } else { Tensor::zeros([0]) })
+                .map(|r| {
+                    if r == root {
+                        sum.clone()
+                    } else {
+                        Tensor::zeros([0])
+                    }
+                })
                 .collect();
             let cost = cost::broadcast_time(&cluster, &members, n * 4);
             let elements = (p as u64 - 1) * n;
@@ -367,7 +394,13 @@ impl Group {
         let cluster = ctx.cluster().clone();
         let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
             let cost = cost::allreduce_time(&cluster, &members, 4);
-            (vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, Wire::F32)
+            (
+                vec![Tensor::zeros([0]); p],
+                cost,
+                OpKind::Barrier,
+                0,
+                Wire::F32,
+            )
         });
     }
 }
@@ -487,7 +520,10 @@ mod tests {
         let out = world.run_on(2, |ctx| {
             let g = ctx.world_group(2);
             // rank r holds [r*10, r*10+1]
-            let t = Tensor::from_vec([2], vec![ctx.rank() as f32 * 10.0, ctx.rank() as f32 * 10.0 + 1.0]);
+            let t = Tensor::from_vec(
+                [2],
+                vec![ctx.rank() as f32 * 10.0, ctx.rank() as f32 * 10.0 + 1.0],
+            );
             g.all_to_all(ctx, t, 0)
         });
         assert_eq!(out[0].data(), &[0., 10.]);
@@ -512,7 +548,11 @@ mod tests {
     fn subgroups_are_independent() {
         let world = World::new(system_i());
         let out = world.run_on(4, |ctx| {
-            let members: Vec<usize> = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let members: Vec<usize> = if ctx.rank() < 2 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            };
             let g = ctx.group(&members);
             g.all_reduce(ctx, Tensor::scalar(1.0)).item()
         });
@@ -536,12 +576,23 @@ mod tests {
                 ctx.clock()
             });
             for c in &clocks {
-                assert!((c - expected).abs() < 1e-12, "system {name}: {c} vs {expected}");
+                assert!(
+                    (c - expected).abs() < 1e-12,
+                    "system {name}: {c} vs {expected}"
+                );
             }
         }
         // System II must be slower than System I for the same collective
-        let t1 = colossalai_topology::cost::allreduce_time(&system_i(), &(0..8).collect::<Vec<_>>(), bytes as u64);
-        let t2 = colossalai_topology::cost::allreduce_time(&system_ii(), &(0..8).collect::<Vec<_>>(), bytes as u64);
+        let t1 = colossalai_topology::cost::allreduce_time(
+            &system_i(),
+            &(0..8).collect::<Vec<_>>(),
+            bytes as u64,
+        );
+        let t2 = colossalai_topology::cost::allreduce_time(
+            &system_ii(),
+            &(0..8).collect::<Vec<_>>(),
+            bytes as u64,
+        );
         assert!(t2 > t1);
     }
 
@@ -576,6 +627,79 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_half_wire_halves_bytes_and_time() {
+        let payload = |rank: usize| {
+            if rank == 0 {
+                Tensor::zeros([1000])
+            } else {
+                Tensor::zeros([0])
+            }
+        };
+        let world = World::new(system_i());
+        let full_clock = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let _ = g.broadcast(ctx, payload(ctx.rank()), 0);
+            ctx.clock()
+        });
+        let full_bytes = world.stats().bytes;
+        let world2 = World::new(system_i());
+        let half_clock = world2.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let _ = g.broadcast_half(ctx, payload(ctx.rank()), 0);
+            ctx.clock()
+        });
+        let half_bytes = world2.stats().bytes;
+        assert_eq!(full_bytes, 2 * half_bytes);
+        // the virtual clock must also see the cheaper wire, not just stats
+        assert!(half_clock[0] < full_clock[0]);
+    }
+
+    #[test]
+    fn broadcast_outputs_share_storage_across_ranks() {
+        // the fan-out of one buffer to p ranks must be p handles to one
+        // allocation, not p deep copies
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = if ctx.rank() == 0 {
+                Tensor::full([64], 3.0)
+            } else {
+                Tensor::zeros([0])
+            };
+            g.broadcast(ctx, t, 0)
+        });
+        for o in &out[1..] {
+            assert!(o.shares_storage(&out[0]));
+        }
+    }
+
+    #[test]
+    fn mutating_one_collective_output_never_alters_siblings() {
+        let world = World::new(system_i());
+        let mut out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            g.all_reduce(ctx, Tensor::full([8], (ctx.rank() + 1) as f32))
+        });
+        assert!(out[1].shares_storage(&out[0]));
+        out[0].scale(0.0); // rank 0 scrubs its copy, e.g. an optimizer step
+        assert!(!out[0].shares_storage(&out[1]));
+        for o in &out[1..] {
+            assert!(
+                o.allclose(&Tensor::full([8], 10.0), 0.0),
+                "sibling rank was corrupted"
+            );
+        }
+        // same property through the gather path
+        let mut gathered = world.run_on(2, |ctx| {
+            let g = ctx.world_group(2);
+            g.all_gather_cat(ctx, Tensor::full([2], ctx.rank() as f32), 0)
+        });
+        assert!(gathered[0].shares_storage(&gathered[1]));
+        gathered[1].data_mut()[0] = 99.0;
+        assert_eq!(gathered[0].data(), &[0., 0., 1., 1.]);
+    }
+
+    #[test]
     fn repeated_collectives_reuse_slot() {
         let world = World::new(system_i());
         let out = world.run_on(4, |ctx| {
@@ -596,10 +720,14 @@ mod tests {
         // many rounds: results and virtual clocks must replay identically
         let run = || {
             let world = World::new(system_i());
-            
+
             world.run(|ctx| {
                 let r = ctx.rank();
-                let row = ctx.group(&if r < 4 { vec![0, 1, 2, 3] } else { vec![4, 5, 6, 7] });
+                let row = ctx.group(&if r < 4 {
+                    vec![0, 1, 2, 3]
+                } else {
+                    vec![4, 5, 6, 7]
+                });
                 let col: Vec<usize> = (0..2).map(|q| q * 4 + (r % 4)).collect();
                 let col = ctx.group(&col);
                 let mut acc = Tensor::full([16], r as f32 * 0.01);

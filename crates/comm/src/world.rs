@@ -78,8 +78,11 @@ impl World {
         R: Send,
         F: Fn(&DeviceCtx) -> R + Send + Sync,
     {
-        assert!(n >= 1 && n <= self.inner.cluster.n_devices(),
-            "cannot run on {n} devices of a {}-device cluster", self.inner.cluster.n_devices());
+        assert!(
+            n >= 1 && n <= self.inner.cluster.n_devices(),
+            "cannot run on {n} devices of a {}-device cluster",
+            self.inner.cluster.n_devices()
+        );
         let inner = &self.inner;
         let f = &f;
         std::thread::scope(|scope| {
@@ -221,7 +224,11 @@ impl DeviceCtx {
         let mut dedup = members.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), members.len(), "duplicate members in {members:?}");
+        assert_eq!(
+            dedup.len(),
+            members.len(),
+            "duplicate members in {members:?}"
+        );
         let shared = {
             let mut groups = self.world.groups.lock();
             Arc::clone(
@@ -256,7 +263,9 @@ impl DeviceCtx {
             stats.record(crate::stats::OpKind::SendRecv, t.numel() as u64, bytes);
         }
         let mut mb = self.world.mailbox.lock();
-        mb.entry((self.rank, to, tag)).or_default().push_back((t, arrival));
+        mb.entry((self.rank, to, tag))
+            .or_default()
+            .push_back((t, arrival));
         self.world.mailbox_cv.notify_all();
     }
 
@@ -363,7 +372,12 @@ mod tests {
             ctx.clock()
         });
         let single = system_i().p2p_time(0, 1, 4);
-        assert!((clocks[0] - single).abs() < 1e-12, "{} vs {}", clocks[0], single);
+        assert!(
+            (clocks[0] - single).abs() < 1e-12,
+            "{} vs {}",
+            clocks[0],
+            single
+        );
     }
 
     #[test]

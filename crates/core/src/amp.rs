@@ -134,7 +134,11 @@ mod tests {
         let mut m = model_with_grad(16.0);
         assert!(scaler.unscale_and_update(&mut m));
         m.visit_params(&mut |p| assert_eq!(p.grad().data(), &[2.0; 4]));
-        assert_eq!(scaler.scale(), 8.0, "scale unchanged before growth interval");
+        assert_eq!(
+            scaler.scale(),
+            8.0,
+            "scale unchanged before growth interval"
+        );
     }
 
     #[test]

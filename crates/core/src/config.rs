@@ -176,7 +176,9 @@ impl Config {
             }
         }
         if self.gradient_accumulation > 1 && self.zero.is_some() {
-            return Err("gradient accumulation with ZeRO is not supported in this reproduction".into());
+            return Err(
+                "gradient accumulation with ZeRO is not supported in this reproduction".into(),
+            );
         }
         if let Some(z) = self.zero {
             if !(1..=3).contains(&z.stage) {
@@ -201,10 +203,8 @@ mod tests {
 
     #[test]
     fn listing1_style_config_parses() {
-        let cfg = Config::from_json(
-            r#"{ "parallel": { "tensor": { "size": 4, "mode": "1d" } } }"#,
-        )
-        .unwrap();
+        let cfg = Config::from_json(r#"{ "parallel": { "tensor": { "size": 4, "mode": "1d" } } }"#)
+            .unwrap();
         assert_eq!(cfg.tensor_size(), 4);
         assert_eq!(cfg.tp_mode(), Some(TpMode::OneD));
         assert_eq!(cfg.pipeline_size(), 1);
@@ -212,7 +212,13 @@ mod tests {
 
     #[test]
     fn all_modes_parse() {
-        for (name, size) in [("1d", 3), ("2d", 4), ("2.5d", 8), ("3d", 8), ("sequence", 5)] {
+        for (name, size) in [
+            ("1d", 3),
+            ("2d", 4),
+            ("2.5d", 8),
+            ("3d", 8),
+            ("sequence", 5),
+        ] {
             let json = format!(
                 r#"{{ "parallel": {{ "tensor": {{ "size": {size}, "mode": "{name}", "depth": 2 }} }} }}"#
             );
@@ -223,10 +229,8 @@ mod tests {
 
     #[test]
     fn invalid_grid_rejected() {
-        let err = Config::from_json(
-            r#"{ "parallel": { "tensor": { "size": 3, "mode": "2d" } } }"#,
-        )
-        .unwrap_err();
+        let err = Config::from_json(r#"{ "parallel": { "tensor": { "size": 3, "mode": "2d" } } }"#)
+            .unwrap_err();
         assert!(err.contains("does not admit"), "{err}");
     }
 
@@ -250,10 +254,9 @@ mod tests {
     fn gradient_accumulation_parses_and_guards() {
         let cfg = Config::from_json(r#"{ "gradient_accumulation": 4 }"#).unwrap();
         assert_eq!(cfg.gradient_accumulation, 4);
-        assert!(Config::from_json(
-            r#"{ "gradient_accumulation": 2, "zero": { "stage": 1 } }"#
-        )
-        .is_err());
+        assert!(
+            Config::from_json(r#"{ "gradient_accumulation": 2, "zero": { "stage": 1 } }"#).is_err()
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl ParallelContext {
         );
         let dp = match config.parallel.data {
             Some(d) if d > 0 => {
-                assert_eq!(d * per_replica, world, "data degree {d} inconsistent with world {world}");
+                assert_eq!(
+                    d * per_replica,
+                    world,
+                    "data degree {d} inconsistent with world {world}"
+                );
                 d
             }
             _ => world / per_replica,
@@ -166,7 +170,11 @@ mod tests {
         // every member of a group must compute the identical member list
         let c = cfg(2, 2);
         let world = 8;
-        for axis in [ParallelAxis::Data, ParallelAxis::Pipeline, ParallelAxis::Tensor] {
+        for axis in [
+            ParallelAxis::Data,
+            ParallelAxis::Pipeline,
+            ParallelAxis::Tensor,
+        ] {
             for rank in 0..world {
                 let ctx = ParallelContext::new(&c, rank, world);
                 let members = ctx.group_members(axis);
@@ -183,7 +191,11 @@ mod tests {
     fn groups_partition_the_world() {
         let c = cfg(2, 2);
         let world = 8;
-        for axis in [ParallelAxis::Data, ParallelAxis::Pipeline, ParallelAxis::Tensor] {
+        for axis in [
+            ParallelAxis::Data,
+            ParallelAxis::Pipeline,
+            ParallelAxis::Tensor,
+        ] {
             let mut seen = vec![0u32; world];
             for rank in 0..world {
                 let ctx = ParallelContext::new(&c, rank, world);

@@ -77,9 +77,7 @@ pub fn initialize(
                 2 => ZeroStage::Two,
                 _ => ZeroStage::Three,
             };
-            let group = dp_group
-                .clone()
-                .unwrap_or_else(|| ctx.group(&[ctx.rank()]));
+            let group = dp_group.clone().unwrap_or_else(|| ctx.group(&[ctx.rank()]));
             EngineOptimizer::Zero(ZeroOptimizer::new(
                 ctx,
                 &group,
@@ -256,10 +254,7 @@ impl Engine {
 
     /// Restores a snapshot produced by [`Engine::state_dict`] on the same
     /// model/parallel layout.
-    pub fn load_state_dict(
-        &mut self,
-        sd: &colossalai_autograd::StateDict,
-    ) -> Result<(), String> {
+    pub fn load_state_dict(&mut self, sd: &colossalai_autograd::StateDict) -> Result<(), String> {
         sd.restore(self.model.as_mut())
     }
 }
@@ -277,7 +272,12 @@ pub fn clip_grad_norm_distributed(
 ) -> f32 {
     let mut sq = 0.0f64;
     model.visit_params(&mut |p| {
-        sq += p.grad().data().iter().map(|&g| g as f64 * g as f64).sum::<f64>();
+        sq += p
+            .grad()
+            .data()
+            .iter()
+            .map(|&g| g as f64 * g as f64)
+            .sum::<f64>();
     });
     let global_sq = group.all_reduce(ctx, Tensor::scalar(sq as f32)).item();
     let norm = global_sq.sqrt();
@@ -292,7 +292,12 @@ pub fn clip_grad_norm_distributed(
 pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     model.visit_params(&mut |p| {
-        sq += p.grad().data().iter().map(|&g| g as f64 * g as f64).sum::<f64>();
+        sq += p
+            .grad()
+            .data()
+            .iter()
+            .map(|&g| g as f64 * g as f64)
+            .sum::<f64>();
     });
     let norm = sq.sqrt() as f32;
     if norm > max_norm {
@@ -330,7 +335,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(10),
-                OptimizerSpec::AdamW { lr: 0.02, weight_decay: 0.0 },
+                OptimizerSpec::AdamW {
+                    lr: 0.02,
+                    weight_decay: 0.0,
+                },
             );
             let mut rng = init::rng(11);
             let x = init::uniform([6, 4], -1.0, 1.0, &mut rng);
@@ -360,7 +368,10 @@ mod tests {
                 &cfg,
                 4,
                 make_model(20),
-                OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.01 },
+                OptimizerSpec::AdamW {
+                    lr: 0.01,
+                    weight_decay: 0.01,
+                },
             );
             // per-rank data
             let mut rng = init::rng(21 + ctx.rank() as u64);
@@ -391,7 +402,10 @@ mod tests {
                     &cfg,
                     2,
                     make_model(30),
-                    OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.0 },
+                    OptimizerSpec::AdamW {
+                        lr: 0.01,
+                        weight_decay: 0.0,
+                    },
                 );
                 let mut rng = init::rng(31 + ctx.rank() as u64);
                 for _ in 0..3 {
@@ -423,7 +437,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(40),
-                OptimizerSpec::Sgd { lr: 0.1, momentum: 0.0 },
+                OptimizerSpec::Sgd {
+                    lr: 0.1,
+                    momentum: 0.0,
+                },
             );
             // poison the gradient
             engine.model_mut().visit_params(&mut |p: &mut Param| {
@@ -445,7 +462,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(97),
-                OptimizerSpec::Sgd { lr: 1.0, momentum: 0.0 },
+                OptimizerSpec::Sgd {
+                    lr: 1.0,
+                    momentum: 0.0,
+                },
             );
             engine.set_lr_schedule(LrSchedule::WarmupConstant { warmup: 2 });
             assert_eq!(engine.current_lr(), 0.5);
@@ -454,10 +474,14 @@ mod tests {
                 p.accumulate_grad(&Tensor::ones(p.value().shape().clone()));
             });
             let mut before = Vec::new();
-            engine.model_mut().visit_params(&mut |p| before.push(p.value().data()[0]));
+            engine
+                .model_mut()
+                .visit_params(&mut |p| before.push(p.value().data()[0]));
             assert!(engine.step());
             let mut after = Vec::new();
-            engine.model_mut().visit_params(&mut |p| after.push(p.value().data()[0]));
+            engine
+                .model_mut()
+                .visit_params(&mut |p| after.push(p.value().data()[0]));
             assert!((before[0] - after[0] - 0.5).abs() < 1e-6);
             // after the warmup, full LR
             assert_eq!(engine.current_lr(), 1.0);
@@ -482,7 +506,10 @@ mod tests {
                     &cfg,
                     1,
                     make_model(96),
-                    OptimizerSpec::AdamW { lr: 0.01, weight_decay: 0.0 },
+                    OptimizerSpec::AdamW {
+                        lr: 0.01,
+                        weight_decay: 0.0,
+                    },
                 );
                 for _ in 0..2 {
                     // one optimizer step's worth of micro-batches
@@ -522,7 +549,10 @@ mod tests {
                     &cfg,
                     1,
                     make_model(70),
-                    OptimizerSpec::AdamW { lr: 0.02, weight_decay: 0.0 },
+                    OptimizerSpec::AdamW {
+                        lr: 0.02,
+                        weight_decay: 0.0,
+                    },
                 );
                 let mut rng = init::rng(71);
                 let x = init::uniform([4, 4], -1.0, 1.0, &mut rng);
@@ -539,7 +569,11 @@ mod tests {
         };
         let plain = run("{}");
         let ckpt = run(r#"{ "activation_checkpoint": true }"#);
-        assert_eq!(plain.data(), ckpt.data(), "checkpointing must not change numerics");
+        assert_eq!(
+            plain.data(),
+            ckpt.data(),
+            "checkpointing must not change numerics"
+        );
     }
 
     #[test]
@@ -550,8 +584,7 @@ mod tests {
         let norms = world.run_on(2, |ctx| {
             let g = ctx.world_group(2);
             let mut rng = init::rng(90 + ctx.rank() as u64);
-            let mut model: Box<dyn Layer> =
-                Box::new(Linear::from_rng("l", 3, 3, false, &mut rng));
+            let mut model: Box<dyn Layer> = Box::new(Linear::from_rng("l", 3, 3, false, &mut rng));
             model.visit_params(&mut |p: &mut Param| {
                 p.accumulate_grad(&Tensor::full(p.value().shape().clone(), 2.0));
             });
@@ -568,7 +601,11 @@ mod tests {
         assert_eq!(norms[0].0, norms[1].0);
         // the *global* post-clip norm is 1 => each rank holds half the square
         let total_sq = norms[0].1 + norms[1].1;
-        assert!((total_sq - 1.0).abs() < 1e-4, "global norm after clip: {}", total_sq.sqrt());
+        assert!(
+            (total_sq - 1.0).abs() < 1e-4,
+            "global norm after clip: {}",
+            total_sq.sqrt()
+        );
     }
 
     #[test]
@@ -581,7 +618,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(98),
-                OptimizerSpec::Sgd { lr: 0.05, momentum: 0.0 },
+                OptimizerSpec::Sgd {
+                    lr: 0.05,
+                    momentum: 0.0,
+                },
             );
             let mut rng = init::rng(99);
             let x = init::uniform([4, 4], -1.0, 1.0, &mut rng);
@@ -596,15 +636,13 @@ mod tests {
             let snapshot = engine.state_dict();
             let bytes = snapshot.to_bytes();
             step(&mut engine);
-            let after_two =
-                colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
+            let after_two = colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
             // roll back to the snapshot and replay: must land on the same
             // parameters (SGD without momentum is stateless)
             let restored = colossalai_autograd::StateDict::from_bytes(&bytes).unwrap();
             engine.load_state_dict(&restored).unwrap();
             step(&mut engine);
-            let replayed =
-                colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
+            let replayed = colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
             assert_eq!(replayed.data(), after_two.data());
         });
     }

@@ -55,7 +55,12 @@ impl HybridAdam {
     }
 
     /// Builds the split from an adaptive placement plan.
-    pub fn from_plan(model: &mut dyn Layer, plan: &OffloadPlan, lr: f32, weight_decay: f32) -> Self {
+    pub fn from_plan(
+        model: &mut dyn Layer,
+        plan: &OffloadPlan,
+        lr: f32,
+        weight_decay: f32,
+    ) -> Self {
         let frac = plan.opt_gpu_fraction;
         HybridAdam::new(model, frac, lr, weight_decay)
     }

@@ -73,11 +73,7 @@ impl Trainer {
             let classes = *logits.dims().last().unwrap();
             let rows = logits.numel() / classes;
             let preds = colossalai_tensor::ops::argmax_rows(&logits.reshape([rows, classes]));
-            correct += preds
-                .iter()
-                .zip(&targets)
-                .filter(|(p, t)| p == t)
-                .count();
+            correct += preds.iter().zip(&targets).filter(|(p, t)| p == t).count();
             total += targets.len();
             // flush activation caches so the next forward starts clean
             let _ = self.engine.backward(&Tensor::zeros(logits.shape().clone()));
@@ -172,7 +168,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(60),
-                OptimizerSpec::AdamW { lr: 0.02, weight_decay: 0.0 },
+                OptimizerSpec::AdamW {
+                    lr: 0.02,
+                    weight_decay: 0.0,
+                },
             );
             let mut trainer = Trainer::new(engine);
             trainer.add_hook(Box::new(CountingHook {
@@ -199,7 +198,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(62),
-                OptimizerSpec::Sgd { lr: 0.05, momentum: 0.9 },
+                OptimizerSpec::Sgd {
+                    lr: 0.05,
+                    momentum: 0.9,
+                },
             );
             let mut trainer = Trainer::new(engine);
             trainer.add_hook(Box::<LossRecorder>::default());
@@ -220,7 +222,10 @@ mod tests {
                 &cfg,
                 1,
                 make_model(66),
-                OptimizerSpec::AdamW { lr: 0.05, weight_decay: 0.0 },
+                OptimizerSpec::AdamW {
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                },
             );
             let mut trainer = Trainer::new(engine);
             let mut rng = init::rng(67);
@@ -230,8 +235,14 @@ mod tests {
             let _ = trainer.fit(40, |_| (x.clone(), t.clone()));
             let after = trainer.evaluate(1, |_| (x.clone(), t.clone()));
             assert!((0.0..=1.0).contains(&before));
-            assert!(after >= before, "training should not hurt training-set accuracy");
-            assert!(after > 0.8, "memorizing 9 samples should reach high accuracy, got {after}");
+            assert!(
+                after >= before,
+                "training should not hurt training-set accuracy"
+            );
+            assert!(
+                after > 0.8,
+                "memorizing 9 samples should reach high accuracy, got {after}"
+            );
         });
     }
 
@@ -242,14 +253,16 @@ mod tests {
         world.run_on(1, |ctx| {
             let cfg = Config::from_json("{}").unwrap();
             let mut rng = init::rng(64);
-            let model: Box<dyn Layer> =
-                Box::new(Linear::from_rng("l", 4, 5, true, &mut rng));
+            let model: Box<dyn Layer> = Box::new(Linear::from_rng("l", 4, 5, true, &mut rng));
             let engine = initialize(
                 ctx,
                 &cfg,
                 1,
                 model,
-                OptimizerSpec::AdamW { lr: 0.05, weight_decay: 0.0 },
+                OptimizerSpec::AdamW {
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                },
             );
             let mut trainer = Trainer::new(engine);
             let x = init::uniform([2, 3, 4], -1.0, 1.0, &mut rng);

@@ -72,11 +72,7 @@ pub fn build_bert(
 /// The tensor-parallel group this rank belongs to, or `None` when the config
 /// requests no tensor parallelism. Panics on unsupported modes with a
 /// pointer at the layer-level APIs.
-fn tp_group(
-    ctx: &DeviceCtx,
-    config: &Config,
-    world: usize,
-) -> Option<colossalai_comm::Group> {
+fn tp_group(ctx: &DeviceCtx, config: &Config, world: usize) -> Option<colossalai_comm::Group> {
     if config.tensor_size() <= 1 {
         return None;
     }
@@ -130,10 +126,9 @@ mod tests {
 
         // 1D-parallel through the zoo
         let losses = world.run_on(2, |ctx| {
-            let config = Config::from_json(
-                r#"{ "parallel": { "tensor": { "size": 2, "mode": "1d" } } }"#,
-            )
-            .unwrap();
+            let config =
+                Config::from_json(r#"{ "parallel": { "tensor": { "size": 2, "mode": "1d" } } }"#)
+                    .unwrap();
             let mut vit = build_vit(ctx, &config, 2, &cfg, 6, 901);
             let logits = vit.forward(&x);
             cross_entropy(&logits, &targets).0
@@ -158,10 +153,9 @@ mod tests {
         };
         let world = World::new(system_i());
         world.run_on(2, |ctx| {
-            let config = Config::from_json(
-                r#"{ "parallel": { "tensor": { "size": 2, "mode": "1d" } } }"#,
-            )
-            .unwrap();
+            let config =
+                Config::from_json(r#"{ "parallel": { "tensor": { "size": 2, "mode": "1d" } } }"#)
+                    .unwrap();
             let mut gpt = build_gpt(ctx, &config, 2, &cfg, 902);
             let tokens = Tensor::from_vec([1, 4], vec![0., 1., 2., 3.]);
             let out = gpt.forward(&tokens);
@@ -175,10 +169,9 @@ mod tests {
     fn zoo_rejects_advanced_modes() {
         let world = World::new(system_i());
         world.run_on(4, |ctx| {
-            let config = Config::from_json(
-                r#"{ "parallel": { "tensor": { "size": 4, "mode": "2d" } } }"#,
-            )
-            .unwrap();
+            let config =
+                Config::from_json(r#"{ "parallel": { "tensor": { "size": 4, "mode": "2d" } } }"#)
+                    .unwrap();
             let _ = build_bert(ctx, &config, 4, &vit_cfg(), 903);
         });
     }

@@ -329,7 +329,11 @@ mod tests {
     use colossalai_topology::Link;
 
     fn mgr(chunk_elems: usize, budget_chunks: u64) -> ChunkManager {
-        ChunkManager::new(chunk_elems, budget_chunks * chunk_elems as u64 * 4, Link::pcie())
+        ChunkManager::new(
+            chunk_elems,
+            budget_chunks * chunk_elems as u64 * 4,
+            Link::pcie(),
+        )
     }
 
     #[test]
@@ -426,8 +430,8 @@ mod tests {
         // GPU fits 1 chunk, CPU fits 1 chunk, third chunk spills to NVMe
         let chunk_elems = 4usize;
         let cb = chunk_elems as u64 * 4;
-        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
-            .with_nvme_tier(cb, Link::nvme());
+        let mut m =
+            ChunkManager::new(chunk_elems, cb, Link::pcie()).with_nvme_tier(cb, Link::nvme());
         let a = m.register(&[1.0; 4]); // GPU
         let b = m.register(&[2.0; 4]); // CPU (GPU full)
         let c = m.register(&[3.0; 4]); // CPU... then pressure
@@ -435,7 +439,10 @@ mod tests {
         // touching c: promote to GPU, evicting a to CPU, which spills b or c
         assert_eq!(m.read(c), vec![3.0; 4]);
         let tiers: Vec<Tier> = [a, b, c].iter().map(|r| m.tier_of(*r)).collect();
-        assert!(tiers.contains(&Tier::Nvme), "someone must be on NVMe: {tiers:?}");
+        assert!(
+            tiers.contains(&Tier::Nvme),
+            "someone must be on NVMe: {tiers:?}"
+        );
         assert!(m.cost().nvme_bytes > 0);
         // every tensor's data survives the full tier shuffle
         assert_eq!(m.read(a), vec![1.0; 4]);
@@ -447,8 +454,8 @@ mod tests {
     fn tier_census_counts_every_chunk() {
         let chunk_elems = 4usize;
         let cb = chunk_elems as u64 * 4;
-        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
-            .with_nvme_tier(cb, Link::nvme());
+        let mut m =
+            ChunkManager::new(chunk_elems, cb, Link::pcie()).with_nvme_tier(cb, Link::nvme());
         let _ = m.register(&[1.0; 4]);
         let _ = m.register(&[2.0; 4]);
         let _ = m.register(&[3.0; 4]);
@@ -471,8 +478,8 @@ mod tests {
     fn nvme_reads_cost_more_than_cpu_reads() {
         let chunk_elems = 1024usize;
         let cb = chunk_elems as u64 * 4;
-        let mut m = ChunkManager::new(chunk_elems, cb, Link::pcie())
-            .with_nvme_tier(cb, Link::nvme());
+        let mut m =
+            ChunkManager::new(chunk_elems, cb, Link::pcie()).with_nvme_tier(cb, Link::nvme());
         let a = m.register(&[1.0; 1024]);
         let b = m.register(&[2.0; 1024]);
         let c = m.register(&[3.0; 1024]);
@@ -483,7 +490,10 @@ mod tests {
         let _ = m.read(c);
         let after = m.cost();
         assert!(after.seconds > before);
-        assert!(after.nvme_bytes > 0, "cycling three chunks through two slots must hit NVMe");
+        assert!(
+            after.nvme_bytes > 0,
+            "cycling three chunks through two slots must hit NVMe"
+        );
     }
 
     #[test]

@@ -94,10 +94,18 @@ pub fn plan(
     };
     // Priority 1: fp16 params (touched twice per step by fwd+bwd).
     let param_resident = headroom.min(fp16);
-    let f = if fp16 == 0 { 1.0 } else { param_resident as f64 / fp16 as f64 };
+    let f = if fp16 == 0 {
+        1.0
+    } else {
+        param_resident as f64 / fp16 as f64
+    };
     // Priority 2: optimizer states with what remains.
     let opt_resident = (headroom - param_resident).min(opt);
-    let g = if opt == 0 { 1.0 } else { opt_resident as f64 / opt as f64 };
+    let g = if opt == 0 {
+        1.0
+    } else {
+        opt_resident as f64 / opt as f64
+    };
 
     // Non-resident params are streamed in for forward and again for
     // backward; resident-but-CPU-updated params must be refreshed from the
@@ -171,10 +179,9 @@ pub fn plan_tiered(
     let off_gpu = gpu_plan.cpu_model_bytes;
     let dram_bytes = off_gpu.min(host.dram_bytes);
     let nvme_bytes = off_gpu - dram_bytes;
-    if nvme_bytes > 0
-        && (host.nvme_bytes == 0 || nvme_bytes > host.nvme_bytes) {
-            return None;
-        }
+    if nvme_bytes > 0 && (host.nvme_bytes == 0 || nvme_bytes > host.nvme_bytes) {
+        return None;
+    }
     // every step, the NVMe-resident optimizer slice must be read for the
     // update and written back
     let nvme_seconds_per_step = if nvme_bytes > 0 {
@@ -221,7 +228,12 @@ mod tests {
 
     #[test]
     fn static_policy_keeps_nothing_on_gpu() {
-        let p = plan(PlacementPolicy::StaticCpu, gpt2_10b_on(8), 80 * GIB, 10 * GIB);
+        let p = plan(
+            PlacementPolicy::StaticCpu,
+            gpt2_10b_on(8),
+            80 * GIB,
+            10 * GIB,
+        );
         assert_eq!(p.gpu_model_bytes, 0);
         assert_eq!(p.param_gpu_fraction, 0.0);
         // every param streamed twice, every grad offloaded
@@ -235,7 +247,12 @@ mod tests {
     fn adaptive_with_ample_headroom_keeps_params_resident() {
         // 8-way DP of 10B params: fp16 shard 2.5 GB, opt shard 15 GB;
         // 80 GB GPU with a small batch leaves plenty of room for both.
-        let p = plan(PlacementPolicy::Adaptive, gpt2_10b_on(8), 80 * GIB, 10 * GIB);
+        let p = plan(
+            PlacementPolicy::Adaptive,
+            gpt2_10b_on(8),
+            80 * GIB,
+            10 * GIB,
+        );
         assert_eq!(p.param_gpu_fraction, 1.0);
         assert_eq!(p.opt_gpu_fraction, 1.0);
         assert_eq!(p.h2d_per_step, 0);
@@ -247,10 +264,22 @@ mod tests {
     fn adaptive_with_tight_memory_offloads_partially() {
         // single GPU, 10B params: fp16 20 GB fits in an 80 GB GPU minus a
         // 10 GB working set, but the 120 GB optimizer shard only partially.
-        let p = plan(PlacementPolicy::Adaptive, gpt2_10b_on(1), 80 * GIB, 10 * GIB);
+        let p = plan(
+            PlacementPolicy::Adaptive,
+            gpt2_10b_on(1),
+            80 * GIB,
+            10 * GIB,
+        );
         assert_eq!(p.param_gpu_fraction, 1.0);
-        assert!(p.opt_gpu_fraction > 0.3 && p.opt_gpu_fraction < 0.7, "g = {}", p.opt_gpu_fraction);
-        assert!(p.cpu_adam_params > 0 && p.gpu_adam_params > 0, "hybrid update");
+        assert!(
+            p.opt_gpu_fraction > 0.3 && p.opt_gpu_fraction < 0.7,
+            "g = {}",
+            p.opt_gpu_fraction
+        );
+        assert!(
+            p.cpu_adam_params > 0 && p.gpu_adam_params > 0,
+            "hybrid update"
+        );
         assert!(p.h2d_per_step > 0, "cpu-updated params need refresh");
     }
 
@@ -280,7 +309,10 @@ mod tests {
     #[test]
     fn tiered_plan_spills_to_nvme_only_when_dram_full() {
         // a 100B-parameter model: 1.6 TB of model data on one device
-        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let model = ModelData {
+            n_params: 100_000_000_000,
+            dp_degree: 1,
+        };
         let big_host = HostSpec::dgx(); // 1 TiB DRAM + NVMe
         let plan = plan_tiered(
             PlacementPolicy::Adaptive,
@@ -299,7 +331,10 @@ mod tests {
         assert!(plan.nvme_seconds_per_step > 0.0);
 
         // 10B params fit in DRAM: no NVMe traffic
-        let small = ModelData { n_params: 10_000_000_000, dp_degree: 1 };
+        let small = ModelData {
+            n_params: 10_000_000_000,
+            dp_degree: 1,
+        };
         let plan = plan_tiered(
             PlacementPolicy::Adaptive,
             small,
@@ -315,7 +350,10 @@ mod tests {
 
     #[test]
     fn tiered_plan_fails_without_nvme() {
-        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let model = ModelData {
+            n_params: 100_000_000_000,
+            dp_degree: 1,
+        };
         let no_nvme = HostSpec::workstation(); // 256 GiB DRAM, no NVMe
         assert!(plan_tiered(
             PlacementPolicy::StaticCpu,
@@ -330,7 +368,10 @@ mod tests {
 
     #[test]
     fn nvme_overhead_dominated_by_low_bandwidth() {
-        let model = ModelData { n_params: 100_000_000_000, dp_degree: 1 };
+        let model = ModelData {
+            n_params: 100_000_000_000,
+            dp_degree: 1,
+        };
         let host = HostSpec::dgx();
         let plan = plan_tiered(
             PlacementPolicy::StaticCpu,
@@ -342,14 +383,22 @@ mod tests {
         )
         .unwrap();
         let total = plan.overhead_seconds(Link::pcie(), &host);
-        assert!(plan.nvme_seconds_per_step > 0.5 * total,
-            "NVMe round trips should dominate: {} of {}", plan.nvme_seconds_per_step, total);
+        assert!(
+            plan.nvme_seconds_per_step > 0.5 * total,
+            "NVMe round trips should dominate: {} of {}",
+            plan.nvme_seconds_per_step,
+            total
+        );
     }
 
     #[test]
     fn residency_bytes_are_conserved() {
         let model = gpt2_10b_on(2);
-        for (cap, work) in [(80 * GIB, 10 * GIB), (40 * GIB, 30 * GIB), (16 * GIB, 15 * GIB)] {
+        for (cap, work) in [
+            (80 * GIB, 10 * GIB),
+            (40 * GIB, 30 * GIB),
+            (16 * GIB, 15 * GIB),
+        ] {
             let p = plan(PlacementPolicy::Adaptive, model, cap, work);
             assert_eq!(
                 p.gpu_model_bytes + p.cpu_model_bytes,

@@ -77,7 +77,11 @@ impl ReusableBuffer {
     /// (updated) parameter into the same storage.
     pub fn restore_param(&mut self, updated_param: Tensor) {
         assert_eq!(self.holds, Holds::Grad, "restore_param before store_grad");
-        assert_eq!(self.data.shape(), updated_param.shape(), "parameter shape changed");
+        assert_eq!(
+            self.data.shape(),
+            updated_param.shape(),
+            "parameter shape changed"
+        );
         self.data = updated_param;
         self.holds = Holds::Param;
     }

@@ -122,7 +122,11 @@ impl MemoryTracker {
 
     /// Runs `f` with `bytes` temporarily allocated (the transient-activation
     /// pattern: allocate, compute, free).
-    pub fn with_scratch<R>(&mut self, bytes: u64, f: impl FnOnce(&mut Self) -> R) -> Result<R, OomError> {
+    pub fn with_scratch<R>(
+        &mut self,
+        bytes: u64,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> Result<R, OomError> {
         self.alloc(bytes)?;
         let r = f(self);
         self.free(bytes);

@@ -97,7 +97,10 @@ mod tests {
     fn logits_shape() {
         let mut rng = init::rng(70);
         let mut bert = Bert::new(&tiny_cfg(), &mut rng);
-        let x = Tensor::from_vec([2, 6], vec![1., 2., 3., 4., 5., 6., 0., 9., 10., 3., 2., 1.]);
+        let x = Tensor::from_vec(
+            [2, 6],
+            vec![1., 2., 3., 4., 5., 6., 0., 9., 10., 3., 2., 1.],
+        );
         let y = bert.forward(&x);
         assert_eq!(y.dims(), &[2, 6, 11]);
     }

@@ -147,7 +147,7 @@ impl TransformerConfig {
         self.transformer_params()
             + (self.vocab as u64) * h       // token embedding / patch proj
             + (self.max_seq as u64) * h     // position embedding
-            + (self.vocab as u64) * h       // output head
+            + (self.vocab as u64) * h // output head
     }
 
     /// Forward FLOPs for one token at sequence length `seq`: the standard
@@ -224,7 +224,11 @@ mod tests {
         let c = TransformerConfig::bert_base();
         let h = c.hidden as u64;
         let p = c.params_per_layer();
-        assert!(p > 12 * h * h && p < 12 * h * h + 14 * h, "p = {p}, 12h^2 = {}", 12 * h * h);
+        assert!(
+            p > 12 * h * h && p < 12 * h * h + 14 * h,
+            "p = {p}, 12h^2 = {}",
+            12 * h * h
+        );
     }
 
     #[test]

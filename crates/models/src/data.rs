@@ -74,8 +74,8 @@ impl SyntheticText {
         let mut rng = init::rng(self.seed.wrapping_add(index.wrapping_mul(0x5851_f42d)));
         let mut data = Vec::with_capacity(batch * seq);
         for _ in 0..batch {
-            let start = init::uniform([1], 0.0, self.vocab as f32, &mut rng).item() as usize
-                % self.vocab;
+            let start =
+                init::uniform([1], 0.0, self.vocab as f32, &mut rng).item() as usize % self.vocab;
             let mut tok = start;
             for _ in 0..seq {
                 data.push(tok as f32);

@@ -1,7 +1,7 @@
 //! The runnable Transformer block (Fig 2 of the paper): Multi-head
 //! Attention + Feed Forward, pre-LayerNorm, residual connections.
 
-use colossalai_autograd::{Gelu, Layer, Linear, MultiHeadAttention, LayerNorm, Param, Sequential};
+use colossalai_autograd::{Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Param, Sequential};
 use colossalai_tensor::init::InitRng;
 use colossalai_tensor::Tensor;
 
@@ -55,9 +55,21 @@ impl TransformerBlock {
     ) -> Self {
         let attn = MultiHeadAttention::new(&format!("{name}.attn"), dim, heads, causal, rng);
         let mlp = Sequential::new(vec![
-            Box::new(Linear::from_rng(&format!("{name}.fc1"), dim, dim * mlp_ratio, true, rng)),
+            Box::new(Linear::from_rng(
+                &format!("{name}.fc1"),
+                dim,
+                dim * mlp_ratio,
+                true,
+                rng,
+            )),
             Box::new(Gelu::new()),
-            Box::new(Linear::from_rng(&format!("{name}.fc2"), dim * mlp_ratio, dim, true, rng)),
+            Box::new(Linear::from_rng(
+                &format!("{name}.fc2"),
+                dim * mlp_ratio,
+                dim,
+                true,
+                rng,
+            )),
         ]);
         TransformerBlock {
             attn: Residual::new(LayerNorm::new(&format!("{name}.ln1"), dim), attn),

@@ -183,12 +183,8 @@ pub fn plan_strategies(layers: &[LayerProfile], p: u64, budget_bytes: u64) -> Op
             0
         } else {
             let elems = layers[i - 1].act_bytes / 4;
-            let (_, cost) = conversion_path(
-                layers[i - 1].output_spec,
-                layers[i].input_spec,
-                elems,
-                p,
-            );
+            let (_, cost) =
+                conversion_path(layers[i - 1].output_spec, layers[i].input_spec, elems, p);
             cost
         };
         comm += conv;
@@ -381,7 +377,12 @@ mod tests {
 
     #[test]
     fn checkpointing_doubles_layer_compute() {
-        let l = vec![layer(1 << 20, 1 << 30, ShardSpec::Shard(0), ShardSpec::Shard(0))];
+        let l = vec![layer(
+            1 << 20,
+            1 << 30,
+            ShardSpec::Shard(0),
+            ShardSpec::Shard(0),
+        )];
         let loose = plan_strategies(&l, P, u64::MAX).unwrap();
         // force checkpointing with a budget below the plain activation size
         let tight_budget = (1u64 << 20) / P + (1 << 30) / P / 4;

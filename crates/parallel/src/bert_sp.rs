@@ -52,7 +52,8 @@ impl TransformerBlockSp {
             (&wo.0, &wo.1),
         );
         let mlp = Sequential::new(vec![
-            Box::new(Linear::from_parts(&format!("{name}.fc1"), w1.0, Some(w1.1))) as Box<dyn Layer>,
+            Box::new(Linear::from_parts(&format!("{name}.fc1"), w1.0, Some(w1.1)))
+                as Box<dyn Layer>,
             Box::new(Gelu::new()),
             Box::new(Linear::from_parts(&format!("{name}.fc2"), w2.0, Some(w2.1))),
         ]);
@@ -128,14 +129,38 @@ mod tests {
             (y, dx, grads)
         });
         // outputs and input grads reassemble the serial results
-        let y_got = Tensor::cat(&results.iter().map(|(y, _, _)| y.clone()).collect::<Vec<_>>(), 1);
-        let dx_got = Tensor::cat(&results.iter().map(|(_, d, _)| d.clone()).collect::<Vec<_>>(), 1);
-        assert!(y_got.allclose(&y_want, 3e-4), "fwd diff {}", y_got.max_abs_diff(&y_want));
-        assert!(dx_got.allclose(&dx_want, 3e-4), "bwd diff {}", dx_got.max_abs_diff(&dx_want));
+        let y_got = Tensor::cat(
+            &results
+                .iter()
+                .map(|(y, _, _)| y.clone())
+                .collect::<Vec<_>>(),
+            1,
+        );
+        let dx_got = Tensor::cat(
+            &results
+                .iter()
+                .map(|(_, d, _)| d.clone())
+                .collect::<Vec<_>>(),
+            1,
+        );
+        assert!(
+            y_got.allclose(&y_want, 3e-4),
+            "fwd diff {}",
+            y_got.max_abs_diff(&y_want)
+        );
+        assert!(
+            dx_got.allclose(&dx_want, 3e-4),
+            "bwd diff {}",
+            dx_got.max_abs_diff(&dx_want)
+        );
         // synced parameter grads equal serial grads on every rank
         for (_, _, grads) in &results {
             for (got, want) in grads.iter().zip(&g_want) {
-                assert!(got.allclose(want, 3e-4), "grad diff {}", got.max_abs_diff(want));
+                assert!(
+                    got.allclose(want, 3e-4),
+                    "grad diff {}",
+                    got.max_abs_diff(want)
+                );
             }
         }
     }
@@ -175,6 +200,9 @@ mod tests {
             b2.visit_params(&mut |p| flat.extend_from_slice(p.value().data()));
             flat
         });
-        assert_eq!(params[0], params[1], "replicated params must stay in lockstep");
+        assert_eq!(
+            params[0], params[1],
+            "replicated params must stay in lockstep"
+        );
     }
 }

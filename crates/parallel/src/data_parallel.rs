@@ -137,7 +137,9 @@ mod tests {
         let xs: Vec<Tensor> = (0..steps)
             .map(|_| init::uniform([8, 4], -1.0, 1.0, &mut rng))
             .collect();
-        let targets: Vec<Vec<usize>> = (0..steps).map(|s| (0..8).map(|i| (i + s) % 3).collect()).collect();
+        let targets: Vec<Vec<usize>> = (0..steps)
+            .map(|s| (0..8).map(|i| (i + s) % 3).collect())
+            .collect();
 
         // serial reference
         let mut serial = make_model(603);
@@ -160,11 +162,7 @@ mod tests {
             for s in 0..steps {
                 dp.zero_grad();
                 let x_local = split_batch(&xs[s], p, g.rank());
-                let t_local: Vec<usize> = targets[s]
-                    .chunks(8 / p)
-                    .nth(g.rank())
-                    .unwrap()
-                    .to_vec();
+                let t_local: Vec<usize> = targets[s].chunks(8 / p).nth(g.rank()).unwrap().to_vec();
                 let logits = dp.forward(&x_local);
                 // cross_entropy means over the local rows; averaging those
                 // local means across ranks (the sync_grads 1/p) equals the

@@ -73,13 +73,14 @@ impl Gpt1d {
         let local_logits = self.forward(tokens); // [b, s, vocab/p]
         let local_v = *local_logits.dims().last().unwrap();
         // positions 0..s-1 predict tokens 1..s
-        let pred = local_logits.narrow(1, 0, s - 1).reshaped([b * (s - 1), local_v]);
+        let pred = local_logits
+            .narrow(1, 0, s - 1)
+            .reshaped([b * (s - 1), local_v]);
         let targets: Vec<usize> = (0..b)
             .flat_map(|bi| (1..s).map(move |si| (bi, si)))
             .map(|(bi, si)| tokens.at(&[bi, si]) as usize)
             .collect();
-        let (loss, dpred) =
-            vocab_parallel_cross_entropy(&self.ctx, &self.group, &pred, &targets);
+        let (loss, dpred) = vocab_parallel_cross_entropy(&self.ctx, &self.group, &pred, &targets);
         let mut dlogits = Tensor::zeros([b, s, local_v]);
         for bi in 0..b {
             for si in 0..s - 1 {

@@ -40,7 +40,10 @@ pub mod vocab_parallel;
 pub mod volume;
 pub mod zero;
 
+pub use bert1d::Bert1d;
 pub use data_parallel::{split_batch, DataParallel};
+pub use gpt1d::Gpt1d;
+pub use norm2d::{LayerNorm2d, Mlp2d};
 pub use pipeline::{PipelineStage, Schedule};
 pub use sequence::RingSelfAttention;
 pub use throughput::StepEstimate;
@@ -48,10 +51,7 @@ pub use tp1d::{ColumnParallelLinear, ParallelAttention1d, ParallelMlp, RowParall
 pub use tp25d::{Grid25d, Linear25d};
 pub use tp2d::{Grid2d, Linear2d};
 pub use tp3d::{Grid3d, Linear3d};
-pub use volume::{MatmulShape, TpMode};
-pub use bert1d::Bert1d;
-pub use gpt1d::Gpt1d;
-pub use norm2d::{LayerNorm2d, Mlp2d};
 pub use vit1d::{TransformerBlock1d, VisionTransformer1d};
 pub use vocab_parallel::{vocab_parallel_cross_entropy, VocabParallelEmbedding};
+pub use volume::{MatmulShape, TpMode};
 pub use zero::{ZeroOptimizer, ZeroStage};

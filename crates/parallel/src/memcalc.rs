@@ -127,7 +127,13 @@ pub fn bert_step_bytes(
 
 /// Largest batch (at fixed `seq`) that fits in `capacity` bytes — the Fig
 /// 12a search. Returns 0 if even batch 1 OOMs.
-pub fn max_batch(mode: SeqMode, cfg: &TransformerConfig, seq: usize, p: usize, capacity: u64) -> usize {
+pub fn max_batch(
+    mode: SeqMode,
+    cfg: &TransformerConfig,
+    seq: usize,
+    p: usize,
+    capacity: u64,
+) -> usize {
     let mut lo = 0usize;
     let mut hi = 1usize;
     while bert_step_bytes(mode, cfg, hi, seq, p) <= capacity {
@@ -150,7 +156,13 @@ pub fn max_batch(mode: SeqMode, cfg: &TransformerConfig, seq: usize, p: usize, c
 
 /// Largest sequence length (at fixed `batch`) that fits — the Fig 12b
 /// search.
-pub fn max_seq(mode: SeqMode, cfg: &TransformerConfig, batch: usize, p: usize, capacity: u64) -> usize {
+pub fn max_seq(
+    mode: SeqMode,
+    cfg: &TransformerConfig,
+    batch: usize,
+    p: usize,
+    capacity: u64,
+) -> usize {
     let mut lo = 0usize;
     let mut hi = 64usize;
     while bert_step_bytes(mode, cfg, batch, hi, p) <= capacity {
@@ -226,7 +238,7 @@ mod tests {
     fn fig12_seq_parallel_reaches_larger_batch() {
         let cfg = TransformerConfig::bert_base();
         let capacity = 40u64 << 30; // System III A100-40GB
-        // the advantage grows with p (paper: up to 4.44x at 12 GPUs)
+                                    // the advantage grows with p (paper: up to 4.44x at 12 GPUs)
         let mut prev_ratio = 0.0;
         for p in [4usize, 6, 12] {
             assert!(seq_mode_admits(SeqMode::TensorParallel1d, &cfg, p));
@@ -237,7 +249,10 @@ mod tests {
             assert!(ratio > prev_ratio, "advantage must grow with p");
             prev_ratio = ratio;
         }
-        assert!(prev_ratio > 2.0, "12-GPU ratio {prev_ratio:.2} (paper: 4.44)");
+        assert!(
+            prev_ratio > 2.0,
+            "12-GPU ratio {prev_ratio:.2} (paper: 4.44)"
+        );
     }
 
     #[test]

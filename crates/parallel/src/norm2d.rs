@@ -66,10 +66,13 @@ impl Layer for LayerNorm2d {
             let m = mean.data()[r];
             let is = inv_std.data()[r];
             let row = &mut y.data_mut()[r * x.dims()[1]..(r + 1) * x.dims()[1]];
-            for (v, (&g, &b)) in row
-                .iter_mut()
-                .zip(self.gamma.value().data().iter().zip(self.beta.value().data()))
-            {
+            for (v, (&g, &b)) in row.iter_mut().zip(
+                self.gamma
+                    .value()
+                    .data()
+                    .iter()
+                    .zip(self.beta.value().data()),
+            ) {
                 *v = (*v - m) * is * g + b;
             }
         }
@@ -152,9 +155,21 @@ impl Mlp2d {
         let h = w1.dims()[0];
         Mlp2d {
             ln: LayerNorm2d::new(ctx, grid, &format!("{name}.ln"), h),
-            fc1: crate::tp2d::Linear2d::from_global(ctx, grid, &format!("{name}.fc1"), w1, Some(b1)),
+            fc1: crate::tp2d::Linear2d::from_global(
+                ctx,
+                grid,
+                &format!("{name}.fc1"),
+                w1,
+                Some(b1),
+            ),
             act: Gelu::new(),
-            fc2: crate::tp2d::Linear2d::from_global(ctx, grid, &format!("{name}.fc2"), w2, Some(b2)),
+            fc2: crate::tp2d::Linear2d::from_global(
+                ctx,
+                grid,
+                &format!("{name}.fc2"),
+                w2,
+                Some(b2),
+            ),
         }
     }
 }
@@ -274,8 +289,16 @@ mod tests {
         let dx_tiles: Vec<Tensor> = results.iter().map(|(_, d)| d.clone()).collect();
         let y_got = assemble_tiles(&y_tiles, j);
         let dx_got = assemble_tiles(&dx_tiles, j);
-        assert!(y_got.allclose(&y_want, 2e-4), "fwd diff {}", y_got.max_abs_diff(&y_want));
-        assert!(dx_got.allclose(&dx_want, 5e-4), "bwd diff {}", dx_got.max_abs_diff(&dx_want));
+        assert!(
+            y_got.allclose(&y_want, 2e-4),
+            "fwd diff {}",
+            y_got.max_abs_diff(&y_want)
+        );
+        assert!(
+            dx_got.allclose(&dx_want, 5e-4),
+            "bwd diff {}",
+            dx_got.max_abs_diff(&dx_want)
+        );
     }
 
     #[test]

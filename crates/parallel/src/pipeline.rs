@@ -40,7 +40,10 @@ pub fn interleaved_bubble_fraction(p: usize, m: usize, v: usize) -> f64 {
 /// Evenly partitions `n_layers` among `n_stages` (earlier stages take the
 /// remainder), returning `(start, end)` per stage.
 pub fn partition_layers(n_layers: usize, n_stages: usize) -> Vec<(usize, usize)> {
-    assert!(n_stages >= 1 && n_layers >= n_stages, "cannot split {n_layers} layers into {n_stages} stages");
+    assert!(
+        n_stages >= 1 && n_layers >= n_stages,
+        "cannot split {n_layers} layers into {n_stages} stages"
+    );
     let base = n_layers / n_stages;
     let extra = n_layers % n_stages;
     let mut out = Vec::with_capacity(n_stages);
@@ -212,7 +215,11 @@ impl<M: Layer> PipelineStage<M> {
     ) -> f32 {
         assert!(m >= 1, "need at least one micro-batch");
         if self.is_first() {
-            assert_eq!(inputs.map(<[Tensor]>::len), Some(m), "first stage needs m inputs");
+            assert_eq!(
+                inputs.map(<[Tensor]>::len),
+                Some(m),
+                "first stage needs m inputs"
+            );
         }
         let input_at = |i: usize, inputs: Option<&[Tensor]>| inputs.map(|xs| xs[i].clone());
         let mut total_loss = 0.0;
@@ -226,7 +233,9 @@ impl<M: Layer> PipelineStage<M> {
                         .saved_outputs
                         .remove(&micro)
                         .expect("backward before forward for this micro-batch");
-                    let f = loss_fn.as_mut().expect("last stage requires a loss function");
+                    let f = loss_fn
+                        .as_mut()
+                        .expect("last stage requires a loss function");
                     Some(f(micro, &out))
                 } else {
                     None
@@ -312,7 +321,11 @@ mod tests {
         Sequential::new(tail)
     }
 
-    fn serial_reference(seed: u64, micros: &[Tensor], targets: &[Vec<usize>]) -> (f32, Vec<Tensor>) {
+    fn serial_reference(
+        seed: u64,
+        micros: &[Tensor],
+        targets: &[Vec<usize>],
+    ) -> (f32, Vec<Tensor>) {
         let mut model = Sequential::new(full_layers(seed));
         let mut loss_sum = 0.0;
         for (x, t) in micros.iter().zip(targets) {
@@ -347,7 +360,9 @@ mod tests {
             let loss = stage.run_step(
                 schedule,
                 stage.is_first().then_some(&micros2[..]),
-                stage.is_last().then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
+                stage
+                    .is_last()
+                    .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
                 m,
             );
             let mut grads = Vec::new();
@@ -360,7 +375,10 @@ mod tests {
         let grads: Vec<Tensor> = results.iter().flat_map(|(_, g, _)| g.clone()).collect();
         let peaks: Vec<usize> = results.iter().map(|&(_, _, pk)| pk).collect();
         let (want_loss, want_grads) = serial_reference(seed, &micros, &targets);
-        assert!((loss - want_loss).abs() < 1e-5, "loss {loss} vs {want_loss}");
+        assert!(
+            (loss - want_loss).abs() < 1e-5,
+            "loss {loss} vs {want_loss}"
+        );
         assert_eq!(grads.len(), want_grads.len());
         for (g, w) in grads.iter().zip(&want_grads) {
             assert!(g.allclose(w, 1e-4), "grad diff {}", g.max_abs_diff(w));
@@ -401,7 +419,11 @@ mod tests {
         let (_, g1, _) = run_schedule(Schedule::GPipe, 3, 6);
         let (_, g2, _) = run_schedule(Schedule::OneFOneB, 3, 6);
         for (a, b) in g1.iter().zip(&g2) {
-            assert!(a.allclose(b, 1e-5), "schedules disagree by {}", a.max_abs_diff(b));
+            assert!(
+                a.allclose(b, 1e-5),
+                "schedules disagree by {}",
+                a.max_abs_diff(b)
+            );
         }
     }
 
@@ -417,9 +439,7 @@ mod tests {
         // v = 1 degenerates to the plain formula; more chunks, less bubble
         assert_eq!(interleaved_bubble_fraction(4, 8, 1), bubble_fraction(4, 8));
         assert!(interleaved_bubble_fraction(4, 8, 2) < bubble_fraction(4, 8));
-        assert!(
-            interleaved_bubble_fraction(4, 8, 4) < interleaved_bubble_fraction(4, 8, 2)
-        );
+        assert!(interleaved_bubble_fraction(4, 8, 4) < interleaved_bubble_fraction(4, 8, 2));
     }
 
     #[test]
@@ -444,7 +464,9 @@ mod tests {
             let _ = stage.run_step(
                 Schedule::GPipe,
                 stage.is_first().then_some(&micros[..]),
-                stage.is_last().then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
+                stage
+                    .is_last()
+                    .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
                 m,
             );
             ctx.clock()

@@ -53,9 +53,8 @@ impl RingSelfAttention {
         wv: (&Tensor, &Tensor),
         wo: (&Tensor, &Tensor),
     ) -> Self {
-        let mk = |n: &str, (w, b): (&Tensor, &Tensor)| {
-            Linear::from_parts(n, w.clone(), Some(b.clone()))
-        };
+        let mk =
+            |n: &str, (w, b): (&Tensor, &Tensor)| Linear::from_parts(n, w.clone(), Some(b.clone()));
         RingSelfAttention {
             ctx: ctx.clone(),
             group: group.clone(),
@@ -198,8 +197,14 @@ mod tests {
             let dx = rsa.backward(&dy_local);
             (y, dx)
         });
-        let y_got = Tensor::cat(&results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), 1);
-        let dx_got = Tensor::cat(&results.iter().map(|(_, dx)| dx.clone()).collect::<Vec<_>>(), 1);
+        let y_got = Tensor::cat(
+            &results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(),
+            1,
+        );
+        let dx_got = Tensor::cat(
+            &results.iter().map(|(_, dx)| dx.clone()).collect::<Vec<_>>(),
+            1,
+        );
         assert!(
             y_got.allclose(&y_want, 2e-4),
             "p={p}: fwd diff {}",

@@ -47,12 +47,21 @@ impl StepEstimate {
 /// The matmul problems of one Transformer layer, as `(K, N)` pairs relative
 /// to hidden size `h` (4 attention projections, MLP up, MLP down).
 fn layer_matmuls(h: usize, mlp_ratio: usize) -> Vec<(usize, usize)> {
-    vec![(h, h), (h, h), (h, h), (h, h), (h, mlp_ratio * h), (mlp_ratio * h, h)]
+    vec![
+        (h, h),
+        (h, h),
+        (h, h),
+        (h, h),
+        (h, mlp_ratio * h),
+        (mlp_ratio * h, h),
+    ]
 }
 
 /// Groups of a row-major `j x j` grid over `devices`.
 fn grid_groups(devices: &[DeviceId], j: usize) -> (Vec<Vec<DeviceId>>, Vec<Vec<DeviceId>>) {
-    let rows = (0..j).map(|r| devices[r * j..(r + 1) * j].to_vec()).collect();
+    let rows = (0..j)
+        .map(|r| devices[r * j..(r + 1) * j].to_vec())
+        .collect();
     let cols = (0..j)
         .map(|c| (0..j).map(|r| devices[r * j + c]).collect())
         .collect();
@@ -97,7 +106,8 @@ fn matmul_comm_seconds(
             let x_panel = m * k / p as u64 * FP16;
             let w_panel = k * n / p as u64 * FP16;
             // 3 SUMMA passes x j rounds of (row bcast + col bcast)
-            3.0 * j as f64 * (max_bcast(cluster, &rows, x_panel) + max_bcast(cluster, &cols, w_panel))
+            3.0 * j as f64
+                * (max_bcast(cluster, &rows, x_panel) + max_bcast(cluster, &cols, w_panel))
         }
         TpMode::TwoPointFiveD { depth } => {
             let d = depth;
@@ -111,7 +121,8 @@ fn matmul_comm_seconds(
                 let (rows, cols) = grid_groups(layer, j);
                 let x_panel = (m / d as u64) * k / jj as u64 * FP16;
                 let w_panel = k * n / jj as u64 * FP16;
-                let t = 3.0 * j as f64
+                let t = 3.0
+                    * j as f64
                     * (max_bcast(cluster, &rows, x_panel) + max_bcast(cluster, &cols, w_panel));
                 worst_layer = worst_layer.max(t);
             }
@@ -209,8 +220,7 @@ fn tp_layer_comm_seconds(
             .into_iter()
             .map(|(k, n)| {
                 matmul_comm_seconds(mode, cluster, devices, m_rows, k, n)
-                    + matmul_collective_ops(mode, devices.len()) as f64
-                        * COLLECTIVE_LAUNCH_SECONDS
+                    + matmul_collective_ops(mode, devices.len()) as f64 * COLLECTIVE_LAUNCH_SECONDS
             })
             .sum(),
     }
@@ -225,7 +235,11 @@ pub fn tp_step(
     batch: usize,
 ) -> StepEstimate {
     let p = devices.len();
-    assert!(mode.admits(p), "{} does not admit {p} devices", mode.label());
+    assert!(
+        mode.admits(p),
+        "{} does not admit {p} devices",
+        mode.label()
+    );
     let flops = cfg.train_flops(batch, cfg.max_seq);
     let gpu = cluster.gpu(devices[0]);
     let compute = gpu.compute_time_f16(flops / p as u64);
@@ -339,14 +353,18 @@ pub fn bert_pipeline_step(
     stages: usize,
     micro_batches: usize,
 ) -> StepEstimate {
-    assert!(stages >= 1 && cfg.layers.is_multiple_of(stages), "stages must divide layers");
+    assert!(
+        stages >= 1 && cfg.layers.is_multiple_of(stages),
+        "stages must divide layers"
+    );
     let base = bert_step(mode, cfg, cluster, devices, batch, seq);
     if stages == 1 {
         return base;
     }
     // per-stage work is 1/stages of the step, bubble-stretched
-    let bubble = 1.0 + crate::pipeline::bubble_fraction(stages, micro_batches)
-        / (1.0 - crate::pipeline::bubble_fraction(stages, micro_batches));
+    let bubble = 1.0
+        + crate::pipeline::bubble_fraction(stages, micro_batches)
+            / (1.0 - crate::pipeline::bubble_fraction(stages, micro_batches));
     let p = devices.len();
     let boundary_bytes = (batch * seq * cfg.hidden / p) as u64 * FP16;
     // p2p between consecutive stage groups (approximated with the cluster's
@@ -464,17 +482,28 @@ mod tests {
         let t2 = tp_best_throughput(TpMode::TwoD, &cfg4, &cluster, &devices4)
             .unwrap()
             .throughput();
-        assert!(t2 > t1, "4 GPUs on System II: 2D {t2:.2} must beat 1D {t1:.2}");
+        assert!(
+            t2 > t1,
+            "4 GPUs on System II: 2D {t2:.2} must beat 1D {t1:.2}"
+        );
 
         let cfg8 = TransformerConfig::vit_fig11_8gpu();
         let devices8: Vec<usize> = (0..8).collect();
         let t1 = tp_best_throughput(TpMode::OneD, &cfg8, &cluster, &devices8)
             .unwrap()
             .throughput();
-        let t25 = tp_best_throughput(TpMode::TwoPointFiveD { depth: 2 }, &cfg8, &cluster, &devices8)
-            .unwrap()
-            .throughput();
-        assert!(t25 > t1, "8 GPUs on System II: 2.5D {t25:.2} must beat 1D {t1:.2}");
+        let t25 = tp_best_throughput(
+            TpMode::TwoPointFiveD { depth: 2 },
+            &cfg8,
+            &cluster,
+            &devices8,
+        )
+        .unwrap()
+        .throughput();
+        assert!(
+            t25 > t1,
+            "8 GPUs on System II: 2.5D {t25:.2} must beat 1D {t1:.2}"
+        );
     }
 
     #[test]
@@ -492,8 +521,14 @@ mod tests {
         let s4 = speedup(TpMode::TwoD, 4, &small).unwrap();
         let s16 = speedup(TpMode::TwoD, 16, &large).unwrap();
         let s64 = speedup(TpMode::TwoD, 64, &large).unwrap();
-        assert!(s16 > s4, "2D speedup must grow: 4GPU {s4:.2} vs 16GPU {s16:.2}");
-        assert!(s64 > s16, "2D speedup must grow: 16GPU {s16:.2} vs 64GPU {s64:.2}");
+        assert!(
+            s16 > s4,
+            "2D speedup must grow: 4GPU {s4:.2} vs 16GPU {s16:.2}"
+        );
+        assert!(
+            s64 > s16,
+            "2D speedup must grow: 16GPU {s16:.2} vs 64GPU {s64:.2}"
+        );
         assert!(s64 > 1.5, "64-GPU 2D speedup {s64:.2} (paper: 2.76x)");
     }
 
@@ -504,10 +539,26 @@ mod tests {
         let capacity = cluster.gpu(0).memory_bytes;
         for p in [4usize, 12] {
             let devices: Vec<usize> = (0..p).collect();
-            let b_tp = memcalc::max_batch(memcalc::SeqMode::TensorParallel1d, &cfg, 512, p, capacity);
-            let b_sp = memcalc::max_batch(memcalc::SeqMode::SequenceParallel, &cfg, 512, p, capacity);
-            let t_tp = bert_step(memcalc::SeqMode::TensorParallel1d, &cfg, &cluster, &devices, b_tp, 512);
-            let t_sp = bert_step(memcalc::SeqMode::SequenceParallel, &cfg, &cluster, &devices, b_sp, 512);
+            let b_tp =
+                memcalc::max_batch(memcalc::SeqMode::TensorParallel1d, &cfg, 512, p, capacity);
+            let b_sp =
+                memcalc::max_batch(memcalc::SeqMode::SequenceParallel, &cfg, 512, p, capacity);
+            let t_tp = bert_step(
+                memcalc::SeqMode::TensorParallel1d,
+                &cfg,
+                &cluster,
+                &devices,
+                b_tp,
+                512,
+            );
+            let t_sp = bert_step(
+                memcalc::SeqMode::SequenceParallel,
+                &cfg,
+                &cluster,
+                &devices,
+                b_sp,
+                512,
+            );
             assert!(
                 t_sp.throughput() > t_tp.throughput(),
                 "p={p}: SP {:.1} must beat TP {:.1} samples/s",
@@ -526,14 +577,36 @@ mod tests {
         let mut prev_ratio = 0.0;
         for stages in [1usize, 2, 4] {
             let tp = bert_pipeline_step(
-                memcalc::SeqMode::TensorParallel1d, &cfg, &cluster, &devices, b, s, stages, m);
+                memcalc::SeqMode::TensorParallel1d,
+                &cfg,
+                &cluster,
+                &devices,
+                b,
+                s,
+                stages,
+                m,
+            );
             let sp = bert_pipeline_step(
-                memcalc::SeqMode::SequenceParallel, &cfg, &cluster, &devices, b, s, stages, m);
+                memcalc::SeqMode::SequenceParallel,
+                &cfg,
+                &cluster,
+                &devices,
+                b,
+                s,
+                stages,
+                m,
+            );
             let ratio = sp.throughput() / tp.throughput();
-            assert!(ratio >= prev_ratio * 0.99, "gap must not shrink: {ratio:.2} at {stages} stages");
+            assert!(
+                ratio >= prev_ratio * 0.99,
+                "gap must not shrink: {ratio:.2} at {stages} stages"
+            );
             prev_ratio = ratio;
         }
-        assert!(prev_ratio > 1.0, "SP with 4 pipeline stages must win (paper: 1.55x)");
+        assert!(
+            prev_ratio > 1.0,
+            "SP with 4 pipeline stages must win (paper: 1.55x)"
+        );
     }
 
     #[test]
@@ -551,7 +624,10 @@ mod tests {
                 a.throughput(),
                 s.throughput()
             );
-            assert!(a.throughput() > prev_adaptive, "throughput must scale with p");
+            assert!(
+                a.throughput() > prev_adaptive,
+                "throughput must scale with p"
+            );
             prev_adaptive = a.throughput();
         }
     }

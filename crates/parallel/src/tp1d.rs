@@ -406,7 +406,11 @@ mod tests {
             (y, dx)
         });
         for (y, dx) in &results {
-            assert!(y.allclose(&y_want, 2e-4), "forward diverged: {}", y.max_abs_diff(&y_want));
+            assert!(
+                y.allclose(&y_want, 2e-4),
+                "forward diverged: {}",
+                y.max_abs_diff(&y_want)
+            );
             assert!(dx.allclose(&dx_want, 2e-4), "input grad diverged");
         }
         // Megatron property: exactly 2 all-reduces per fwd+bwd
@@ -509,14 +513,16 @@ mod tests {
             let _ = mlp.backward(&y);
         });
         let sx = (b * s * h) as u64;
-        let measured = world.stats().elements_of(colossalai_comm::OpKind::AllReduce);
+        let measured = world
+            .stats()
+            .elements_of(colossalai_comm::OpKind::AllReduce);
         // 2 all-reduces of S_X elements, each metered at 2(p-1) * S_X:
         // total = 2 * 2(p-1) S_X; Table 1 counts one matmul (fwd+bwd of one
         // W) as 2(p-1) S_X — the MLP has two weight matrices, hence 2x.
-        assert_eq!(measured, 2 * crate::volume::volume_1d(
-            crate::volume::MatmulShape { b, s, h },
-            p
-        ));
+        assert_eq!(
+            measured,
+            2 * crate::volume::volume_1d(crate::volume::MatmulShape { b, s, h }, p)
+        );
         assert_eq!(measured, 4 * (p as u64 - 1) * sx);
     }
 }

@@ -30,7 +30,10 @@ impl Grid25d {
     /// `members[dep * j^2 + r * j + c]`.
     pub fn new(ctx: &DeviceCtx, members: &[DeviceId], depth: usize) -> Self {
         let p = members.len();
-        assert!(depth >= 1 && p.is_multiple_of(depth), "p = {p} not divisible by depth {depth}");
+        assert!(
+            depth >= 1 && p.is_multiple_of(depth),
+            "p = {p} not divisible by depth {depth}"
+        );
         let jj = p / depth;
         let j = crate::volume::int_sqrt(jj).unwrap_or_else(|| {
             panic!("2.5D requires d * j^2 devices, got p = {p} with depth {depth}")
@@ -168,8 +171,16 @@ mod tests {
         }
         let y_got = Tensor::cat(&y_slices, 0);
         let dx_got = Tensor::cat(&dx_slices, 0);
-        assert!(y_got.allclose(&y_want, 1e-3), "fwd diff {}", y_got.max_abs_diff(&y_want));
-        assert!(dx_got.allclose(&dx_want, 1e-3), "dx diff {}", dx_got.max_abs_diff(&dx_want));
+        assert!(
+            y_got.allclose(&y_want, 1e-3),
+            "fwd diff {}",
+            y_got.max_abs_diff(&y_want)
+        );
+        assert!(
+            dx_got.allclose(&dx_want, 1e-3),
+            "dx diff {}",
+            dx_got.max_abs_diff(&dx_want)
+        );
 
         // weight grads: every depth layer holds the same reduced tiles that
         // reassemble the serial gradient

@@ -28,8 +28,9 @@ impl Grid2d {
     /// + c]` sits at `(r, c)`). Every member must call with the same list.
     pub fn new(ctx: &DeviceCtx, members: &[DeviceId]) -> Self {
         let p = members.len();
-        let j = crate::volume::int_sqrt(p)
-            .unwrap_or_else(|| panic!("2D tensor parallelism requires a square device count, got {p}"));
+        let j = crate::volume::int_sqrt(p).unwrap_or_else(|| {
+            panic!("2D tensor parallelism requires a square device count, got {p}")
+        });
         let my = members
             .iter()
             .position(|&m| m == ctx.rank())
@@ -51,8 +52,13 @@ impl Grid2d {
 pub fn tile_of(global: &Tensor, j: usize, r: usize, c: usize) -> Tensor {
     assert_eq!(global.rank(), 2, "tile_of expects a collapsed matrix");
     let (m, k) = (global.dims()[0], global.dims()[1]);
-    assert!(m % j == 0 && k % j == 0, "matrix {m}x{k} not tileable by {j}");
-    global.narrow(0, r * (m / j), m / j).narrow(1, c * (k / j), k / j)
+    assert!(
+        m % j == 0 && k % j == 0,
+        "matrix {m}x{k} not tileable by {j}"
+    );
+    global
+        .narrow(0, r * (m / j), m / j)
+        .narrow(1, c * (k / j), k / j)
 }
 
 /// Reassembles a `j x j` list of tiles (row-major) into the global matrix
@@ -115,12 +121,20 @@ impl Linear2d {
             // A panel travels along the row; B panel along the column
             let a_panel = g.row_group.broadcast(
                 &self.ctx,
-                if g.col == l { a.clone() } else { Tensor::zeros([0]) },
+                if g.col == l {
+                    a.clone()
+                } else {
+                    Tensor::zeros([0])
+                },
                 l,
             );
             let b_panel = g.col_group.broadcast(
                 &self.ctx,
-                if g.row == l { b.clone() } else { Tensor::zeros([0]) },
+                if g.row == l {
+                    b.clone()
+                } else {
+                    Tensor::zeros([0])
+                },
                 l,
             );
             c_tile.axpy(1.0, &matmul(&a_panel, &b_panel));
@@ -131,7 +145,11 @@ impl Linear2d {
 
 impl Layer for Linear2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.rank(), 2, "Linear2d operates on collapsed [M/j, K/j] tiles");
+        assert_eq!(
+            x.rank(),
+            2,
+            "Linear2d operates on collapsed [M/j, K/j] tiles"
+        );
         self.cached_x = Some(x.clone());
         let mut y = self.summa_forward(x, self.w.value());
         if let Some(b) = &self.bias {
@@ -156,7 +174,11 @@ impl Layer for Linear2d {
         for l in 0..g.j {
             let w_panel = g.col_group.broadcast(
                 &self.ctx,
-                if g.row == l { self.w.value().clone() } else { Tensor::zeros([0]) },
+                if g.row == l {
+                    self.w.value().clone()
+                } else {
+                    Tensor::zeros([0])
+                },
                 l,
             );
             let partial = matmul_bt(dy, &w_panel);
@@ -171,7 +193,11 @@ impl Layer for Linear2d {
         for l in 0..g.j {
             let x_panel = g.row_group.broadcast(
                 &self.ctx,
-                if g.col == l { x.clone() } else { Tensor::zeros([0]) },
+                if g.col == l {
+                    x.clone()
+                } else {
+                    Tensor::zeros([0])
+                },
                 l,
             );
             let partial = matmul_at(&x_panel, dy);
@@ -239,14 +265,26 @@ mod tests {
         let dx_tiles: Vec<Tensor> = results.iter().map(|(_, dx, _)| dx.clone()).collect();
         let y_got = assemble_tiles(&y_tiles, j);
         let dx_got = assemble_tiles(&dx_tiles, j);
-        assert!(y_got.allclose(&y_want, 1e-3), "fwd diff {}", y_got.max_abs_diff(&y_want));
-        assert!(dx_got.allclose(&dx_want, 1e-3), "dx diff {}", dx_got.max_abs_diff(&dx_want));
+        assert!(
+            y_got.allclose(&y_want, 1e-3),
+            "fwd diff {}",
+            y_got.max_abs_diff(&y_want)
+        );
+        assert!(
+            dx_got.allclose(&dx_want, 1e-3),
+            "dx diff {}",
+            dx_got.max_abs_diff(&dx_want)
+        );
 
         // weight gradient tiles reassemble the serial gradient
         let dw_tiles: Vec<Tensor> = results.iter().map(|(_, _, g)| g[0].clone()).collect();
         let dw_got = assemble_tiles(&dw_tiles, j);
         let dw_want = serial.weight().grad();
-        assert!(dw_got.allclose(dw_want, 1e-3), "dw diff {}", dw_got.max_abs_diff(dw_want));
+        assert!(
+            dw_got.allclose(dw_want, 1e-3),
+            "dw diff {}",
+            dw_got.max_abs_diff(dw_want)
+        );
 
         if with_bias {
             // bias grads: each column shard equals the serial slice, and is
@@ -316,12 +354,12 @@ mod tests {
         });
         let stats = world.stats();
         let measured = stats.elements_of(OpKind::Broadcast) + stats.elements_of(OpKind::Reduce);
-        let table1 = crate::volume::volume_2d(
-            crate::volume::MatmulShape { b: 1, s: m, h: k },
-            j,
-        );
+        let table1 = crate::volume::volume_2d(crate::volume::MatmulShape { b: 1, s: m, h: k }, j);
         let ratio = measured as f64 / table1 as f64;
-        assert!((0.66..1.5).contains(&ratio), "measured {measured} vs table {table1}");
+        assert!(
+            (0.66..1.5).contains(&ratio),
+            "measured {measured} vs table {table1}"
+        );
     }
 
     #[test]

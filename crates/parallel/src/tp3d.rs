@@ -41,8 +41,9 @@ impl Grid3d {
     /// Builds the cube over `members` ordered `members[i*l^2 + j*l + k]`.
     pub fn new(ctx: &DeviceCtx, members: &[DeviceId]) -> Self {
         let p = members.len();
-        let l = crate::volume::int_cbrt(p)
-            .unwrap_or_else(|| panic!("3D tensor parallelism requires a cubic device count, got {p}"));
+        let l = crate::volume::int_cbrt(p).unwrap_or_else(|| {
+            panic!("3D tensor parallelism requires a cubic device count, got {p}")
+        });
         let my = members
             .iter()
             .position(|&m| m == ctx.rank())
@@ -74,7 +75,10 @@ impl Grid3d {
 pub fn tile_x_3d(global: &Tensor, g: &Grid3d) -> Tensor {
     let (m, kk) = (global.dims()[0], global.dims()[1]);
     let l = g.l;
-    assert!(m % (l * l) == 0 && kk % l == 0, "X {m}x{kk} not tileable by l={l}");
+    assert!(
+        m % (l * l) == 0 && kk % l == 0,
+        "X {m}x{kk} not tileable by l={l}"
+    );
     let row_block = g.i * l + g.k;
     global
         .narrow(0, row_block * (m / (l * l)), m / (l * l))
@@ -85,7 +89,10 @@ pub fn tile_x_3d(global: &Tensor, g: &Grid3d) -> Tensor {
 pub fn tile_w_3d(global: &Tensor, g: &Grid3d) -> Tensor {
     let (kk, n) = (global.dims()[0], global.dims()[1]);
     let l = g.l;
-    assert!(kk % (l * l) == 0 && n % l == 0, "W {kk}x{n} not tileable by l={l}");
+    assert!(
+        kk % (l * l) == 0 && n % l == 0,
+        "W {kk}x{n} not tileable by l={l}"
+    );
     let row_block = g.j * l + g.i;
     global
         .narrow(0, row_block * (kk / (l * l)), kk / (l * l))
@@ -139,13 +146,19 @@ impl Linear3d {
 
 impl Layer for Linear3d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.rank(), 2, "Linear3d operates on collapsed [M/l^2, K/l] tiles");
+        assert_eq!(
+            x.rank(),
+            2,
+            "Linear3d operates on collapsed [M/l^2, K/l] tiles"
+        );
         self.cached_x = Some(x.clone());
         let g = &self.grid;
         // gather the full row-block of X over the k axis
         let x_ij = g.k_group.all_gather_cat(&self.ctx, x.clone(), 0);
         // gather the full W panel over the i axis
-        let w_jk = g.i_group.all_gather_cat(&self.ctx, self.w.value().clone(), 0);
+        let w_jk = g
+            .i_group
+            .all_gather_cat(&self.ctx, self.w.value().clone(), 0);
         // local partial product, then sum over j with reduce-scatter
         let partial = matmul(&x_ij, &w_jk);
         let mut y = g.j_group.reduce_scatter(&self.ctx, partial, 0);
@@ -167,7 +180,9 @@ impl Layer for Linear3d {
 
         // dX = dY W^T: gather dY over j, W over i; sum over k
         let dy_ik = g.j_group.all_gather_cat(&self.ctx, dy.clone(), 0);
-        let w_jk = g.i_group.all_gather_cat(&self.ctx, self.w.value().clone(), 0);
+        let w_jk = g
+            .i_group
+            .all_gather_cat(&self.ctx, self.w.value().clone(), 0);
         let partial_dx = matmul_bt(&dy_ik, &w_jk);
         let dx = g.k_group.reduce_scatter(&self.ctx, partial_dx, 0);
 

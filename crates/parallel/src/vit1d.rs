@@ -39,10 +39,7 @@ impl TransformerBlock1d {
     ) -> Self {
         // draw the global weights exactly as the serial block does
         let mut lin = |d_in: usize, d_out: usize| {
-            (
-                init::lecun_normal(d_in, d_out, rng),
-                Tensor::zeros([d_out]),
-            )
+            (init::lecun_normal(d_in, d_out, rng), Tensor::zeros([d_out]))
         };
         let wq = lin(dim, dim);
         let wk = lin(dim, dim);

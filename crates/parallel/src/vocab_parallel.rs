@@ -223,7 +223,11 @@ mod tests {
             (y, grads.swap_remove(0))
         });
         for (y, _) in &results {
-            assert!(y.allclose(&y_want, 1e-5), "fwd diff {}", y.max_abs_diff(&y_want));
+            assert!(
+                y.allclose(&y_want, 1e-5),
+                "fwd diff {}",
+                y.max_abs_diff(&y_want)
+            );
         }
         // the table-grad shards reassemble the serial table grad
         let shards: Vec<Tensor> = results.iter().map(|(_, g)| g.clone()).collect();
@@ -257,7 +261,10 @@ mod tests {
             vocab_parallel_cross_entropy(ctx, &g, &local, &targets)
         });
         for (r, (loss, grad)) in results.iter().enumerate() {
-            assert!((loss - want_loss).abs() < 1e-5, "loss {loss} vs {want_loss}");
+            assert!(
+                (loss - want_loss).abs() < 1e-5,
+                "loss {loss} vs {want_loss}"
+            );
             let want_slice = want_grad.chunk(1, p).swap_remove(r);
             assert!(
                 grad.allclose(&want_slice, 1e-6),
@@ -272,10 +279,13 @@ mod tests {
         // the global-max subtraction must prevent overflow even when the
         // row max lives on another rank
         let (rows, vocab, p) = (2usize, 4usize, 2usize);
-        let logits = Tensor::from_vec([rows, vocab], vec![
-            1000.0, 0.0, 0.0, 999.0, // max on rank 0
-            0.0, 2000.0, 1999.0, 0.0, // max on rank 0's slice too? no: col 1
-        ]);
+        let logits = Tensor::from_vec(
+            [rows, vocab],
+            vec![
+                1000.0, 0.0, 0.0, 999.0, // max on rank 0
+                0.0, 2000.0, 1999.0, 0.0, // max on rank 0's slice too? no: col 1
+            ],
+        );
         let targets = vec![0usize, 1];
         let world = World::new(system_i());
         let results = world.run_on(p, |ctx| {

@@ -185,7 +185,12 @@ mod tests {
 
     #[test]
     fn single_device_volumes_are_zero() {
-        for mode in [TpMode::OneD, TpMode::TwoD, TpMode::TwoPointFiveD { depth: 1 }, TpMode::ThreeD] {
+        for mode in [
+            TpMode::OneD,
+            TpMode::TwoD,
+            TpMode::TwoPointFiveD { depth: 1 },
+            TpMode::ThreeD,
+        ] {
             assert_eq!(mode.volume(SHAPE, 1), 0, "{}", mode.label());
         }
     }

@@ -123,9 +123,7 @@ impl ZeroOptimizer {
                 let full = self.group.all_reduce(&self.ctx, grads);
                 full.narrow(0, r * shard_len, shard_len)
             }
-            ZeroStage::Two | ZeroStage::Three => {
-                self.group.reduce_scatter(&self.ctx, grads, 0)
-            }
+            ZeroStage::Two | ZeroStage::Three => self.group.reduce_scatter(&self.ctx, grads, 0),
         };
         grad_shard.scale(1.0 / p as f32);
 
@@ -155,14 +153,22 @@ impl ZeroOptimizer {
     /// zeros (the shard in `self.master` remains authoritative). Persistent
     /// parameter memory falls to `2N/p`.
     pub fn release_params(&self, model: &mut dyn Layer) {
-        assert_eq!(self.stage, ZeroStage::Three, "release only applies to stage 3");
+        assert_eq!(
+            self.stage,
+            ZeroStage::Three,
+            "release only applies to stage 3"
+        );
         model.visit_params(&mut |p| p.value_mut().data_mut().fill(0.0));
     }
 
     /// ZeRO-3 helper: re-materializes full parameters by all-gathering the
     /// master shards (called before each forward pass).
     pub fn materialize_params(&self, model: &mut dyn Layer) {
-        assert_eq!(self.stage, ZeroStage::Three, "materialize only applies to stage 3");
+        assert_eq!(
+            self.stage,
+            ZeroStage::Three,
+            "materialize only applies to stage 3"
+        );
         let shard = Tensor::from_vec([self.shard_len()], self.master.clone());
         let full = self.group.all_gather_cat(&self.ctx, shard, 0);
         let trimmed = full.narrow(0, 0, self.n);
@@ -215,7 +221,11 @@ mod tests {
 
     /// ZeRO trajectory at a given stage. Gradients synchronize inside the
     /// ZeRO step (not via DataParallel), matching the real system layering.
-    fn zero_trajectory(p: usize, steps: usize, stage: ZeroStage) -> (Tensor, colossalai_comm::CommStats) {
+    fn zero_trajectory(
+        p: usize,
+        steps: usize,
+        stage: ZeroStage,
+    ) -> (Tensor, colossalai_comm::CommStats) {
         let world = World::new(system_ii());
         let mut out = world.run_on(p, |ctx| {
             let g = ctx.world_group(p);

@@ -154,7 +154,16 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for &x in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.000061035156 /* 2^-14 */] {
+        for &x in &[
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.000061035156, /* 2^-14 */
+        ] {
             let h = F16::from_f32(x);
             assert_eq!(h.to_f32(), x, "roundtrip of {x}");
         }

@@ -19,7 +19,12 @@ pub fn rng(seed: u64) -> InitRng {
 }
 
 /// Uniform values in `[lo, hi)`.
-pub fn uniform(shape: impl Into<crate::shape::Shape>, lo: f32, hi: f32, rng: &mut InitRng) -> Tensor {
+pub fn uniform(
+    shape: impl Into<crate::shape::Shape>,
+    lo: f32,
+    hi: f32,
+    rng: &mut InitRng,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.numel();
     let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
@@ -27,7 +32,12 @@ pub fn uniform(shape: impl Into<crate::shape::Shape>, lo: f32, hi: f32, rng: &mu
 }
 
 /// Normal values with the given mean and standard deviation (Box–Muller).
-pub fn normal(shape: impl Into<crate::shape::Shape>, mean: f32, std: f32, rng: &mut InitRng) -> Tensor {
+pub fn normal(
+    shape: impl Into<crate::shape::Shape>,
+    mean: f32,
+    std: f32,
+    rng: &mut InitRng,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.numel();
     let dist = NormalDist { mean, std };
@@ -88,7 +98,12 @@ mod tests {
     fn normal_moments() {
         let t = normal([20000], 2.0, 3.0, &mut rng(2));
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.numel() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.numel() as f32;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 9.0).abs() < 0.5, "var {var}");
     }
@@ -97,7 +112,11 @@ mod tests {
     fn lecun_std_scales_with_fan_in() {
         let t = lecun_normal(400, 100, &mut rng(3));
         let mean = t.mean();
-        let std = (t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let std = (t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32)
             .sqrt();
         assert!((std - 0.05).abs() < 0.005, "std {std}");

@@ -7,22 +7,27 @@
 //! storage emulation.
 //!
 //! Design choices:
-//! * tensors are always owned, contiguous and row-major — simulated devices
-//!   exchange buffers by value, so aliasing views would be a hazard, not an
-//!   optimization;
+//! * tensors are contiguous and row-major with copy-on-write storage —
+//!   clones share one allocation and any mutation path unshares first, so
+//!   value semantics are preserved while broadcast-style fan-out of one
+//!   buffer to many simulated devices stays O(1) per rank;
 //! * shape errors panic (like `ndarray`), since they are programming errors
 //!   in a training system, not recoverable conditions;
 //! * all randomness is seeded ChaCha8 so parallel-vs-serial equivalence tests
-//!   can construct identical global parameters.
+//!   can construct identical global parameters;
+//! * real arithmetic runs on a packed, register-blocked GEMM core (see
+//!   [`kernel`]) with an opt-in thread budget (`COLOSSAL_KERNEL_THREADS`).
 
 pub mod f16;
 pub mod init;
+pub mod kernel;
 pub mod matmul;
 pub mod ops;
 pub mod shape;
 pub mod tensor;
 
 pub use f16::F16;
+pub use kernel::{kernel_threads, set_kernel_threads};
 pub use matmul::{bmm, bmm_at, bmm_bt, gemm, matmul, matmul_at, matmul_bt, matmul_nd};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,13 +1,20 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication entry points.
 //!
-//! All distributed matmul algorithms (1D/2D/2.5D/3D tensor parallelism) bottom
-//! out in these local kernels, so they are written cache-consciously: the
-//! classic `i-k-j` loop order with a blocked variant for larger operands.
+//! All distributed matmul algorithms (1D/2D/2.5D/3D tensor parallelism)
+//! bottom out in these local kernels. Every variant — plain, transposed, and
+//! batched — routes through the packed register-blocked core in
+//! [`crate::kernel`]; transposed operands are passed as strided views so the
+//! transpose is never materialized and never touches the hot loop.
+//!
+//! The seed kernels ([`gemm_ref_ikj`], [`gemm_ref_blocked`]) are kept as
+//! reference baselines for the `gemm_kernels` benchmark and for differential
+//! tests; they are not used by any production path.
 
+use crate::kernel::{for_each_batch, gemm_mat_auto, Mat};
 use crate::tensor::Tensor;
 
-/// Block edge for the tiled kernel; sized so that three `B x B` f32 tiles fit
-/// comfortably in a typical 32 KiB L1 data cache.
+/// Block edge for the reference tiled kernel; sized so that three `B x B`
+/// f32 tiles fit comfortably in a typical 32 KiB L1 data cache.
 const BLOCK: usize = 48;
 
 /// `C = A @ B` for rank-2 operands `(m, k) @ (k, n) -> (m, n)`.
@@ -31,15 +38,13 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "gemm lhs size");
     assert_eq!(b.len(), k * n, "gemm rhs size");
     assert_eq!(c.len(), m * n, "gemm out size");
-    if m * k + k * n <= BLOCK * BLOCK * 2 {
-        gemm_ikj(a, b, c, m, k, n);
-    } else {
-        gemm_blocked(a, b, c, m, k, n);
-    }
+    gemm_mat_auto(Mat::row_major(a, k), Mat::row_major(b, n), c, m, k, n);
 }
 
-/// Straight i-k-j kernel: streams rows of B, vectorizes well.
-fn gemm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Reference i-k-j kernel from the seed tree, kept for benchmarking and
+/// differential tests. The `a_ip == 0.0` skip made sparse-ish inputs cheap
+/// but costs a branch per scalar on dense ones.
+pub fn gemm_ref_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -55,8 +60,9 @@ fn gemm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
-/// Cache-blocked kernel for large operands.
-fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Reference cache-blocked kernel from the seed tree, kept for benchmarking
+/// and differential tests.
+pub fn gemm_ref_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i0 in (0..m).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(m);
         for p0 in (0..k).step_by(BLOCK) {
@@ -107,13 +113,14 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_bt inner-dimension mismatch");
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a.data()[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b.data()[j * k..(j + 1) * k];
-            out[i * n + j] = dot(a_row, b_row);
-        }
-    }
+    gemm_mat_auto(
+        Mat::row_major(a.data(), k),
+        Mat::transposed(b.data(), k),
+        &mut out,
+        m,
+        k,
+        n,
+    );
     Tensor::from_vec([m, n], out)
 }
 
@@ -125,19 +132,14 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_at inner-dimension mismatch");
     let mut out = vec![0.0f32; m * n];
-    for p in 0..k {
-        let a_row = &a.data()[p * m..(p + 1) * m];
-        let b_row = &b.data()[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_ij += a_pi * b_pj;
-            }
-        }
-    }
+    gemm_mat_auto(
+        Mat::transposed(a.data(), m),
+        Mat::row_major(b.data(), n),
+        &mut out,
+        m,
+        k,
+        n,
+    );
     Tensor::from_vec([m, n], out)
 }
 
@@ -151,16 +153,16 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "bmm batch mismatch");
     assert_eq!(k, k2, "bmm inner-dimension mismatch");
     let mut out = vec![0.0f32; ba * m * n];
-    for t in 0..ba {
-        gemm(
-            &a.data()[t * m * k..(t + 1) * m * k],
-            &b.data()[t * k * n..(t + 1) * k * n],
-            &mut out[t * m * n..(t + 1) * m * n],
+    for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
+        gemm_mat_auto(
+            Mat::row_major(&a.data()[t * m * k..(t + 1) * m * k], k),
+            Mat::row_major(&b.data()[t * k * n..(t + 1) * k * n], n),
+            c_t,
             m,
             k,
             n,
         );
-    }
+    });
     Tensor::from_vec([ba, m, n], out)
 }
 
@@ -173,16 +175,16 @@ pub fn bmm_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "bmm_bt batch mismatch");
     assert_eq!(k, k2, "bmm_bt inner-dimension mismatch");
     let mut out = vec![0.0f32; ba * m * n];
-    for t in 0..ba {
-        let a_t = &a.data()[t * m * k..(t + 1) * m * k];
-        let b_t = &b.data()[t * n * k..(t + 1) * n * k];
-        let c_t = &mut out[t * m * n..(t + 1) * m * n];
-        for i in 0..m {
-            for j in 0..n {
-                c_t[i * n + j] = dot(&a_t[i * k..(i + 1) * k], &b_t[j * k..(j + 1) * k]);
-            }
-        }
-    }
+    for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
+        gemm_mat_auto(
+            Mat::row_major(&a.data()[t * m * k..(t + 1) * m * k], k),
+            Mat::transposed(&b.data()[t * n * k..(t + 1) * n * k], k),
+            c_t,
+            m,
+            k,
+            n,
+        );
+    });
     Tensor::from_vec([ba, m, n], out)
 }
 
@@ -195,29 +197,17 @@ pub fn bmm_at(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "bmm_at batch mismatch");
     assert_eq!(k, k2, "bmm_at inner-dimension mismatch");
     let mut out = vec![0.0f32; ba * m * n];
-    for t in 0..ba {
-        let a_t = &a.data()[t * k * m..(t + 1) * k * m];
-        let b_t = &b.data()[t * k * n..(t + 1) * k * n];
-        let c_t = &mut out[t * m * n..(t + 1) * m * n];
-        for p in 0..k {
-            let a_row = &a_t[p * m..(p + 1) * m];
-            let b_row = &b_t[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c_t[i * n..(i + 1) * n];
-                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c_ij += a_pi * b_pj;
-                }
-            }
-        }
-    }
+    for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
+        gemm_mat_auto(
+            Mat::transposed(&a.data()[t * k * m..(t + 1) * k * m], m),
+            Mat::row_major(&b.data()[t * k * n..(t + 1) * k * n], n),
+            c_t,
+            m,
+            k,
+            n,
+        );
+    });
     Tensor::from_vec([ba, m, n], out)
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
 /// FLOPs of a dense `(m, k) @ (k, n)` multiply (multiply-add counted as 2).
@@ -251,7 +241,9 @@ mod tests {
         let n = dims[0] * dims[1];
         let data = (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect();
@@ -268,7 +260,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_across_sizes() {
-        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (48, 48, 48), (65, 130, 49), (100, 3, 100)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 7, 3),
+            (48, 48, 48),
+            (65, 130, 49),
+            (100, 3, 100),
+        ] {
             let a = rand_t([m, k], (m * 31 + k) as u64);
             let b = rand_t([k, n], (k * 17 + n) as u64);
             let got = matmul(&a, &b);
@@ -278,6 +276,28 @@ mod tests {
                 "mismatch at ({m},{k},{n}): {}",
                 got.max_abs_diff(&want)
             );
+        }
+    }
+
+    #[test]
+    fn packed_matches_reference_kernels() {
+        for &(m, k, n) in &[(5, 7, 3), (48, 48, 48), (65, 130, 49), (100, 3, 100)] {
+            let a = rand_t([m, k], (m * 3 + k) as u64);
+            let b = rand_t([k, n], (k * 5 + n) as u64);
+            let mut packed = vec![0.0f32; m * n];
+            gemm(a.data(), b.data(), &mut packed, m, k, n);
+            let mut ikj = vec![0.0f32; m * n];
+            gemm_ref_ikj(a.data(), b.data(), &mut ikj, m, k, n);
+            let mut blocked = vec![0.0f32; m * n];
+            gemm_ref_blocked(a.data(), b.data(), &mut blocked, m, k, n);
+            let tol = 1e-4 * k as f32;
+            for j in 0..m * n {
+                assert!((packed[j] - ikj[j]).abs() <= tol, "vs ikj at ({m},{k},{n})");
+                assert!(
+                    (packed[j] - blocked[j]).abs() <= tol,
+                    "vs blocked at ({m},{k},{n})"
+                );
+            }
         }
     }
 

@@ -72,7 +72,12 @@ pub fn relu_grad(x: &Tensor) -> Tensor {
 ///
 /// Returns `(y, mean, inv_std)`; the statistics are cached for the backward
 /// pass.
-pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
+pub fn layernorm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
     let n = *x.dims().last().expect("layernorm on scalar");
     assert_eq!(gamma.numel(), n, "gamma length mismatch");
     assert_eq!(beta.numel(), n, "beta length mismatch");
@@ -84,7 +89,10 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor
         let mean = row.iter().sum::<f32>() / n as f32;
         let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
         let inv_std = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data().iter())) {
+        for (v, (&g, &b)) in row
+            .iter_mut()
+            .zip(gamma.data().iter().zip(beta.data().iter()))
+        {
             *v = (*v - mean) * inv_std * g + b;
         }
         means.push(mean);
@@ -266,10 +274,25 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fp: f32 = softmax(&xp).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
-            let fm: f32 = softmax(&xm).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+            let fp: f32 = softmax(&xp)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = softmax(&xm)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let fd = (fp - fm) / (2.0 * eps);
-            assert!((dx.data()[i] - fd).abs() < 1e-3, "i={i}: {} vs {}", dx.data()[i], fd);
+            assert!(
+                (dx.data()[i] - fd).abs() < 1e-3,
+                "i={i}: {} vs {}",
+                dx.data()[i],
+                fd
+            );
         }
     }
 
@@ -332,7 +355,12 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let fd = (f(&xp, &gamma, &beta) - f(&xm, &gamma, &beta)) / (2.0 * eps);
-            assert!((dx.data()[i] - fd).abs() < 2e-2, "dx[{i}] {} vs fd {}", dx.data()[i], fd);
+            assert!(
+                (dx.data()[i] - fd).abs() < 2e-2,
+                "dx[{i}] {} vs fd {}",
+                dx.data()[i],
+                fd
+            );
         }
         for i in 0..3 {
             let mut gp = gamma.clone();
@@ -358,7 +386,10 @@ mod tests {
         assert_eq!(s0.at(&[0, 0]), x.at(&[0, 0, 0]) + x.at(&[1, 0, 0]));
         let s1 = sum_axis(&x, 1);
         assert_eq!(s1.dims(), &[2, 4]);
-        assert_eq!(s1.at(&[1, 3]), x.at(&[1, 0, 3]) + x.at(&[1, 1, 3]) + x.at(&[1, 2, 3]));
+        assert_eq!(
+            s1.at(&[1, 3]),
+            x.at(&[1, 0, 3]) + x.at(&[1, 1, 3]) + x.at(&[1, 2, 3])
+        );
         let s2 = sum_axis(&x, 2);
         assert_eq!(s2.dims(), &[2, 3]);
         assert_eq!(s2.at(&[0, 1]), (4..8).map(|i| i as f32).sum::<f32>());

@@ -3,13 +3,18 @@
 use crate::shape::Shape;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::sync::Arc;
 
-/// A dense, contiguous, row-major `f32` tensor.
+/// A dense, contiguous, row-major `f32` tensor with copy-on-write storage.
 ///
 /// This is the single numeric currency of the reproduction: simulated-device
-/// buffers, parameters, gradients and activations are all `Tensor`s. The type
-/// is deliberately owned-and-contiguous — "views" copy — because buffers are
-/// routinely moved between simulated devices (threads) and must not alias.
+/// buffers, parameters, gradients and activations are all `Tensor`s. The
+/// buffer is shared behind an [`Arc`], so `Clone` (and [`Tensor::reshape`])
+/// is O(1) — collectives that fan one buffer out to `p` ranks hand out `p`
+/// handles to a single allocation instead of `p` deep copies. Every mutation
+/// path goes through [`Arc::make_mut`], which copies the buffer first if it
+/// is shared, so tensors still *behave* exactly like independent values:
+/// writing through one handle can never be observed through another.
 ///
 /// # Examples
 ///
@@ -20,11 +25,16 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// let b = Tensor::ones([2, 2]);
 /// let c = matmul(&a, &b);
 /// assert_eq!(c.data(), &[3.0, 3.0, 7.0, 7.0]);
+///
+/// let mut d = c.clone();          // shares storage with c
+/// assert!(d.shares_storage(&c));
+/// d.scale(2.0);                   // unshares before writing
+/// assert_eq!(c.data(), &[3.0, 3.0, 7.0, 7.0]);
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
@@ -41,7 +51,10 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// All-zeros tensor.
@@ -50,7 +63,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
         }
     }
 
@@ -65,7 +78,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Arc::new(vec![value; n]),
         }
     }
 
@@ -73,7 +86,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: Arc::new(vec![value]),
         }
     }
 
@@ -81,7 +94,7 @@ impl Tensor {
     pub fn arange(n: usize) -> Self {
         Tensor {
             shape: Shape::new([n]),
-            data: (0..n).map(|i| i as f32).collect(),
+            data: Arc::new((0..n).map(|i| i as f32).collect()),
         }
     }
 
@@ -111,13 +124,24 @@ impl Tensor {
     }
 
     /// Mutable view of the backing buffer in row-major order.
+    ///
+    /// This is the copy-on-write point: if the storage is shared with other
+    /// handles, it is unshared (copied) first, so the returned slice is
+    /// always exclusively owned.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning the backing buffer.
+    /// Consumes the tensor, returning the backing buffer (copying only if
+    /// the storage is still shared with other handles).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True if `self` and `other` share one storage allocation (i.e. both
+    /// are copy-on-write handles to the same buffer).
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Element at a multi-index.
@@ -125,10 +149,10 @@ impl Tensor {
         self.data[self.shape.offset(index)]
     }
 
-    /// Sets the element at a multi-index.
+    /// Sets the element at a multi-index (unsharing the storage if needed).
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        self.data[off] = value;
+        Arc::make_mut(&mut self.data)[off] = value;
     }
 
     /// The value of a rank-0 or single-element tensor.
@@ -138,6 +162,7 @@ impl Tensor {
     }
 
     /// Reinterprets the buffer under a new shape with the same element count.
+    /// The result shares storage with `self` (copy-on-write).
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         assert_eq!(
@@ -165,13 +190,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -185,12 +210,13 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -198,14 +224,14 @@ impl Tensor {
     /// optimizer and gradient accumulation step.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x *= s;
         }
     }
@@ -232,7 +258,11 @@ impl Tensor {
 
     /// L2 norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| x as f64 * x as f64)
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Largest absolute elementwise difference to `other`.
@@ -285,7 +315,7 @@ impl Tensor {
         }
         Tensor {
             shape: out_shape,
-            data: out,
+            data: Arc::new(out),
         }
     }
 
@@ -318,8 +348,10 @@ impl Tensor {
     /// (e.g. attention heads divisible by the 1D parallel size).
     pub fn chunk(&self, dim: usize, parts: usize) -> Vec<Tensor> {
         let extent = self.dims()[dim];
-        assert!(parts > 0 && extent.is_multiple_of(parts),
-            "dim {dim} extent {extent} not divisible into {parts} parts");
+        assert!(
+            parts > 0 && extent.is_multiple_of(parts),
+            "dim {dim} extent {extent} not divisible into {parts} parts"
+        );
         let each = extent / parts;
         (0..parts)
             .map(|p| self.narrow(dim, p * each, each))
@@ -337,7 +369,11 @@ impl Tensor {
             assert_eq!(t.rank(), rank, "cat rank mismatch");
             for d in 0..rank {
                 if d != dim {
-                    assert_eq!(t.dims()[d], first.dims()[d], "cat extent mismatch on dim {d}");
+                    assert_eq!(
+                        t.dims()[d],
+                        first.dims()[d],
+                        "cat extent mismatch on dim {d}"
+                    );
                 }
             }
             total += t.dims()[dim];
@@ -380,7 +416,7 @@ impl Tensor {
             "bias length mismatch"
         );
         let mut out = self.clone();
-        for row in out.data.chunks_mut(n) {
+        for row in out.data_mut().chunks_mut(n) {
             for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
                 *x += b;
             }
@@ -560,5 +596,63 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn chunk_requires_divisibility() {
         t2x3().chunk(1, 2);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let a = t2x3();
+        let mut b = a.clone();
+        assert!(b.shares_storage(&a));
+        b.set(&[0, 0], 9.0);
+        assert!(!b.shares_storage(&a));
+        assert_eq!(
+            a.at(&[0, 0]),
+            1.0,
+            "mutating a clone must not leak into the original"
+        );
+        assert_eq!(b.at(&[0, 0]), 9.0);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let a = t2x3();
+        let r = a.reshape([3, 2]);
+        assert!(r.shares_storage(&a));
+        assert_eq!(r.at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn every_mutation_path_unshares() {
+        let base = t2x3();
+        type Mutation = Box<dyn Fn(&mut Tensor)>;
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|t| t.set(&[0, 0], -1.0)),
+            Box::new(|t| t.data_mut()[0] = -1.0),
+            Box::new(|t| t.map_inplace(|x| x + 1.0)),
+            Box::new(|t| t.axpy(2.0, &Tensor::ones([2, 3]))),
+            Box::new(|t| t.scale(0.5)),
+        ];
+        for (i, mutate) in mutations.iter().enumerate() {
+            let mut copy = base.clone();
+            assert!(copy.shares_storage(&base));
+            mutate(&mut copy);
+            assert!(
+                !copy.shares_storage(&base),
+                "mutation {i} failed to unshare"
+            );
+            assert_eq!(
+                base.data(),
+                &[1., 2., 3., 4., 5., 6.],
+                "mutation {i} leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = t2x3();
+        let b = a.clone();
+        assert_eq!(b.into_vec(), vec![1., 2., 3., 4., 5., 6.]); // shared: copies
+        assert_eq!(a.into_vec(), vec![1., 2., 3., 4., 5., 6.]); // unique: moves
     }
 }

@@ -60,7 +60,10 @@ pub fn probe_collective(cluster: &Cluster, group_sizes: &[usize], bytes: u64) ->
 /// Min / max pairwise bandwidth — the headline numbers of Fig 10a.
 pub fn pairwise_extremes(cluster: &Cluster, bytes: u64) -> (f64, f64) {
     let probes = probe_pairs(cluster, bytes);
-    let min = probes.iter().map(|p| p.bandwidth).fold(f64::INFINITY, f64::min);
+    let min = probes
+        .iter()
+        .map(|p| p.bandwidth)
+        .fold(f64::INFINITY, f64::min);
     let max = probes.iter().map(|p| p.bandwidth).fold(0.0, f64::max);
     (min, max)
 }

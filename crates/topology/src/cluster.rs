@@ -88,7 +88,10 @@ impl Cluster {
     /// Registers an explicit bidirectional link between `a` and `b`.
     pub fn add_link(&mut self, a: DeviceId, b: DeviceId, link: Link) {
         assert!(a != b, "self-link");
-        assert!(a < self.n_devices() && b < self.n_devices(), "device out of range");
+        assert!(
+            a < self.n_devices() && b < self.n_devices(),
+            "device out of range"
+        );
         let key = (a.min(b), a.max(b));
         if let Some(entry) = self.explicit.iter_mut().find(|(k, _)| *k == key) {
             entry.1 = link;
@@ -226,7 +229,10 @@ mod tests {
         // ring confined to one node: NVLink
         assert_eq!(c.ring_bottleneck(&[0, 1, 2, 3]).kind, LinkKind::NvLink);
         // ring spanning nodes: bottleneck is IB
-        assert_eq!(c.ring_bottleneck(&[2, 3, 4, 5]).kind, LinkKind::InfiniBandHdr);
+        assert_eq!(
+            c.ring_bottleneck(&[2, 3, 4, 5]).kind,
+            LinkKind::InfiniBandHdr
+        );
     }
 
     #[test]

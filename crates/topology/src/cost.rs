@@ -84,7 +84,10 @@ pub fn hierarchical_allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes:
     // partition the group by node
     let mut nodes: Vec<Vec<DeviceId>> = Vec::new();
     for &d in group {
-        match nodes.iter_mut().find(|n| cluster.node(n[0]) == cluster.node(d)) {
+        match nodes
+            .iter_mut()
+            .find(|n| cluster.node(n[0]) == cluster.node(d))
+        {
             Some(n) => n.push(d),
             None => nodes.push(vec![d]),
         }

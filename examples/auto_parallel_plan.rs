@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example auto_parallel_plan`
 
 use colossalai::models::TransformerConfig;
-use colossalai::parallel::auto::{
-    conversion_path, plan_strategies, LayerProfile, ShardSpec,
-};
+use colossalai::parallel::auto::{conversion_path, plan_strategies, LayerProfile, ShardSpec};
 
 fn main() {
     // 1. sharding-spec conversion: the planner finds minimal collective

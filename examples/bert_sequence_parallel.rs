@@ -66,7 +66,10 @@ fn main() {
     let cfg = TransformerConfig::bert_base();
     let capacity = system_iii().gpu(0).memory_bytes;
     println!("\nBERT-Base capacity on System III (A100-40GB), analytic:");
-    println!("{:>6} {:>14} {:>14}", "#GPUs", "maxbatch 1D-TP", "maxbatch SeqPar");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "#GPUs", "maxbatch 1D-TP", "maxbatch SeqPar"
+    );
     for gpus in [4usize, 8, 12] {
         let tp = if seq_mode_admits(SeqMode::TensorParallel1d, &cfg, gpus) {
             max_batch(SeqMode::TensorParallel1d, &cfg, 512, gpus, capacity).to_string()

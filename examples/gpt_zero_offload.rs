@@ -66,7 +66,10 @@ fn main() {
         (ZeroStage::Three, "ZeRO-3"),
     ] {
         let bytes = model_data_bytes_per_device(stage, n, 8);
-        println!("  {label} over 8 GPUs: {:.1} GiB", bytes as f64 / (1u64 << 30) as f64);
+        println!(
+            "  {label} over 8 GPUs: {:.1} GiB",
+            bytes as f64 / (1u64 << 30) as f64
+        );
     }
 
     let capacity = 80u64 << 30;

@@ -78,7 +78,10 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     println!("\nmax deviation from the serial trajectory: {max_dev:.2e}");
-    assert!(max_dev < 1e-3, "tensor parallelism must be arithmetically faithful");
+    assert!(
+        max_dev < 1e-3,
+        "tensor parallelism must be arithmetically faithful"
+    );
     println!(
         "virtual time on device 0: {:.3} ms of modeled communication",
         tp_losses[0].1 * 1e3

@@ -63,7 +63,10 @@ fn gpt_engine_with_zero_matches_ddp_engine() {
     let plain = run("{}");
     for stage in 1..=3 {
         let z = run(&format!(r#"{{ "zero": {{ "stage": {stage} }} }}"#));
-        assert_eq!(z, plain, "ZeRO-{stage} engine diverged from plain DP engine");
+        assert_eq!(
+            z, plain,
+            "ZeRO-{stage} engine diverged from plain DP engine"
+        );
     }
 }
 
@@ -103,7 +106,10 @@ fn mixed_precision_engine_trains_gpt() {
         losses
     });
     let l = &losses[0];
-    assert!(l.len() >= 10, "most steps should succeed under loss scaling");
+    assert!(
+        l.len() >= 10,
+        "most steps should succeed under loss scaling"
+    );
     assert!(
         l.last().unwrap() < &(l[0] * 0.9),
         "fp16 training must still converge: {l:?}"
@@ -126,8 +132,8 @@ fn bert_mlm_training_on_masked_synthetic_text() {
     let data = SyntheticText::new(cfg.vocab, 21);
     let mut rng = init::rng(2200);
     let mut bert = Bert::new(&cfg, &mut rng);
-    let mut losses = Vec::new();
-    for step in 0..15u64 {
+    let mut losses: Vec<(u64, f32)> = Vec::new();
+    for step in 0..72u64 {
         let tokens = data.batch(2, cfg.max_seq, step % 3);
         let (masked, targets, positions) = data.mask_for_mlm(&tokens, 0.25, step % 3);
         if targets.is_empty() {
@@ -135,7 +141,7 @@ fn bert_mlm_training_on_masked_synthetic_text() {
         }
         bert.zero_grad();
         let logits = bert.forward(&masked); // [2, s, vocab]
-        // loss only at masked positions
+                                            // loss only at masked positions
         let vocab = cfg.vocab;
         let rows: Vec<Tensor> = positions
             .iter()
@@ -143,7 +149,7 @@ fn bert_mlm_training_on_masked_synthetic_text() {
             .collect();
         let picked = Tensor::cat(&rows, 0);
         let (loss, dpicked) = colossalai::tensor::ops::cross_entropy(&picked, &targets);
-        losses.push(loss);
+        losses.push((step % 3, loss));
         // scatter gradient back to full logits
         let mut dlogits = Tensor::zeros([2 * cfg.max_seq, vocab]);
         for (i, &p) in positions.iter().enumerate() {
@@ -154,13 +160,27 @@ fn bert_mlm_training_on_masked_synthetic_text() {
         let _ = bert.backward(&dlogits.reshaped([2, cfg.max_seq, vocab]));
         bert.visit_params(&mut |p| {
             let g = p.grad().clone();
-            p.value_mut().axpy(-0.1, &g);
+            p.value_mut().axpy(-0.05, &g);
         });
     }
-    assert!(
-        losses.last().unwrap() < &(losses[0] * 0.8),
-        "MLM loss must fall on the deterministic corpus: {losses:?}"
-    );
+    // The corpus cycles through 3 fixed batches, so convergence must be
+    // judged per batch: comparing step N's loss against step 0's would
+    // compare losses of *different* data whose difficulty differs.
+    for phase in 0..3u64 {
+        let ph: Vec<f32> = losses
+            .iter()
+            .filter(|&&(p, _)| p == phase)
+            .map(|&(_, l)| l)
+            .collect();
+        assert!(
+            ph.len() >= 2,
+            "batch {phase} must be trained more than once"
+        );
+        assert!(
+            ph.last().unwrap() < &(ph[0] * 0.8),
+            "MLM loss must fall on every batch of the deterministic corpus; batch {phase}: {ph:?}"
+        );
+    }
 }
 
 #[test]

@@ -74,13 +74,8 @@ fn oom_search_matches_analytic_max_batch() {
     let cfg = TransformerConfig::bert_base();
     let capacity = 16u64 << 30;
     let p = 4;
-    let analytic = colossalai::parallel::memcalc::max_batch(
-        SeqMode::SequenceParallel,
-        &cfg,
-        512,
-        p,
-        capacity,
-    );
+    let analytic =
+        colossalai::parallel::memcalc::max_batch(SeqMode::SequenceParallel, &cfg, 512, p, capacity);
 
     let mut tracker = MemoryTracker::new(capacity);
     let mut empirical = 0usize;

@@ -20,8 +20,14 @@ fn full_model(seed: u64) -> Vec<Box<dyn Layer>> {
     let mut rng = init::rng(seed);
     let mut layers: Vec<Box<dyn Layer>> = (0..LAYERS)
         .map(|i| {
-            Box::new(TransformerBlock::new(&format!("blk{i}"), DIM, HEADS, 2, false, &mut rng))
-                as Box<dyn Layer>
+            Box::new(TransformerBlock::new(
+                &format!("blk{i}"),
+                DIM,
+                HEADS,
+                2,
+                false,
+                &mut rng,
+            )) as Box<dyn Layer>
         })
         .collect();
     layers.push(Box::new(Linear::from_rng("head", DIM, 3, true, &mut rng)));
@@ -153,5 +159,8 @@ fn pipeline_cross_node_costs_more_virtual_time() {
     };
     let t1 = time_of(1);
     let t2 = time_of(2);
-    assert!(t2 > t1, "inter-stage hops must cost virtual time: {t2} vs {t1}");
+    assert!(
+        t2 > t1,
+        "inter-stage hops must cost virtual time: {t2} vs {t1}"
+    );
 }
