@@ -11,7 +11,7 @@
 //!    each distributed linear is numerically equal to the serial one.
 
 use colossalai_autograd::{Layer, Linear};
-use colossalai_bench::print_table;
+use colossalai_bench::{print_table, trace_arg, write_trace};
 use colossalai_comm::World;
 use colossalai_models::data::SyntheticVision;
 use colossalai_models::TransformerConfig;
@@ -26,7 +26,7 @@ use colossalai_topology::systems::system_i;
 const STEPS: usize = 20;
 const LR: f32 = 0.05;
 
-fn vit_curves() -> (Vec<f32>, Vec<f32>) {
+fn vit_curves(trace: bool) -> (Vec<f32>, Vec<f32>, World) {
     let cfg = TransformerConfig {
         layers: 2,
         hidden: 16,
@@ -57,6 +57,9 @@ fn vit_curves() -> (Vec<f32>, Vec<f32>) {
 
     // 1D tensor parallel on 4 devices
     let world = World::new(system_i());
+    if trace {
+        world.enable_tracing();
+    }
     let mut tp_losses = world.run_on(4, |ctx| {
         let g = ctx.world_group(4);
         let mut rng = init::rng(1000);
@@ -76,7 +79,7 @@ fn vit_curves() -> (Vec<f32>, Vec<f32>) {
         }
         losses
     });
-    (serial_losses, tp_losses.swap_remove(0))
+    (serial_losses, tp_losses.swap_remove(0), world)
 }
 
 /// Serial 2-layer MLP trajectory for the advanced-mode comparison.
@@ -294,8 +297,9 @@ fn gather_x(
 }
 
 fn main() {
+    let trace_path = trace_arg();
     // Part 1: ViT, DP vs 1D TP
-    let (serial, tp1d) = vit_curves();
+    let (serial, tp1d, tp_world) = vit_curves(trace_path.is_some());
     let mut rows = Vec::new();
     for (i, (s, t)) in serial.iter().zip(&tp1d).enumerate() {
         rows.push(vec![
@@ -316,6 +320,9 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     println!("max loss deviation: {max_diff:.2e} (arithmetic equivalence)");
+    if let Some(path) = &trace_path {
+        write_trace(&tp_world, path);
+    }
 
     // Part 2: the advanced modes on the 2-layer classifier
     let h = 16;

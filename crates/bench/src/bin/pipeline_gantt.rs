@@ -1,10 +1,17 @@
 //! Visualizes the pipeline schedules as ASCII Gantt charts over virtual
 //! time: GPipe's all-forward/all-backward waves vs 1F1B's interleaving,
 //! with the measured bubble fraction against the analytic `(p-1)/(m+p-1)`.
+//!
+//! The chart is rendered from the world's shared tracer; pass
+//! `--trace <out.json>` to also export the Chrome-trace JSON of the last
+//! schedule (load it at chrome://tracing or ui.perfetto.dev).
 
 use colossalai_autograd::{Layer, Linear, Sequential};
+use colossalai_bench::{trace_arg, write_trace};
 use colossalai_comm::World;
-use colossalai_parallel::pipeline::{bubble_fraction, PipelineStage, Schedule, TraceEvent};
+use colossalai_parallel::pipeline::{
+    bubble_fraction, stage_events, PipelineStage, Schedule, StageEvent,
+};
 use colossalai_tensor::init;
 use colossalai_tensor::ops::cross_entropy;
 use colossalai_tensor::Tensor;
@@ -14,8 +21,9 @@ const P: usize = 4;
 const M: usize = 6;
 const T_FWD: f64 = 1.0e-3;
 
-fn run(schedule: Schedule) -> (Vec<Vec<TraceEvent>>, f64) {
+fn run(schedule: Schedule) -> (World, f64) {
     let world = World::new(system_i());
+    world.enable_tracing();
     let mut rng = init::rng(42);
     let micros: Vec<Tensor> = (0..M)
         .map(|_| init::uniform([2, 8], -1.0, 1.0, &mut rng))
@@ -37,13 +45,13 @@ fn run(schedule: Schedule) -> (Vec<Vec<TraceEvent>>, f64) {
                 .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
             M,
         );
-        (stage.trace.clone(), ctx.clock())
+        ctx.clock()
     });
-    let makespan = out.iter().map(|(_, c)| *c).fold(0.0, f64::max);
-    (out.into_iter().map(|(t, _)| t).collect(), makespan)
+    let makespan = out.iter().copied().fold(0.0, f64::max);
+    (world, makespan)
 }
 
-fn render(traces: &[Vec<TraceEvent>], makespan: f64) {
+fn render(traces: &[Vec<StageEvent>], makespan: f64) {
     const WIDTH: usize = 96;
     let scale = WIDTH as f64 / makespan;
     for (stage, trace) in traces.iter().enumerate() {
@@ -78,19 +86,30 @@ fn render(traces: &[Vec<TraceEvent>], makespan: f64) {
 }
 
 fn main() {
+    let trace_path = trace_arg();
     println!(
         "Pipeline schedules on {P} stages x {M} micro-batches (digits = \
          forward micro id, letters = backward; '.' = idle):\n"
     );
+    let mut last_world = None;
     for (name, schedule) in [("GPipe", Schedule::GPipe), ("1F1B", Schedule::OneFOneB)] {
         println!("== {name} ==");
-        let (traces, makespan) = run(schedule);
+        let (world, makespan) = run(schedule);
+        let spans = world.trace();
+        let traces: Vec<Vec<StageEvent>> = (0..P).map(|r| stage_events(&spans, r)).collect();
         render(&traces, makespan);
         println!();
+        last_world = Some(world);
     }
+    let last = last_world.expect("at least one schedule ran");
+    println!("Per-rank time rollup of the 1F1B step:");
+    print!("{}", last.rollup_table());
     println!(
-        "Both schedules share the same bubble; 1F1B's advantage is peak \
+        "\nBoth schedules share the same bubble; 1F1B's advantage is peak \
          activation memory (it holds at most {P} micro-batches in flight \
          where GPipe holds all {M})."
     );
+    if let Some(path) = trace_path {
+        write_trace(&last, &path);
+    }
 }

@@ -50,6 +50,31 @@ pub fn fmt_bandwidth(bytes_per_sec: f64) -> String {
     format!("{:.1} GB/s", bytes_per_sec / 1e9)
 }
 
+/// Parses `--trace <path>` from the process arguments; `Some(path)` asks a
+/// bench binary to enable world tracing and export Chrome-trace JSON.
+pub fn trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args
+                .next()
+                .expect("--trace requires an output path (e.g. --trace trace.json)");
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Writes the world's recorded trace as Chrome-trace JSON to `path`.
+pub fn write_trace(world: &colossalai_comm::World, path: &str) {
+    std::fs::write(path, world.trace_json())
+        .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+    eprintln!(
+        "wrote Chrome trace ({} spans) to {path}",
+        world.trace().len()
+    );
+}
+
 /// Formats element counts compactly (K/M/G).
 pub fn fmt_elements(n: u64) -> String {
     if n >= 1_000_000_000 {

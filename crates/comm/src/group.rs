@@ -6,6 +6,7 @@
 //! rank order, so results are bit-deterministic across runs.
 
 use crate::stats::OpKind;
+use crate::trace::{group_track_name, SpanKind, Track};
 use crate::world::DeviceCtx;
 use colossalai_tensor::Tensor;
 use colossalai_topology::{cost, DeviceId};
@@ -44,6 +45,9 @@ struct SlotState {
     picked: usize,
     t_max: f64,
     t_done: f64,
+    /// Kind and wire bytes of the op in flight, published by the last
+    /// arrival so every rank can emit its own trace span.
+    op: Option<(OpKind, u64)>,
 }
 
 /// Shared state of one process group (all member handles point here).
@@ -66,6 +70,7 @@ impl GroupShared {
                 picked: 0,
                 t_max: 0.0,
                 t_done: 0.0,
+                op: None,
             }),
             cv: Condvar::new(),
         }
@@ -111,17 +116,33 @@ impl Group {
     /// `finish` (producing one output per rank, the op's virtual cost, the
     /// op kind and its element-hop count); every rank leaves with its output
     /// and a clock advanced to `max(arrival clocks) + cost`.
+    ///
+    /// When tracing is enabled, every rank emits a [`SpanKind::Collective`]
+    /// span from its arrival to the group-wide completion, and the last
+    /// arrival additionally emits one group-track span per op.
     fn rendezvous<F>(&self, ctx: &DeviceCtx, input: Tensor, finish: F) -> Tensor
     where
         F: FnOnce(&[Tensor]) -> (Vec<Tensor>, f64, OpKind, u64, Wire),
     {
         let p = self.size();
         if p == 1 {
-            // single-rank group: identity, no cost
-            let (mut outs, _, _, _, _) = finish(std::slice::from_ref(&input));
+            // single-rank group: identity data-wise and zero cost, but still
+            // one group op — record the promised stats entry (zero element
+            // hops) and a zero-length trace span
+            let (mut outs, cost, kind, elements, wire) = finish(std::slice::from_ref(&input));
+            let bytes = elements * wire.bytes();
+            ctx.record_stats(kind, elements, bytes);
+            let t_arrive = ctx.clock();
+            ctx.advance(cost);
+            if ctx.tracing() {
+                let group = self.members().to_vec();
+                ctx.trace_span(SpanKind::Collective { kind, bytes, group }, t_arrive);
+                self.trace_group_span(ctx, kind, bytes, t_arrive, ctx.clock());
+            }
             return outs.pop().expect("finish produced no output");
         }
         let shared = &*self.shared;
+        let t_arrive = ctx.clock();
         let mut st = shared.slot.lock();
         // wait for the previous op to fully drain
         while st.phase == Phase::Distribute {
@@ -133,16 +154,19 @@ impl Group {
         );
         st.inputs[self.my_index] = Some(input);
         st.arrived += 1;
-        st.t_max = st.t_max.max(ctx.clock());
+        st.t_max = st.t_max.max(t_arrive);
         if st.arrived == p {
             // last arrival: combine and publish
             let inputs: Vec<Tensor> = st.inputs.iter_mut().map(|i| i.take().unwrap()).collect();
             let (outputs, cost, kind, elements, wire) = finish(&inputs);
             assert_eq!(outputs.len(), p, "finish must produce one output per rank");
+            let bytes = elements * wire.bytes();
             st.outputs = outputs.into_iter().map(Some).collect();
             st.t_done = st.t_max + cost;
             st.phase = Phase::Distribute;
-            ctx.record_stats(kind, elements, elements * wire.bytes());
+            st.op = Some((kind, bytes));
+            ctx.record_stats(kind, elements, bytes);
+            self.trace_group_span(ctx, kind, bytes, st.t_max, st.t_done);
             shared.cv.notify_all();
         } else {
             while st.phase == Phase::Collect {
@@ -153,6 +177,7 @@ impl Group {
             .take()
             .expect("output already taken");
         let t_done = st.t_done;
+        let (kind, bytes) = st.op.expect("op metadata published by last arrival");
         st.picked += 1;
         if st.picked == p {
             // last picker resets the slot for the next op
@@ -160,11 +185,33 @@ impl Group {
             st.arrived = 0;
             st.picked = 0;
             st.t_max = 0.0;
+            st.op = None;
             shared.cv.notify_all();
         }
         drop(st);
         ctx.advance_to(t_done);
+        if ctx.tracing() {
+            let group = self.members().to_vec();
+            ctx.trace_span(SpanKind::Collective { kind, bytes, group }, t_arrive);
+        }
         out
+    }
+
+    /// Emits the one-per-op span on this group's dedicated track.
+    fn trace_group_span(&self, ctx: &DeviceCtx, kind: OpKind, bytes: u64, start: f64, end: f64) {
+        if ctx.tracing() {
+            let members = self.members();
+            ctx.trace_span_on(
+                Track::Group(group_track_name(members)),
+                SpanKind::Collective {
+                    kind,
+                    bytes,
+                    group: members.to_vec(),
+                },
+                start,
+                end,
+            );
+        }
     }
 
     // ---- collectives ----------------------------------------------------
@@ -277,6 +324,22 @@ impl Group {
     /// `dim` into `size()` pieces; rank i receives piece i. Non-root inputs
     /// are ignored.
     pub fn scatter(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        self.scatter_wire(ctx, t, dim, root, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::scatter`].
+    pub fn scatter_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        self.scatter_wire(ctx, t, dim, root, Wire::F16)
+    }
+
+    fn scatter_wire(
+        &self,
+        ctx: &DeviceCtx,
+        t: Tensor,
+        dim: usize,
+        root: usize,
+        wire: Wire,
+    ) -> Tensor {
         let p = self.size();
         assert!(root < p, "scatter root {root} out of range");
         let members = self.members().to_vec();
@@ -284,23 +347,55 @@ impl Group {
         self.rendezvous(ctx, t, move |inputs| {
             let src = &inputs[root];
             let n = src.numel() as u64;
-            let outs = src.chunk(dim, p);
-            let chunk_bytes = n / p as u64 * 4;
-            let cost = cost::alltoall_time(&cluster, &members, chunk_bytes);
-            let elements = (p as u64 - 1) * (n / p as u64);
-            (outs, cost, OpKind::Scatter, elements, Wire::F32)
+            let outs = src.chunk_ragged(dim, p);
+            // uneven chunks: the largest one gates the pairwise exchange
+            let max_chunk = outs.iter().map(|c| c.numel() as u64).max().unwrap_or(0);
+            let kept = outs[root].numel() as u64;
+            let cost = cost::alltoall_time(&cluster, &members, max_chunk * wire.bytes());
+            // the root wires out everything except its own chunk
+            let elements = n - kept;
+            (outs, cost, OpKind::Scatter, elements, wire)
         })
     }
 
     /// Gather to group-rank `root` with concatenation along `dim`; the root
     /// receives the concatenation, other ranks receive an empty tensor.
     pub fn gather_cat(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        self.gather_cat_wire(ctx, t, dim, root, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::gather_cat`].
+    pub fn gather_cat_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, root: usize) -> Tensor {
+        self.gather_cat_wire(ctx, t, dim, root, Wire::F16)
+    }
+
+    fn gather_cat_wire(
+        &self,
+        ctx: &DeviceCtx,
+        t: Tensor,
+        dim: usize,
+        root: usize,
+        wire: Wire,
+    ) -> Tensor {
         let p = self.size();
         assert!(root < p, "gather root {root} out of range");
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
         self.rendezvous(ctx, t, move |inputs| {
-            let contrib = inputs[0].numel() as u64;
+            // contributions may be ragged: bill what each rank actually sends
+            let max_contrib = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != root)
+                .map(|(_, t)| t.numel() as u64)
+                .max()
+                .unwrap_or(0);
+            let elements: u64 = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != root)
+                .map(|(_, t)| t.numel() as u64)
+                .sum();
             let full = Tensor::cat(inputs, dim);
             let outs = (0..p)
                 .map(|r| {
@@ -311,21 +406,37 @@ impl Group {
                     }
                 })
                 .collect();
-            let cost = cost::alltoall_time(&cluster, &members, contrib * 4);
-            let elements = (p as u64 - 1) * contrib;
-            (outs, cost, OpKind::Gather, elements, Wire::F32)
+            let cost = cost::alltoall_time(&cluster, &members, max_contrib * wire.bytes());
+            (outs, cost, OpKind::Gather, elements, wire)
         })
     }
 
     /// All-to-all: each rank's tensor is chunked along `dim`; rank i ends
     /// with the concatenation (along `dim`) of everyone's chunk i.
     pub fn all_to_all(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.all_to_all_wire(ctx, t, dim, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::all_to_all`].
+    pub fn all_to_all_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.all_to_all_wire(ctx, t, dim, Wire::F16)
+    }
+
+    fn all_to_all_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
         self.rendezvous(ctx, t, move |inputs| {
             let n = inputs[0].numel() as u64;
-            let per_rank: Vec<Vec<Tensor>> = inputs.iter().map(|t| t.chunk(dim, p)).collect();
+            let per_rank: Vec<Vec<Tensor>> =
+                inputs.iter().map(|t| t.chunk_ragged(dim, p)).collect();
+            // chunk sizes need not divide evenly; the largest chunk gates
+            // each pairwise exchange step
+            let max_chunk = per_rank[0]
+                .iter()
+                .map(|c| c.numel() as u64)
+                .max()
+                .unwrap_or(0);
             let outs = (0..p)
                 .map(|i| {
                     let mine: Vec<Tensor> =
@@ -333,16 +444,26 @@ impl Group {
                     Tensor::cat(&mine, dim)
                 })
                 .collect();
-            let chunk_bytes = n / p as u64 * 4;
-            let cost = cost::alltoall_time(&cluster, &members, chunk_bytes);
-            let elements = p as u64 * (p as u64 - 1) * (n / p as u64);
-            (outs, cost, OpKind::AllToAll, elements, Wire::F32)
+            let cost = cost::alltoall_time(&cluster, &members, max_chunk * wire.bytes());
+            // each rank wires out its tensor minus the chunk it keeps; the
+            // kept chunks across ranks sum to exactly one tensor
+            let elements = (p as u64 - 1) * n;
+            (outs, cost, OpKind::AllToAll, elements, wire)
         })
     }
 
     /// Elementwise-max all-reduce (used by distributed gradient-norm and
     /// loss-scale synchronization).
     pub fn all_reduce_max(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_max_wire(ctx, t, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::all_reduce_max`].
+    pub fn all_reduce_max_half(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_max_wire(ctx, t, Wire::F16)
+    }
+
+    fn all_reduce_max_wire(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
@@ -352,9 +473,9 @@ impl Group {
                 acc = acc.zip(x, f32::max);
             }
             let n = acc.numel() as u64;
-            let cost = cost::allreduce_time(&cluster, &members, n * 4);
+            let cost = cost::allreduce_time(&cluster, &members, n * wire.bytes());
             let elements = 2 * (p as u64 - 1) * n;
-            (vec![acc; p], cost, OpKind::AllReduce, elements, Wire::F32)
+            (vec![acc; p], cost, OpKind::AllReduce, elements, wire)
         })
     }
 
@@ -362,6 +483,15 @@ impl Group {
     /// sum of all contributions, other ranks receive an empty tensor.
     /// (Cost model: the mirror image of a pipelined broadcast.)
     pub fn reduce_sum(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        self.reduce_sum_wire(ctx, t, root, Wire::F32)
+    }
+
+    /// FP16-wire variant of [`Group::reduce_sum`].
+    pub fn reduce_sum_half(&self, ctx: &DeviceCtx, t: Tensor, root: usize) -> Tensor {
+        self.reduce_sum_wire(ctx, t, root, Wire::F16)
+    }
+
+    fn reduce_sum_wire(&self, ctx: &DeviceCtx, t: Tensor, root: usize, wire: Wire) -> Tensor {
         let p = self.size();
         assert!(root < p, "reduce root {root} out of range");
         let members = self.members().to_vec();
@@ -381,26 +511,22 @@ impl Group {
                     }
                 })
                 .collect();
-            let cost = cost::broadcast_time(&cluster, &members, n * 4);
+            let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
-            (outs, cost, OpKind::Reduce, elements, Wire::F32)
+            (outs, cost, OpKind::Reduce, elements, wire)
         })
     }
 
-    /// Synchronization barrier; costs one latency-bound all-reduce.
+    /// Synchronization barrier; costs one latency-bound all-reduce of a
+    /// single FP32 wire element.
     pub fn barrier(&self, ctx: &DeviceCtx) {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
+        let wire = Wire::F32;
         let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
-            let cost = cost::allreduce_time(&cluster, &members, 4);
-            (
-                vec![Tensor::zeros([0]); p],
-                cost,
-                OpKind::Barrier,
-                0,
-                Wire::F32,
-            )
+            let cost = cost::allreduce_time(&cluster, &members, wire.bytes());
+            (vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
         });
     }
 }
@@ -757,5 +883,135 @@ mod tests {
         });
         assert!(out[0].0.allclose(&Tensor::full([3], 7.0), 0.0));
         assert_eq!(out[0].1, 0.0);
+    }
+
+    #[test]
+    fn single_rank_group_still_records_stats() {
+        // p == 1 used to skip record_stats entirely; the op must still show
+        // up in the ledger (with zero element hops — nothing crosses a wire)
+        let world = World::new(system_i());
+        world.run_on(1, |ctx| {
+            let g = ctx.world_group(1);
+            let _ = g.all_reduce(ctx, Tensor::full([3], 7.0));
+            g.barrier(ctx);
+        });
+        let stats = world.stats();
+        assert_eq!(stats.ops_of(OpKind::AllReduce), 1);
+        assert_eq!(stats.elements_of(OpKind::AllReduce), 0);
+        assert_eq!(stats.ops_of(OpKind::Barrier), 1);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn half_wire_halves_bytes_for_every_collective() {
+        // the formerly hardcoded 4-byte ops must all bill through Wire
+        type Op = fn(&Group, &DeviceCtx) -> Tensor;
+        let cases: Vec<(Op, Op, OpKind)> = vec![
+            (
+                |g, ctx| g.scatter(ctx, Tensor::arange(8), 0, 0),
+                |g, ctx| g.scatter_half(ctx, Tensor::arange(8), 0, 0),
+                OpKind::Scatter,
+            ),
+            (
+                |g, ctx| g.gather_cat(ctx, Tensor::full([5], 1.0), 0, 0),
+                |g, ctx| g.gather_cat_half(ctx, Tensor::full([5], 1.0), 0, 0),
+                OpKind::Gather,
+            ),
+            (
+                |g, ctx| g.all_to_all(ctx, Tensor::arange(8), 0),
+                |g, ctx| g.all_to_all_half(ctx, Tensor::arange(8), 0),
+                OpKind::AllToAll,
+            ),
+            (
+                |g, ctx| g.all_reduce_max(ctx, Tensor::full([9], 2.0)),
+                |g, ctx| g.all_reduce_max_half(ctx, Tensor::full([9], 2.0)),
+                OpKind::AllReduce,
+            ),
+            (
+                |g, ctx| g.reduce_sum(ctx, Tensor::full([7], 3.0), 0),
+                |g, ctx| g.reduce_sum_half(ctx, Tensor::full([7], 3.0), 0),
+                OpKind::Reduce,
+            ),
+        ];
+        for (full_op, half_op, kind) in cases {
+            let world = World::new(system_i());
+            world.run_on(4, |ctx| {
+                let g = ctx.world_group(4);
+                let _ = full_op(&g, ctx);
+            });
+            let full = world.stats().bytes;
+            let world2 = World::new(system_i());
+            world2.run_on(4, |ctx| {
+                let g = ctx.world_group(4);
+                let _ = half_op(&g, ctx);
+            });
+            let half = world2.stats().bytes;
+            assert!(full > 0, "{kind:?} must bill nonzero bytes");
+            assert_eq!(full, 2 * half, "{kind:?} half wire must halve bytes");
+        }
+    }
+
+    #[test]
+    fn uneven_all_to_all_counts_exact_elements() {
+        // n = 10, p = 4: chunks are 3/3/2/2. The old accounting truncated to
+        // n/p and undercounted; each rank wires out n minus its kept chunk,
+        // and the kept chunks sum to one tensor: (p-1)*n = 30 element hops.
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let base = ctx.rank() as f32 * 100.0;
+            let t = Tensor::from_vec([10], (0..10).map(|i| base + i as f32).collect());
+            g.all_to_all(ctx, t, 0)
+        });
+        // rank 0 gets everyone's first (3-element) chunk
+        assert_eq!(
+            out[0].data(),
+            &[0., 1., 2., 100., 101., 102., 200., 201., 202., 300., 301., 302.]
+        );
+        // rank 2 gets everyone's third (2-element) chunk
+        assert_eq!(out[2].data(), &[6., 7., 106., 107., 206., 207., 306., 307.]);
+        let stats = world.stats();
+        assert_eq!(stats.elements_of(OpKind::AllToAll), 30);
+        assert_eq!(stats.bytes, 30 * 4);
+    }
+
+    #[test]
+    fn uneven_scatter_counts_exact_elements() {
+        // n = 10, p = 4 from root 0: root keeps its 3-element chunk and
+        // wires out the remaining 7 elements
+        let world = World::new(system_i());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let t = if ctx.rank() == 0 {
+                Tensor::arange(10)
+            } else {
+                Tensor::zeros([0])
+            };
+            g.scatter(ctx, t, 0, 0)
+        });
+        assert_eq!(out[0].data(), &[0., 1., 2.]);
+        assert_eq!(out[1].data(), &[3., 4., 5.]);
+        assert_eq!(out[2].data(), &[6., 7.]);
+        assert_eq!(out[3].data(), &[8., 9.]);
+        let stats = world.stats();
+        assert_eq!(stats.elements_of(OpKind::Scatter), 7);
+        assert_eq!(stats.bytes, 7 * 4);
+    }
+
+    #[test]
+    fn barrier_records_op_without_bytes() {
+        let world = World::new(system_i());
+        let clocks = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            g.barrier(ctx);
+            ctx.clock()
+        });
+        let stats = world.stats();
+        assert_eq!(stats.ops_of(OpKind::Barrier), 1);
+        assert_eq!(stats.bytes, 0);
+        // latency-bound, but not free
+        for c in &clocks {
+            assert!(*c > 0.0);
+        }
     }
 }

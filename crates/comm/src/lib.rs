@@ -11,8 +11,10 @@
 
 pub mod group;
 pub mod stats;
+pub mod trace;
 pub mod world;
 
 pub use group::{Group, Wire};
 pub use stats::{CommStats, OpKind};
+pub use trace::{RankRollup, Span, SpanKind, Track};
 pub use world::{DeviceCtx, World};

@@ -3,6 +3,7 @@
 
 use crate::group::{Group, GroupShared};
 use crate::stats::CommStats;
+use crate::trace::{self, RankRollup, Span, SpanKind, Tracer, Track};
 use colossalai_tensor::Tensor;
 use colossalai_topology::{Cluster, DeviceId};
 use parking_lot::{Condvar, Mutex};
@@ -19,6 +20,7 @@ type Mailbox = HashMap<(DeviceId, DeviceId, u64), VecDeque<(Tensor, f64)>>;
 pub(crate) struct WorldInner {
     pub(crate) cluster: Cluster,
     pub(crate) stats: Mutex<CommStats>,
+    pub(crate) tracer: Tracer,
     groups: Mutex<HashMap<Vec<DeviceId>, Arc<GroupShared>>>,
     mailbox: Mutex<Mailbox>,
     mailbox_cv: Condvar,
@@ -56,6 +58,7 @@ impl World {
             inner: Arc::new(WorldInner {
                 cluster,
                 stats: Mutex::new(CommStats::default()),
+                tracer: Tracer::default(),
                 groups: Mutex::new(HashMap::new()),
                 mailbox: Mutex::new(HashMap::new()),
                 mailbox_cv: Condvar::new(),
@@ -124,6 +127,52 @@ impl World {
     /// Clears accumulated statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
         *self.inner.stats.lock() = CommStats::default();
+    }
+
+    // ---- tracing --------------------------------------------------------
+
+    /// Turns span recording on or off (off by default; the disabled path
+    /// costs one relaxed atomic load per potential span).
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracer.set_enabled(on);
+    }
+
+    /// Enables span recording. Shorthand for `set_tracing(true)`.
+    pub fn enable_tracing(&self) {
+        self.set_tracing(true);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn tracing(&self) -> bool {
+        self.inner.tracer.enabled()
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn trace(&self) -> Vec<Span> {
+        self.inner.tracer.snapshot()
+    }
+
+    /// Drops all recorded spans (e.g. after a warm-up step).
+    pub fn clear_trace(&self) {
+        self.inner.tracer.clear();
+    }
+
+    /// Chrome/Perfetto `trace_events` JSON of the recorded spans: one track
+    /// per simulated device plus one per collective group. Load the output
+    /// at `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn trace_json(&self) -> String {
+        trace::chrome_trace_json(&self.trace())
+    }
+
+    /// Per-rank rollup of the recorded leaf spans: seconds in compute,
+    /// communication, memory movement and idle.
+    pub fn trace_rollup(&self) -> Vec<RankRollup> {
+        trace::rollup(&self.trace())
+    }
+
+    /// The rollup formatted as a fixed-width table.
+    pub fn rollup_table(&self) -> String {
+        trace::rollup_table(&self.trace_rollup())
     }
 }
 
@@ -210,6 +259,59 @@ impl DeviceCtx {
         self.world.stats.lock().record(kind, elements, bytes);
     }
 
+    // ---- tracing --------------------------------------------------------
+
+    /// Whether the world is recording spans (cheap; callers may skip span
+    /// bookkeeping entirely when false).
+    pub fn tracing(&self) -> bool {
+        self.world.tracer.enabled()
+    }
+
+    /// Records a span on this device's track from `start` to the current
+    /// clock. No-op unless tracing is enabled.
+    pub fn trace_span(&self, kind: SpanKind, start: f64) {
+        if self.tracing() {
+            self.world.tracer.record(Span {
+                rank: self.rank,
+                track: Track::Device(self.rank),
+                kind,
+                start,
+                end: self.clock(),
+            });
+        }
+    }
+
+    /// Records a span on an arbitrary track (used by collectives for the
+    /// per-group timeline).
+    pub(crate) fn trace_span_on(&self, track: Track, kind: SpanKind, start: f64, end: f64) {
+        if self.tracing() {
+            self.world.tracer.record(Span {
+                rank: self.rank,
+                track,
+                kind,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Runs `f` inside a [`SpanKind::Phase`] span named `name`. Phase spans
+    /// nest over the leaf spans `f` records.
+    pub fn trace_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.tracing() {
+            return f();
+        }
+        let start = self.clock();
+        let out = f();
+        self.trace_span(
+            SpanKind::Phase {
+                name: name.to_string(),
+            },
+            start,
+        );
+        out
+    }
+
     /// Obtains (or creates) the process group over `members`.
     ///
     /// Every member must call with the *same* member list (order included);
@@ -256,7 +358,17 @@ impl DeviceCtx {
         assert_ne!(to, self.rank, "send to self");
         let bytes = (t.numel() * 4) as u64;
         let dt = self.world.cluster.p2p_time(self.rank, to, bytes);
+        let t_start = self.clock();
         self.advance(dt);
+        self.trace_span(
+            SpanKind::P2p {
+                peer: to,
+                tag,
+                bytes,
+                is_send: true,
+            },
+            t_start,
+        );
         let arrival = self.clock();
         {
             let mut stats = self.world.stats.lock();
@@ -275,12 +387,22 @@ impl DeviceCtx {
     pub fn recv(&self, from: DeviceId, tag: u64) -> Tensor {
         assert_ne!(from, self.rank, "recv from self");
         let key = (from, self.rank, tag);
+        let t_start = self.clock();
         let mut mb = self.world.mailbox.lock();
         loop {
             if let Some(queue) = mb.get_mut(&key) {
                 if let Some((t, arrival)) = queue.pop_front() {
                     drop(mb);
                     self.advance_to(arrival);
+                    self.trace_span(
+                        SpanKind::P2p {
+                            peer: from,
+                            tag,
+                            bytes: (t.numel() * 4) as u64,
+                            is_send: false,
+                        },
+                        t_start,
+                    );
                     return t;
                 }
             }

@@ -126,7 +126,9 @@ impl Engine {
 
     /// Forward pass.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.model.forward(x)
+        let ctx = self.ctx.clone();
+        let model = &mut self.model;
+        ctx.trace_phase("forward", || model.forward(x))
     }
 
     /// Backward pass from the loss gradient (scaled when mixed precision is
@@ -136,7 +138,9 @@ impl Engine {
             Some(s) => s.scale_grad(dloss),
             None => dloss.clone(),
         };
-        self.model.backward(&dy)
+        let ctx = self.ctx.clone();
+        let model = &mut self.model;
+        ctx.trace_phase("backward", || model.backward(&dy))
     }
 
     /// Synchronizes gradients, applies unscaling/clipping and takes one
@@ -154,6 +158,11 @@ impl Engine {
             return true; // bank gradients, defer the optimizer
         }
         self.micro_steps = 0;
+        let ctx = self.ctx.clone();
+        ctx.trace_phase("optimizer", || self.apply_step())
+    }
+
+    fn apply_step(&mut self) -> bool {
         if self.accumulation > 1 {
             let inv = 1.0 / self.accumulation as f32;
             self.model.visit_params(&mut |p| p.grad_mut().scale(inv));

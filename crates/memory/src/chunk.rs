@@ -8,6 +8,7 @@
 //! per-tensor movement.
 
 use crate::tracker::MemoryTracker;
+use colossalai_comm::{DeviceCtx, SpanKind};
 use colossalai_topology::Link;
 
 /// Which memory tier currently holds a chunk.
@@ -68,20 +69,26 @@ pub struct MoveCost {
 }
 
 impl MoveCost {
-    fn add(&mut self, bytes: u64, to_gpu: bool, link: Link) {
+    /// Accounts one PCIe move and returns the seconds it costs.
+    fn add(&mut self, bytes: u64, to_gpu: bool, link: Link) -> f64 {
         if to_gpu {
             self.h2d_bytes += bytes;
         } else {
             self.d2h_bytes += bytes;
         }
-        self.seconds += link.transfer_time(bytes);
+        let dt = link.transfer_time(bytes);
+        self.seconds += dt;
         self.moves += 1;
+        dt
     }
 
-    fn add_nvme(&mut self, bytes: u64, link: Link) {
+    /// Accounts one NVMe move and returns the seconds it costs.
+    fn add_nvme(&mut self, bytes: u64, link: Link) -> f64 {
         self.nvme_bytes += bytes;
-        self.seconds += link.transfer_time(bytes);
+        let dt = link.transfer_time(bytes);
+        self.seconds += dt;
         self.moves += 1;
+        dt
     }
 }
 
@@ -98,6 +105,9 @@ pub struct ChunkManager {
     nvme: Link,
     cost: MoveCost,
     tick: u64,
+    /// When attached, migrations advance this device's virtual clock and
+    /// (with tracing on) record [`SpanKind::MemMove`] spans.
+    device: Option<DeviceCtx>,
 }
 
 impl ChunkManager {
@@ -117,7 +127,15 @@ impl ChunkManager {
             nvme: Link::nvme(),
             cost: MoveCost::default(),
             tick: 0,
+            device: None,
         }
+    }
+
+    /// Attaches a device context: from now on every chunk migration charges
+    /// the device's virtual clock and, when the world is tracing, records a
+    /// memory-movement span.
+    pub fn attach_device(&mut self, ctx: &DeviceCtx) {
+        self.device = Some(ctx.clone());
     }
 
     /// Enables the NVMe spill tier: CPU-resident chunks beyond
@@ -251,6 +269,18 @@ impl ChunkManager {
         }
     }
 
+    /// Charges `dt` seconds of movement to the attached device (if any) and
+    /// records the span when tracing.
+    fn note_move(&self, bytes: u64, from: &'static str, to: &'static str, dt: f64) {
+        if let Some(ctx) = &self.device {
+            let start = ctx.clock();
+            ctx.advance(dt);
+            if ctx.tracing() {
+                ctx.trace_span(SpanKind::MemMove { bytes, from, to }, start);
+            }
+        }
+    }
+
     fn move_chunk(&mut self, idx: usize, to: Tier) {
         let from = self.chunks[idx].tier;
         if from == to {
@@ -269,13 +299,15 @@ impl ChunkManager {
                         .map(|(i, _)| i)
                         .expect("GPU budget smaller than one chunk");
                     self.gpu.free(self.chunk_bytes());
-                    self.cost.add(self.chunk_bytes(), false, self.pcie);
+                    let dt = self.cost.add(self.chunk_bytes(), false, self.pcie);
+                    self.note_move(self.chunk_bytes(), "gpu", "cpu", dt);
                     self.demote_to_cpu(victim);
                 }
                 let cb = self.chunk_bytes();
                 if from == Tier::Nvme {
                     // NVMe -> DRAM -> device
-                    self.cost.add_nvme(cb, self.nvme);
+                    let dt = self.cost.add_nvme(cb, self.nvme);
+                    self.note_move(cb, "nvme", "cpu", dt);
                 }
                 if from == Tier::Cpu {
                     if let Some(cpu) = &mut self.cpu {
@@ -283,12 +315,14 @@ impl ChunkManager {
                     }
                 }
                 self.chunks[idx].tier = Tier::Gpu;
-                self.cost.add(cb, true, self.pcie);
+                let dt = self.cost.add(cb, true, self.pcie);
+                self.note_move(cb, "cpu", "gpu", dt);
             }
             Tier::Cpu => {
                 assert_eq!(from, Tier::Gpu, "only GPU chunks demote directly to CPU");
                 self.gpu.free(self.chunk_bytes());
-                self.cost.add(self.chunk_bytes(), false, self.pcie);
+                let dt = self.cost.add(self.chunk_bytes(), false, self.pcie);
+                self.note_move(self.chunk_bytes(), "gpu", "cpu", dt);
                 self.demote_to_cpu(idx);
             }
             Tier::Nvme => {
@@ -317,7 +351,8 @@ impl ChunkManager {
             if let Some(cpu) = &mut self.cpu {
                 cpu.free(cb);
             }
-            self.cost.add_nvme(cb, self.nvme);
+            let dt = self.cost.add_nvme(cb, self.nvme);
+            self.note_move(cb, "cpu", "nvme", dt);
         }
         self.chunks[idx].tier = Tier::Cpu;
     }
@@ -500,6 +535,52 @@ mod tests {
     #[should_panic(expected = "exceeds chunk size")]
     fn oversized_tensor_rejected() {
         mgr(4, 2).register(&[0.0; 5]);
+    }
+
+    #[test]
+    fn attached_device_charges_clock_and_traces_moves() {
+        use colossalai_comm::{SpanKind, World};
+        use colossalai_topology::systems::system_i;
+        let world = World::new(system_i());
+        world.enable_tracing();
+        let out = world.run_on(1, |ctx| {
+            let mut m = mgr(1024, 1);
+            m.attach_device(ctx);
+            let a = m.register(&[1.0; 1024]);
+            let b = m.register(&[2.0; 1024]); // CPU-born
+            let _ = m.read(b); // evict a (d2h), fetch b (h2d)
+            let _ = m.read(a); // and back
+            (m.cost(), ctx.clock())
+        });
+        let (cost, clock) = out[0];
+        assert_eq!(cost.moves, 4);
+        assert!(cost.seconds > 0.0);
+        assert!(
+            (clock - cost.seconds).abs() < 1e-12,
+            "virtual clock must absorb migration time: {clock} vs {}",
+            cost.seconds
+        );
+        let spans = world.trace();
+        let moves: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::MemMove { .. }))
+            .collect();
+        assert_eq!(moves.len(), 4, "one span per migration");
+        for w in moves.windows(2) {
+            assert!(w[1].start >= w[0].end - 1e-12, "moves must not overlap");
+        }
+    }
+
+    #[test]
+    fn unattached_manager_never_touches_a_clock() {
+        // the default manager stays a pure planner: cost accrues in the
+        // ledger only
+        let mut m = mgr(1024, 1);
+        let a = m.register(&[1.0; 1024]);
+        let b = m.register(&[2.0; 1024]);
+        let _ = m.read(b);
+        let _ = m.read(a);
+        assert!(m.cost().seconds > 0.0);
     }
 
     #[test]

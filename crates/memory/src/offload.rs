@@ -14,6 +14,7 @@
 //! The planner returns per-step transfer volumes; combined with the PCIe
 //! link model this yields the throughput gap of Fig 14.
 
+use colossalai_comm::{DeviceCtx, SpanKind};
 use colossalai_topology::{HostSpec, Link};
 
 /// FLOPs an Adam update spends per parameter (two moments + update math).
@@ -146,6 +147,53 @@ impl OffloadPlan {
         }
         t
     }
+
+    /// Charges one step's offload overhead to `ctx`'s virtual clock,
+    /// recording a memory-movement span per PCIe leg and a compute span for
+    /// the CPU share of the Adam update (when tracing is on). Returns the
+    /// seconds charged, equal to [`OffloadPlan::overhead_seconds`].
+    pub fn charge_step(&self, ctx: &DeviceCtx, pcie: Link, host: &HostSpec) -> f64 {
+        let mut total = 0.0;
+        let mut leg = |bytes: u64, from: &'static str, to: &'static str, dt: f64| {
+            let start = ctx.clock();
+            ctx.advance(dt);
+            if ctx.tracing() {
+                ctx.trace_span(SpanKind::MemMove { bytes, from, to }, start);
+            }
+            total += dt;
+        };
+        if self.h2d_per_step > 0 {
+            leg(
+                self.h2d_per_step,
+                "cpu",
+                "gpu",
+                pcie.transfer_time(self.h2d_per_step),
+            );
+        }
+        if self.d2h_per_step > 0 {
+            leg(
+                self.d2h_per_step,
+                "gpu",
+                "cpu",
+                pcie.transfer_time(self.d2h_per_step),
+            );
+        }
+        if self.cpu_adam_params > 0 {
+            let dt = (self.cpu_adam_params * ADAM_FLOPS_PER_PARAM) as f64 / host.cpu_flops;
+            let start = ctx.clock();
+            ctx.advance(dt);
+            if ctx.tracing() {
+                ctx.trace_span(
+                    SpanKind::Compute {
+                        label: "cpu_adam".to_string(),
+                    },
+                    start,
+                );
+            }
+            total += dt;
+        }
+        total
+    }
 }
 
 /// Three-tier residency split (GPU / CPU DRAM / NVMe) for ZeRO-offload
@@ -201,6 +249,30 @@ impl TieredPlan {
     /// Total per-step overhead across PCIe, CPU Adam and NVMe.
     pub fn overhead_seconds(&self, pcie: Link, host: &HostSpec) -> f64 {
         self.gpu_plan.overhead_seconds(pcie, host) + self.nvme_seconds_per_step
+    }
+
+    /// Charges one step's three-tier overhead to `ctx`'s virtual clock with
+    /// trace spans, mirroring [`OffloadPlan::charge_step`] plus the NVMe
+    /// round trip of the spilled optimizer slice.
+    pub fn charge_step(&self, ctx: &DeviceCtx, pcie: Link, host: &HostSpec) -> f64 {
+        let mut total = self.gpu_plan.charge_step(ctx, pcie, host);
+        if self.nvme_seconds_per_step > 0.0 {
+            let start = ctx.clock();
+            ctx.advance(self.nvme_seconds_per_step);
+            if ctx.tracing() {
+                // read for the update + write back: one span for the pair
+                ctx.trace_span(
+                    SpanKind::MemMove {
+                        bytes: 2 * self.nvme_bytes,
+                        from: "nvme",
+                        to: "cpu",
+                    },
+                    start,
+                );
+            }
+            total += self.nvme_seconds_per_step;
+        }
+        total
     }
 }
 
@@ -388,6 +460,39 @@ mod tests {
             "NVMe round trips should dominate: {} of {}",
             plan.nvme_seconds_per_step,
             total
+        );
+    }
+
+    #[test]
+    fn charge_step_advances_clock_by_overhead() {
+        use colossalai_comm::{SpanKind, World};
+        use colossalai_topology::systems::system_i;
+        let model = gpt2_10b_on(1);
+        let host = HostSpec::dgx();
+        let p = plan(PlacementPolicy::Adaptive, model, 80 * GIB, 10 * GIB);
+        let want = p.overhead_seconds(Link::pcie(), &host);
+        assert!(want > 0.0);
+        let world = World::new(system_i());
+        world.enable_tracing();
+        let clocks = world.run_on(1, |ctx| {
+            let charged = p.charge_step(ctx, Link::pcie(), &host);
+            (charged, ctx.clock())
+        });
+        let (charged, clock) = clocks[0];
+        assert!((charged - want).abs() < 1e-12);
+        assert!((clock - want).abs() < 1e-12);
+        let spans = world.trace();
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(s.kind, SpanKind::MemMove { .. })),
+            "PCIe legs must trace as memory movement"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(&s.kind, SpanKind::Compute { label } if label == "cpu_adam")),
+            "the CPU Adam share must trace as compute"
         );
     }
 

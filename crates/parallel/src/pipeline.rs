@@ -8,7 +8,7 @@
 //! the tests check against the classic `(p-1)/(m+p-1)` fraction.
 
 use colossalai_autograd::{Layer, Param};
-use colossalai_comm::DeviceCtx;
+use colossalai_comm::{DeviceCtx, Span, SpanKind, Track};
 use colossalai_tensor::Tensor;
 use colossalai_topology::DeviceId;
 use std::collections::HashMap;
@@ -58,9 +58,10 @@ pub fn partition_layers(n_layers: usize, n_stages: usize) -> Vec<(usize, usize)>
 
 const GRAD_TAG_OFFSET: u64 = 1 << 32;
 
-/// One traced schedule event: what a stage did and when (virtual time).
+/// One schedule event reconstructed from the world tracer: what a stage
+/// did and when (virtual time).
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct TraceEvent {
+pub struct StageEvent {
     /// Micro-batch id.
     pub micro: u64,
     /// True for forward, false for backward.
@@ -69,6 +70,35 @@ pub struct TraceEvent {
     pub start: f64,
     /// Virtual end time (seconds).
     pub end: f64,
+}
+
+/// Extracts `rank`'s pipeline compute events from a shared-tracer snapshot
+/// (the `F{micro}` / `B{micro}` spans recorded by [`PipelineStage`]),
+/// ordered by virtual start time.
+pub fn stage_events(spans: &[Span], rank: DeviceId) -> Vec<StageEvent> {
+    let mut out: Vec<StageEvent> = spans
+        .iter()
+        .filter(|s| s.track == Track::Device(rank))
+        .filter_map(|s| {
+            let SpanKind::Compute { label } = &s.kind else {
+                return None;
+            };
+            let (forward, digits) = match (label.strip_prefix('F'), label.strip_prefix('B')) {
+                (Some(d), _) => (true, d),
+                (_, Some(d)) => (false, d),
+                _ => return None,
+            };
+            let micro = digits.parse().ok()?;
+            Some(StageEvent {
+                micro,
+                forward,
+                start: s.start,
+                end: s.end,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.start.total_cmp(&b.start));
+    out
 }
 
 /// The last stage's loss callback: `(micro_batch, output) -> (loss, dOutput)`.
@@ -90,9 +120,6 @@ pub struct PipelineStage<M: Layer> {
     /// Peak number of in-flight micro-batches (the schedule's activation
     /// memory footprint).
     pub peak_in_flight: usize,
-    /// Virtual-time trace of this stage's compute segments (filled whenever
-    /// `micro_forward_seconds > 0`).
-    pub trace: Vec<TraceEvent>,
 }
 
 impl<M: Layer> PipelineStage<M> {
@@ -114,7 +141,6 @@ impl<M: Layer> PipelineStage<M> {
             saved_inputs: HashMap::new(),
             saved_outputs: HashMap::new(),
             peak_in_flight: 0,
-            trace: Vec::new(),
         }
     }
 
@@ -147,12 +173,14 @@ impl<M: Layer> PipelineStage<M> {
         if self.micro_forward_seconds > 0.0 {
             let start = self.ctx.clock();
             self.ctx.charge_seconds(self.micro_forward_seconds);
-            self.trace.push(TraceEvent {
-                micro,
-                forward: true,
-                start,
-                end: self.ctx.clock(),
-            });
+            if self.ctx.tracing() {
+                self.ctx.trace_span(
+                    SpanKind::Compute {
+                        label: format!("F{micro}"),
+                    },
+                    start,
+                );
+            }
         }
         let y = self.layers.forward(&x);
         self.saved_inputs.insert(micro, x);
@@ -183,12 +211,14 @@ impl<M: Layer> PipelineStage<M> {
             // forward itself
             let start = self.ctx.clock();
             self.ctx.charge_seconds(3.0 * self.micro_forward_seconds);
-            self.trace.push(TraceEvent {
-                micro,
-                forward: false,
-                start,
-                end: self.ctx.clock(),
-            });
+            if self.ctx.tracing() {
+                self.ctx.trace_span(
+                    SpanKind::Compute {
+                        label: format!("B{micro}"),
+                    },
+                    start,
+                );
+            }
         }
         let _ = self.layers.forward(&x);
         let dx = self.layers.backward(&dy);
@@ -482,6 +512,54 @@ mod tests {
         );
         // and more micro-batches shrink the *relative* bubble
         assert!(step_time / ideal < 1.0 + 1.5 * bubble_fraction(p, m));
+    }
+
+    #[test]
+    fn shared_tracer_reconstructs_schedule() {
+        // the gantt view is now derived from the world tracer; per stage it
+        // must see m forward + m backward compute segments with the charged
+        // durations, non-overlapping in virtual time
+        let p = 3;
+        let m = 4;
+        let t_fwd = 1e-3;
+        let seed = 555;
+        let mut rng = init::rng(79);
+        let micros: Vec<Tensor> = (0..m)
+            .map(|_| init::uniform([2, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let targets: Vec<Vec<usize>> = (0..m).map(|i| vec![i % 3, (i + 1) % 3]).collect();
+        let world = World::new(system_i());
+        world.enable_tracing();
+        world.run_on(p, |ctx| {
+            let devices: Vec<usize> = (0..p).collect();
+            let mut stage = PipelineStage::new(ctx, &devices, stage_slice(seed, p, ctx.rank()));
+            stage.micro_forward_seconds = t_fwd;
+            let mut lf = |micro: u64, out: &Tensor| cross_entropy(out, &targets[micro as usize]);
+            let _ = stage.run_step(
+                Schedule::OneFOneB,
+                stage.is_first().then_some(&micros[..]),
+                stage
+                    .is_last()
+                    .then_some(&mut lf as &mut dyn FnMut(u64, &Tensor) -> (f32, Tensor)),
+                m,
+            );
+        });
+        let spans = world.trace();
+        for rank in 0..p {
+            let ev = stage_events(&spans, rank);
+            assert_eq!(ev.len(), 2 * m, "rank {rank}: {ev:?}");
+            assert_eq!(ev.iter().filter(|e| e.forward).count(), m);
+            for w in ev.windows(2) {
+                assert!(w[1].start >= w[0].end - 1e-12, "rank {rank} overlaps");
+            }
+            for e in &ev {
+                let want = if e.forward { t_fwd } else { 3.0 * t_fwd };
+                assert!(
+                    (e.end - e.start - want).abs() < 1e-12,
+                    "rank {rank} event {e:?}"
+                );
+            }
+        }
     }
 
     #[test]
