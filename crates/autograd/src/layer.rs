@@ -24,6 +24,23 @@ pub trait Layer {
     /// and returning the gradient w.r.t. the input.
     fn backward(&mut self, dy: &Tensor) -> Tensor;
 
+    /// Like [`Layer::backward`], but fires `on_stage(stage_grads)` after each
+    /// sub-layer stage finishes its backward, where `stage_grads` holds the
+    /// stage's final parameter gradients (cheap copy-on-write clones, in
+    /// [`Layer::visit_params`] order). At that point those gradients are
+    /// final, so gradient-sync buckets can launch while the rest of the
+    /// backward still runs. Stages fire in backward (reverse-forward) order:
+    /// the fired slices always describe a growing *suffix* of the visit-order
+    /// parameter list. The default treats the whole layer as one stage;
+    /// containers like [`Sequential`] fire per sub-layer.
+    fn backward_staged(&mut self, dy: &Tensor, on_stage: &mut dyn FnMut(&[Tensor])) -> Tensor {
+        let dx = self.backward(dy);
+        let mut grads = Vec::new();
+        self.visit_params(&mut |p| grads.push(p.grad().clone()));
+        on_stage(&grads);
+        dx
+    }
+
     /// Visits every parameter (for optimizers, counting, checkpointing).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
@@ -46,6 +63,9 @@ impl<L: Layer + ?Sized> Layer for Box<L> {
     }
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         (**self).backward(dy)
+    }
+    fn backward_staged(&mut self, dy: &Tensor, on_stage: &mut dyn FnMut(&[Tensor])) -> Tensor {
+        (**self).backward_staged(dy, on_stage)
     }
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         (**self).visit_params(f)
@@ -91,6 +111,15 @@ impl Layer for Sequential {
         let mut cur = dy.clone();
         for l in self.layers.iter_mut().rev() {
             cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn backward_staged(&mut self, dy: &Tensor, on_stage: &mut dyn FnMut(&[Tensor])) -> Tensor {
+        let mut cur = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            // recurse so nested containers fire their own finer stages
+            cur = l.backward_staged(&cur, on_stage);
         }
         cur
     }
@@ -196,6 +225,52 @@ mod tests {
         let dx = seq.backward(&Tensor::ones([2, 3]));
         assert_eq!(dx.dims(), &[2, 4]);
         assert_eq!(seq.n_params(), 4 * 6 + 6 + 6 * 3 + 3);
+    }
+
+    #[test]
+    fn backward_staged_fires_suffix_counts_in_reverse() {
+        let mut rng = init::rng(3);
+        let mut seq = Sequential::new(vec![
+            Box::new(Linear::from_rng("l1", 4, 6, true, &mut rng)), // 2 params
+            Box::new(crate::act::Gelu::new()),                      // 0 params
+            Box::new(Linear::from_rng("l2", 6, 3, false, &mut rng)), // 1 param
+        ]);
+        let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+        let y1 = seq.forward(&x);
+
+        let mut counts = Vec::new();
+        let dx_staged =
+            seq.backward_staged(&Tensor::ones([2, 3]), &mut |stage| counts.push(stage.len()));
+        assert_eq!(counts, vec![1, 0, 2], "reverse-forward order");
+        assert_eq!(counts.iter().sum::<usize>(), 3, "covers every param");
+
+        // staged backward computes exactly what plain backward computes
+        let y2 = seq.forward(&x);
+        assert_eq!(y1.data(), y2.data());
+        let dx_plain = seq.backward(&Tensor::ones([2, 3]));
+        assert_eq!(dx_staged.data(), dx_plain.data());
+    }
+
+    #[test]
+    fn default_backward_staged_is_one_stage() {
+        let mut rng = init::rng(4);
+        let mut lin = Linear::from_rng("l", 3, 2, true, &mut rng);
+        let x = init::uniform([1, 3], -1.0, 1.0, &mut rng);
+        let _ = lin.forward(&x);
+        let mut counts = Vec::new();
+        let _ = lin.backward_staged(&Tensor::ones([1, 2]), &mut |stage| counts.push(stage.len()));
+        assert_eq!(counts, vec![2], "weight + bias as a single stage");
+        let _ = lin.forward(&x);
+        let mut stage_grads = Vec::new();
+        let _ = lin.backward_staged(&Tensor::ones([1, 2]), &mut |stage| {
+            stage_grads.extend(stage.iter().cloned());
+        });
+        let mut direct = Vec::new();
+        lin.visit_params(&mut |p| direct.push(p.grad().clone()));
+        assert_eq!(stage_grads.len(), direct.len());
+        for (s, d) in stage_grads.iter().zip(&direct) {
+            assert_eq!(s.data(), d.data(), "staged grads are the real grads");
+        }
     }
 
     #[test]

@@ -1,13 +1,56 @@
 //! E4 — Fig 10: communication bandwidth on Systems I and II, probing
-//! 125 MB transfers like the paper's NCCL bandwidth test.
+//! 125 MB transfers like the paper's NCCL bandwidth test, plus the
+//! flat-vs-hierarchical all-reduce comparison the topology-aware selector
+//! exploits on the multi-node System III.
+//!
+//! `--json` prints only the System III all-reduce probe as JSON (used by CI
+//! to assert the hierarchical schedule never loses to the flat ring).
 
 use colossalai_bench::{fmt_bandwidth, print_table};
-use colossalai_topology::bandwidth::{pairwise_extremes, probe_collective};
-use colossalai_topology::systems::{system_i, system_ii};
+use colossalai_topology::bandwidth::{pairwise_extremes, probe_allreduce, probe_collective};
+use colossalai_topology::systems::{system_i, system_ii, system_iii};
+use colossalai_topology::AllReduceAlgo;
 
 const PROBE_BYTES: u64 = 125 << 20;
 
+const ALLREDUCE_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+fn algo_name(a: AllReduceAlgo) -> &'static str {
+    match a {
+        AllReduceAlgo::FlatRing => "flat",
+        AllReduceAlgo::Hierarchical => "hierarchical",
+    }
+}
+
+fn json_report() {
+    let cluster = system_iii();
+    let probes = probe_allreduce(&cluster, &ALLREDUCE_SIZES, PROBE_BYTES);
+    let entries: Vec<String> = probes
+        .iter()
+        .map(|p| {
+            format!(
+                r#"{{"gpus":{},"flat":{:.1},"hierarchical":{:.1},"selected":"{}"}}"#,
+                p.group.len(),
+                p.flat,
+                p.hierarchical,
+                algo_name(p.selected)
+            )
+        })
+        .collect();
+    println!(
+        r#"{{"system":"{}","bytes":{},"probes":[{}]}}"#,
+        cluster.name(),
+        PROBE_BYTES,
+        entries.join(",")
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
+
     // Fig 10a: pairwise bandwidth
     let mut rows = Vec::new();
     for cluster in [system_i(), system_ii()] {
@@ -39,9 +82,38 @@ fn main() {
         &rows,
     );
 
+    // Fig 10c: flat-ring vs hierarchical all-reduce on the multi-node
+    // System III — the gap the topology-aware algorithm selector exploits
+    let cluster = system_iii();
+    let probes = probe_allreduce(&cluster, &ALLREDUCE_SIZES, PROBE_BYTES);
+    let rows: Vec<Vec<String>> = probes
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.group.len()),
+                fmt_bandwidth(p.flat),
+                fmt_bandwidth(p.hierarchical),
+                format!("{:+.0}%", (p.hierarchical / p.flat - 1.0) * 100.0),
+                algo_name(p.selected).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig 10c: all-reduce algorithm bandwidth on {} (125 MB)",
+            cluster.name()
+        ),
+        &["GPUs", "flat ring", "hierarchical", "gain", "selected"],
+        &rows,
+    );
+
     println!(
         "\nPaper reference: System I holds ~184 GB/s at every group size; \
          System II collapses to ~15 GB/s once the group spans a PCIe hop — \
-         the topology effect behind Fig 11's mode ranking."
+         the topology effect behind Fig 11's mode ranking. On System III \
+         (4 GPUs/node over InfiniBand) the hierarchical schedule keeps the \
+         slow inter-node ring to p/4 leaders, so its advantage grows with \
+         the node count; the cost-model selector picks it exactly where it \
+         wins."
     );
 }

@@ -9,7 +9,7 @@ use crate::stats::OpKind;
 use crate::trace::{group_track_name, SpanKind, Track};
 use crate::world::DeviceCtx;
 use colossalai_tensor::Tensor;
-use colossalai_topology::{cost, DeviceId};
+use colossalai_topology::{cost, AllReduceAlgo, Cluster, DeviceId};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -35,6 +35,67 @@ impl Wire {
 enum Phase {
     Collect,
     Distribute,
+}
+
+/// Which virtual-time stream a collective charges.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    /// The device's main clock: the caller observes the full op latency.
+    Main,
+    /// The device's comm stream: the call returns with the main clock
+    /// untouched; [`DeviceCtx::comm_sync`] later joins the streams.
+    Comm,
+}
+
+/// What the last arrival's `finish` computation hands back to the
+/// rendezvous: per-rank outputs plus the op's modeled cost and accounting.
+struct Done {
+    outputs: Vec<Tensor>,
+    cost: f64,
+    kind: OpKind,
+    /// Element hops the modeled schedule moves (drives stats + bytes).
+    elements: u64,
+    wire: Wire,
+    /// Hierarchical phase durations (intra reduce-scatter, leader ring,
+    /// intra all-gather); `None` for single-phase schedules.
+    phases: Option<(f64, f64, f64)>,
+}
+
+impl Done {
+    fn new(outputs: Vec<Tensor>, cost: f64, kind: OpKind, elements: u64, wire: Wire) -> Done {
+        Done {
+            outputs,
+            cost,
+            kind,
+            elements,
+            wire,
+            phases: None,
+        }
+    }
+}
+
+/// Cost, element hops and (for the hierarchical schedule) phase durations of
+/// a sum/max all-reduce of `n` elements under `algo`. The hierarchical
+/// schedule silently degrades to the flat ring on single-node or ragged
+/// groups, exactly like [`cost::hierarchical_allreduce_time`].
+fn allreduce_plan(
+    algo: AllReduceAlgo,
+    cluster: &Cluster,
+    members: &[DeviceId],
+    n: u64,
+    wire: Wire,
+) -> (f64, u64, Option<(f64, f64, f64)>) {
+    let p = members.len() as u64;
+    let bytes = n * wire.bytes();
+    if algo == AllReduceAlgo::Hierarchical {
+        if let Some((t1, t2, t3)) = cost::hierarchical_allreduce_phases(cluster, members, bytes) {
+            let elements = cost::hierarchical_allreduce_elements(cluster, members, n)
+                .expect("phase breakdown implies applicability");
+            return (t1 + t2 + t3, elements, Some((t1, t2, t3)));
+        }
+    }
+    let cost = cost::allreduce_time(cluster, members, bytes);
+    (cost, 2 * (p - 1) * n, None)
 }
 
 struct SlotState {
@@ -115,34 +176,52 @@ impl Group {
     /// Core rendezvous: every rank deposits `input`; the last arrival runs
     /// `finish` (producing one output per rank, the op's virtual cost, the
     /// op kind and its element-hop count); every rank leaves with its output
-    /// and a clock advanced to `max(arrival clocks) + cost`.
+    /// and the charged stream's clock advanced to `max(arrival clocks) +
+    /// cost`. On [`Stream::Main`] the arrival clock is the main clock; on
+    /// [`Stream::Comm`] it is `max(main, comm)` and only the comm clock
+    /// advances, so compute may keep accruing behind the collective.
     ///
     /// When tracing is enabled, every rank emits a [`SpanKind::Collective`]
-    /// span from its arrival to the group-wide completion, and the last
-    /// arrival additionally emits one group-track span per op.
-    fn rendezvous<F>(&self, ctx: &DeviceCtx, input: Tensor, finish: F) -> Tensor
+    /// span (on its device or comm-stream track) from its arrival to the
+    /// group-wide completion, and the last arrival additionally emits the
+    /// group-track span(s) — one per op, or one per phase for the
+    /// hierarchical schedule.
+    fn rendezvous_on<F>(&self, ctx: &DeviceCtx, input: Tensor, stream: Stream, finish: F) -> Tensor
     where
-        F: FnOnce(&[Tensor]) -> (Vec<Tensor>, f64, OpKind, u64, Wire),
+        F: FnOnce(&[Tensor]) -> Done,
     {
         let p = self.size();
+        let t_arrive = match stream {
+            Stream::Main => ctx.clock(),
+            Stream::Comm => ctx.comm_ready(),
+        };
         if p == 1 {
             // single-rank group: identity data-wise and zero cost, but still
             // one group op — record the promised stats entry (zero element
             // hops) and a zero-length trace span
-            let (mut outs, cost, kind, elements, wire) = finish(std::slice::from_ref(&input));
-            let bytes = elements * wire.bytes();
-            ctx.record_stats(kind, elements, bytes);
-            let t_arrive = ctx.clock();
-            ctx.advance(cost);
+            let done = finish(std::slice::from_ref(&input));
+            let bytes = done.elements * done.wire.bytes();
+            ctx.record_stats(done.kind, done.elements, bytes);
+            let t_done = t_arrive + done.cost;
+            self.advance_stream(ctx, stream, t_done);
             if ctx.tracing() {
                 let group = self.members().to_vec();
-                ctx.trace_span(SpanKind::Collective { kind, bytes, group }, t_arrive);
-                self.trace_group_span(ctx, kind, bytes, t_arrive, ctx.clock());
+                ctx.trace_span_on(
+                    self.device_track(ctx, stream),
+                    SpanKind::Collective {
+                        kind: done.kind,
+                        bytes,
+                        group,
+                    },
+                    t_arrive,
+                    t_done,
+                );
+                self.trace_group_phases(ctx, &done, bytes, t_arrive, t_done);
             }
+            let mut outs = done.outputs;
             return outs.pop().expect("finish produced no output");
         }
         let shared = &*self.shared;
-        let t_arrive = ctx.clock();
         let mut st = shared.slot.lock();
         // wait for the previous op to fully drain
         while st.phase == Phase::Distribute {
@@ -158,15 +237,22 @@ impl Group {
         if st.arrived == p {
             // last arrival: combine and publish
             let inputs: Vec<Tensor> = st.inputs.iter_mut().map(|i| i.take().unwrap()).collect();
-            let (outputs, cost, kind, elements, wire) = finish(&inputs);
-            assert_eq!(outputs.len(), p, "finish must produce one output per rank");
-            let bytes = elements * wire.bytes();
-            st.outputs = outputs.into_iter().map(Some).collect();
-            st.t_done = st.t_max + cost;
+            let mut done = finish(&inputs);
+            assert_eq!(
+                done.outputs.len(),
+                p,
+                "finish must produce one output per rank"
+            );
+            let bytes = done.elements * done.wire.bytes();
+            st.outputs = std::mem::take(&mut done.outputs)
+                .into_iter()
+                .map(Some)
+                .collect();
+            st.t_done = st.t_max + done.cost;
             st.phase = Phase::Distribute;
-            st.op = Some((kind, bytes));
-            ctx.record_stats(kind, elements, bytes);
-            self.trace_group_span(ctx, kind, bytes, st.t_max, st.t_done);
+            st.op = Some((done.kind, bytes));
+            ctx.record_stats(done.kind, done.elements, bytes);
+            self.trace_group_phases(ctx, &done, bytes, st.t_max, st.t_done);
             shared.cv.notify_all();
         } else {
             while st.phase == Phase::Collect {
@@ -189,12 +275,55 @@ impl Group {
             shared.cv.notify_all();
         }
         drop(st);
-        ctx.advance_to(t_done);
+        self.advance_stream(ctx, stream, t_done);
         if ctx.tracing() {
             let group = self.members().to_vec();
-            ctx.trace_span(SpanKind::Collective { kind, bytes, group }, t_arrive);
+            ctx.trace_span_on(
+                self.device_track(ctx, stream),
+                SpanKind::Collective { kind, bytes, group },
+                t_arrive,
+                t_done,
+            );
         }
         out
+    }
+
+    /// Blocking rendezvous on the main clock (the default for collectives).
+    fn rendezvous<F>(&self, ctx: &DeviceCtx, input: Tensor, finish: F) -> Tensor
+    where
+        F: FnOnce(&[Tensor]) -> Done,
+    {
+        self.rendezvous_on(ctx, input, Stream::Main, finish)
+    }
+
+    fn advance_stream(&self, ctx: &DeviceCtx, stream: Stream, t_done: f64) {
+        match stream {
+            Stream::Main => ctx.advance_to(t_done),
+            Stream::Comm => ctx.comm_advance_to(t_done),
+        }
+    }
+
+    fn device_track(&self, ctx: &DeviceCtx, stream: Stream) -> Track {
+        match stream {
+            Stream::Main => Track::Device(ctx.rank()),
+            Stream::Comm => Track::DeviceComm(ctx.rank()),
+        }
+    }
+
+    /// Emits this op's group-track span(s): a single span for one-phase
+    /// schedules, or the reduce-scatter / leader-ring / all-gather triple
+    /// for the hierarchical all-reduce (each labeled with the full payload).
+    fn trace_group_phases(&self, ctx: &DeviceCtx, done: &Done, bytes: u64, start: f64, end: f64) {
+        match done.phases {
+            None => self.trace_group_span(ctx, done.kind, bytes, start, end),
+            Some((t1, t2, _)) => {
+                let m1 = start + t1;
+                let m2 = m1 + t2;
+                self.trace_group_span(ctx, OpKind::ReduceScatter, bytes, start, m1);
+                self.trace_group_span(ctx, done.kind, bytes, m1, m2);
+                self.trace_group_span(ctx, OpKind::AllGather, bytes, m2, end);
+            }
+        }
     }
 
     /// Emits the one-per-op span on this group's dedicated track.
@@ -216,29 +345,57 @@ impl Group {
 
     // ---- collectives ----------------------------------------------------
 
-    /// Sum all-reduce at FP32 wire width.
+    /// Sum all-reduce at FP32 wire width. The schedule (flat ring vs
+    /// hierarchical) is chosen per call from the alpha-beta cost model on
+    /// the actual link graph; the reduction itself always applies in
+    /// canonical group-rank order, so results are bitwise identical under
+    /// either schedule.
     pub fn all_reduce(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
-        self.all_reduce_wire(ctx, t, Wire::F32)
+        self.all_reduce_wire_on(ctx, t, Wire::F32, Stream::Main)
     }
 
     /// Sum all-reduce at FP16 wire width (mixed-precision gradient traffic).
     pub fn all_reduce_half(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
-        self.all_reduce_wire(ctx, t, Wire::F16)
+        self.all_reduce_wire_on(ctx, t, Wire::F16, Stream::Main)
     }
 
-    fn all_reduce_wire(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire) -> Tensor {
+    /// Launches a sum all-reduce on the comm stream: the reduced tensor is
+    /// returned immediately (data movement is physical) while its latency
+    /// accrues on [`DeviceCtx::comm_clock`], leaving the main clock free to
+    /// keep charging compute. Call [`DeviceCtx::comm_sync`] before the
+    /// virtual time of the result matters (e.g. before `optimizer.step`).
+    pub fn all_reduce_async(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire_on(ctx, t, Wire::F32, Stream::Comm)
+    }
+
+    /// FP16-wire variant of [`Group::all_reduce_async`].
+    pub fn all_reduce_async_half(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire_on(ctx, t, Wire::F16, Stream::Comm)
+    }
+
+    fn all_reduce_wire_on(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire, stream: Stream) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
-        self.rendezvous(ctx, t, move |inputs| {
+        let forced = ctx.forced_allreduce_algo();
+        self.rendezvous_on(ctx, t, stream, move |inputs| {
             let mut sum = inputs[0].clone();
             for x in &inputs[1..] {
                 sum.axpy(1.0, x);
             }
             let n = sum.numel() as u64;
-            let cost = cost::allreduce_time(&cluster, &members, n * wire.bytes());
-            let elements = 2 * (p as u64 - 1) * n;
-            (vec![sum; p], cost, OpKind::AllReduce, elements, wire)
+            let algo = forced.unwrap_or_else(|| {
+                cost::select_allreduce_algo(&cluster, &members, n * wire.bytes())
+            });
+            let (cost, elements, phases) = allreduce_plan(algo, &cluster, &members, n, wire);
+            Done {
+                outputs: vec![sum; p],
+                cost,
+                kind: OpKind::AllReduce,
+                elements,
+                wire,
+                phases,
+            }
         })
     }
 
@@ -262,26 +419,44 @@ impl Group {
             let full = Tensor::cat(inputs, dim);
             let cost = cost::allgather_time(&cluster, &members, contrib * wire.bytes());
             let elements = (p as u64 - 1) * p as u64 * contrib;
-            (vec![full; p], cost, OpKind::AllGather, elements, wire)
+            Done::new(vec![full; p], cost, OpKind::AllGather, elements, wire)
         })
     }
 
     /// Reduce-scatter: sums all contributions, then each rank keeps its
     /// rank-th chunk along `dim`.
     pub fn reduce_scatter(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
-        self.reduce_scatter_wire(ctx, t, dim, Wire::F32)
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::F32, Stream::Main)
     }
 
     /// FP16-wire variant of [`Group::reduce_scatter`].
     pub fn reduce_scatter_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
-        self.reduce_scatter_wire(ctx, t, dim, Wire::F16)
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::F16, Stream::Main)
     }
 
-    fn reduce_scatter_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
+    /// Comm-stream variant of [`Group::reduce_scatter`] (same contract as
+    /// [`Group::all_reduce_async`]: data now, time on the comm clock).
+    pub fn reduce_scatter_async(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::F32, Stream::Comm)
+    }
+
+    /// FP16-wire variant of [`Group::reduce_scatter_async`].
+    pub fn reduce_scatter_async_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::F16, Stream::Comm)
+    }
+
+    fn reduce_scatter_wire_on(
+        &self,
+        ctx: &DeviceCtx,
+        t: Tensor,
+        dim: usize,
+        wire: Wire,
+        stream: Stream,
+    ) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
-        self.rendezvous(ctx, t, move |inputs| {
+        self.rendezvous_on(ctx, t, stream, move |inputs| {
             let mut sum = inputs[0].clone();
             for x in &inputs[1..] {
                 sum.axpy(1.0, x);
@@ -290,7 +465,7 @@ impl Group {
             let outs = sum.chunk(dim, p);
             let cost = cost::reduce_scatter_time(&cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
-            (outs, cost, OpKind::ReduceScatter, elements, wire)
+            Done::new(outs, cost, OpKind::ReduceScatter, elements, wire)
         })
     }
 
@@ -316,7 +491,7 @@ impl Group {
             let n = src.numel() as u64;
             let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
-            (vec![src; p], cost, OpKind::Broadcast, elements, wire)
+            Done::new(vec![src; p], cost, OpKind::Broadcast, elements, wire)
         })
     }
 
@@ -354,7 +529,7 @@ impl Group {
             let cost = cost::alltoall_time(&cluster, &members, max_chunk * wire.bytes());
             // the root wires out everything except its own chunk
             let elements = n - kept;
-            (outs, cost, OpKind::Scatter, elements, wire)
+            Done::new(outs, cost, OpKind::Scatter, elements, wire)
         })
     }
 
@@ -407,7 +582,7 @@ impl Group {
                 })
                 .collect();
             let cost = cost::alltoall_time(&cluster, &members, max_contrib * wire.bytes());
-            (outs, cost, OpKind::Gather, elements, wire)
+            Done::new(outs, cost, OpKind::Gather, elements, wire)
         })
     }
 
@@ -448,7 +623,7 @@ impl Group {
             // each rank wires out its tensor minus the chunk it keeps; the
             // kept chunks across ranks sum to exactly one tensor
             let elements = (p as u64 - 1) * n;
-            (outs, cost, OpKind::AllToAll, elements, wire)
+            Done::new(outs, cost, OpKind::AllToAll, elements, wire)
         })
     }
 
@@ -467,15 +642,27 @@ impl Group {
         let p = self.size();
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
+        let forced = ctx.forced_allreduce_algo();
         self.rendezvous(ctx, t, move |inputs| {
             let mut acc = inputs[0].clone();
             for x in &inputs[1..] {
                 acc = acc.zip(x, f32::max);
             }
             let n = acc.numel() as u64;
-            let cost = cost::allreduce_time(&cluster, &members, n * wire.bytes());
-            let elements = 2 * (p as u64 - 1) * n;
-            (vec![acc; p], cost, OpKind::AllReduce, elements, wire)
+            // max is associative+commutative, so the hierarchical schedule
+            // applies to it exactly as to sum
+            let algo = forced.unwrap_or_else(|| {
+                cost::select_allreduce_algo(&cluster, &members, n * wire.bytes())
+            });
+            let (cost, elements, phases) = allreduce_plan(algo, &cluster, &members, n, wire);
+            Done {
+                outputs: vec![acc; p],
+                cost,
+                kind: OpKind::AllReduce,
+                elements,
+                wire,
+                phases,
+            }
         })
     }
 
@@ -513,7 +700,7 @@ impl Group {
                 .collect();
             let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
-            (outs, cost, OpKind::Reduce, elements, wire)
+            Done::new(outs, cost, OpKind::Reduce, elements, wire)
         })
     }
 
@@ -526,7 +713,7 @@ impl Group {
         let wire = Wire::F32;
         let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
             let cost = cost::allreduce_time(&cluster, &members, wire.bytes());
-            (vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
+            Done::new(vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
         });
     }
 }
@@ -535,7 +722,7 @@ impl Group {
 mod tests {
     use super::*;
     use crate::world::World;
-    use colossalai_topology::systems::{system_i, system_ii};
+    use colossalai_topology::systems::{system_i, system_ii, system_iii};
 
     #[test]
     fn all_reduce_sums_contributions() {
@@ -996,6 +1183,190 @@ mod tests {
         let stats = world.stats();
         assert_eq!(stats.elements_of(OpKind::Scatter), 7);
         assert_eq!(stats.bytes, 7 * 4);
+    }
+
+    #[test]
+    fn hierarchical_allreduce_charges_modeled_time_and_hops() {
+        // System III: 16 nodes x 4 GPUs. A 16-rank world group spans 4 nodes,
+        // so the selector must pick the hierarchical schedule and charge its
+        // (cheaper) time and element hops.
+        let n: usize = 1 << 18; // 1 MB: bandwidth-dominated
+        let group: Vec<usize> = (0..16).collect();
+        let cluster = system_iii();
+        let bytes = (n * 4) as u64;
+        assert_eq!(
+            cost::select_allreduce_algo(&cluster, &group, bytes),
+            AllReduceAlgo::Hierarchical
+        );
+        let expected = cost::hierarchical_allreduce_time(&cluster, &group, bytes);
+        let flat = cost::allreduce_time(&cluster, &group, bytes);
+        let world = World::new(cluster.clone());
+        let clocks = world.run_on(16, |ctx| {
+            let g = ctx.world_group(16);
+            let _ = g.all_reduce(ctx, Tensor::zeros([n]));
+            ctx.clock()
+        });
+        for c in &clocks {
+            assert!((c - expected).abs() < 1e-12, "{c} vs {expected}");
+            assert!(*c < flat, "hierarchical must beat the flat ring");
+        }
+        let hops = cost::hierarchical_allreduce_elements(&cluster, &group, n as u64).unwrap();
+        assert_eq!(world.stats().elements_of(OpKind::AllReduce), hops);
+        assert!(hops < 2 * 15 * n as u64, "fewer hops than the flat ring");
+    }
+
+    #[test]
+    fn forced_algo_pins_the_schedule() {
+        let n: usize = 1 << 18;
+        let group: Vec<usize> = (0..16).collect();
+        let cluster = system_iii();
+        let flat_t = cost::allreduce_time(&cluster, &group, (n * 4) as u64);
+        let run = |algo| {
+            let world = World::new(system_iii());
+            world.force_allreduce_algo(algo);
+            world.run_on(16, |ctx| {
+                let g = ctx.world_group(16);
+                let t = g.all_reduce(ctx, Tensor::full([n], 0.1 + ctx.rank() as f32 * 1e-6));
+                (t, ctx.clock())
+            })
+        };
+        let flat = run(Some(AllReduceAlgo::FlatRing));
+        let hier = run(Some(AllReduceAlgo::Hierarchical));
+        let auto = run(None);
+        assert!((flat[0].1 - flat_t).abs() < 1e-12);
+        assert!(hier[0].1 < flat[0].1);
+        assert_eq!(auto[0].1, hier[0].1, "auto must select hierarchical here");
+        // bitwise-identical data under every schedule (canonical rank order)
+        assert_eq!(flat[0].0.data(), hier[0].0.data());
+        assert_eq!(flat[0].0.data(), auto[0].0.data());
+    }
+
+    #[test]
+    fn async_allreduce_overlaps_compute() {
+        let world = World::new(system_ii());
+        let n: usize = 1 << 20;
+        let comm_t = cost::allreduce_time(&system_ii(), &(0..4).collect::<Vec<_>>(), 4 * n as u64);
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let red = g.all_reduce_async(ctx, Tensor::zeros([n]));
+            let launched = ctx.clock();
+            // compute that outlasts the collective
+            ctx.charge_seconds(10.0 * comm_t);
+            ctx.comm_sync();
+            (red, launched, ctx.clock(), ctx.comm_clock())
+        });
+        for (red, launched, clock, comm_clock) in &out {
+            assert_eq!(red.numel(), n);
+            assert_eq!(*launched, 0.0, "launch must not advance the main clock");
+            // the collective fully hides behind compute
+            assert!((clock - 10.0 * comm_t).abs() < 1e-12, "{clock}");
+            assert_eq!(clock, comm_clock, "comm_sync joins the streams");
+        }
+        // blocking baseline: compute + collective serialize
+        let world2 = World::new(system_ii());
+        let blocking = world2.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let _ = g.all_reduce(ctx, Tensor::zeros([n]));
+            ctx.charge_seconds(10.0 * comm_t);
+            ctx.clock()
+        });
+        assert!(blocking[0] > out[0].2, "async must be strictly faster");
+    }
+
+    #[test]
+    fn async_allreduce_serializes_on_comm_stream() {
+        // two async ops back-to-back queue on the comm stream: the second
+        // starts when the first ends, not at the launch clock
+        let world = World::new(system_ii());
+        let n: usize = 1 << 20;
+        let one = cost::allreduce_time(&system_ii(), &(0..4).collect::<Vec<_>>(), 4 * n as u64);
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let _ = g.all_reduce_async(ctx, Tensor::zeros([n]));
+            let _ = g.all_reduce_async(ctx, Tensor::zeros([n]));
+            ctx.comm_sync();
+            ctx.clock()
+        });
+        for c in &out {
+            assert!((c - 2.0 * one).abs() < 1e-12, "{c} vs {}", 2.0 * one);
+        }
+    }
+
+    #[test]
+    fn async_matches_blocking_bitwise() {
+        let run = |use_async: bool| {
+            let world = World::new(system_i());
+            world.run_on(4, |ctx| {
+                let g = ctx.world_group(4);
+                let t = Tensor::full([64], 0.3 + ctx.rank() as f32 * 1e-7);
+                if use_async {
+                    let r = g.all_reduce_async(ctx, t);
+                    ctx.comm_sync();
+                    r
+                } else {
+                    g.all_reduce(ctx, t)
+                }
+            })
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a[0].data(), b[0].data());
+    }
+
+    #[test]
+    fn async_reduce_scatter_charges_comm_stream() {
+        let world = World::new(system_ii());
+        let out = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let mine = g.reduce_scatter_async(ctx, Tensor::arange(16), 0);
+            let launched = ctx.clock();
+            ctx.comm_sync();
+            (mine, launched, ctx.clock())
+        });
+        for (r, (mine, launched, clock)) in out.iter().enumerate() {
+            assert_eq!(mine.numel(), 4);
+            // sum of 4 identical arange(16) tensors, rank-r chunk
+            assert_eq!(mine.data()[0], 4.0 * (4 * r) as f32);
+            assert_eq!(*launched, 0.0);
+            assert!(*clock > 0.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_trace_has_three_group_phases() {
+        let world = World::new(system_iii());
+        world.enable_tracing();
+        world.force_allreduce_algo(Some(AllReduceAlgo::Hierarchical));
+        world.run_on(8, |ctx| {
+            let g = ctx.world_group(8);
+            let _ = g.all_reduce(ctx, Tensor::zeros([1 << 16]));
+        });
+        let spans = world.trace();
+        let group_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.track, Track::Group(_)))
+            .collect();
+        assert_eq!(group_spans.len(), 3, "RS + leader AR + AG");
+        let kinds: Vec<OpKind> = group_spans
+            .iter()
+            .map(|s| match &s.kind {
+                SpanKind::Collective { kind, .. } => *kind,
+                other => panic!("unexpected span {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::ReduceScatter, OpKind::AllReduce, OpKind::AllGather]
+        );
+        // phases tile the op interval contiguously
+        assert_eq!(group_spans[0].end, group_spans[1].start);
+        assert_eq!(group_spans[1].end, group_spans[2].start);
+        // device tracks still carry a single AllReduce span each
+        let dev_spans = spans
+            .iter()
+            .filter(|s| matches!(s.track, Track::Device(_)))
+            .count();
+        assert_eq!(dev_spans, 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod stats;
 pub mod trace;
 pub mod world;
 
+pub use colossalai_topology::AllReduceAlgo;
 pub use group::{Group, Wire};
 pub use stats::{CommStats, OpKind};
 pub use trace::{RankRollup, Span, SpanKind, Track};

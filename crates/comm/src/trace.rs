@@ -98,6 +98,10 @@ impl SpanKind {
 pub enum Track {
     /// The per-device track of `rank`.
     Device(DeviceId),
+    /// The communication-stream track of `rank`: collectives launched
+    /// `async` render here, in parallel with the device's compute track,
+    /// so backward/comm overlap is visible in the Chrome trace.
+    DeviceComm(DeviceId),
     /// A per-collective-group track (one group-wide span per op).
     Group(String),
 }
@@ -173,6 +177,10 @@ pub struct RankRollup {
     pub compute: f64,
     /// Seconds in [`SpanKind::Collective`] + [`SpanKind::P2p`] spans.
     pub comm: f64,
+    /// Seconds of comm-stream ([`Track::DeviceComm`]) spans. These run in
+    /// parallel with the main track, so they are *not* part of busy time
+    /// and do not reduce idle.
+    pub comm_overlap: f64,
     /// Seconds in [`SpanKind::MemMove`] spans.
     pub mem: f64,
     /// Makespan minus busy time (waiting on peers, pipeline bubbles, ...).
@@ -186,13 +194,24 @@ pub struct RankRollup {
 pub fn rollup(spans: &[Span]) -> Vec<RankRollup> {
     let makespan = spans
         .iter()
-        .filter(|s| matches!(s.track, Track::Device(_)))
+        .filter(|s| matches!(s.track, Track::Device(_) | Track::DeviceComm(_)))
         .map(|s| s.end)
         .fold(0.0, f64::max);
     let mut per_rank: std::collections::BTreeMap<DeviceId, RankRollup> = Default::default();
     for s in spans {
-        let Track::Device(rank) = s.track else {
-            continue;
+        let rank = match s.track {
+            Track::Device(rank) => rank,
+            Track::DeviceComm(rank) => {
+                per_rank
+                    .entry(rank)
+                    .or_insert(RankRollup {
+                        rank,
+                        ..Default::default()
+                    })
+                    .comm_overlap += s.duration();
+                continue;
+            }
+            Track::Group(_) => continue,
         };
         let r = per_rank.entry(rank).or_insert(RankRollup {
             rank,
@@ -215,15 +234,16 @@ pub fn rollup(spans: &[Span]) -> Vec<RankRollup> {
 /// Formats a rollup as a fixed-width table (times in milliseconds).
 pub fn rollup_table(rollups: &[RankRollup]) -> String {
     let mut out = String::from(
-        "rank   compute_ms      comm_ms       mem_ms      idle_ms\n\
-         ----------------------------------------------------------\n",
+        "rank   compute_ms      comm_ms   overlap_ms       mem_ms      idle_ms\n\
+         -----------------------------------------------------------------------\n",
     );
     for r in rollups {
         out.push_str(&format!(
-            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
+            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
             r.rank,
             r.compute * 1e3,
             r.comm * 1e3,
+            r.comm_overlap * 1e3,
             r.mem * 1e3,
             r.idle * 1e3
         ));
@@ -251,6 +271,9 @@ fn us(seconds: f64) -> f64 {
 
 const DEVICES_PID: u64 = 0;
 const GROUPS_PID: u64 = 1;
+/// Comm-stream tracks use `COMM_TID_BASE + rank` so they sort after every
+/// plausible device tid while staying in the `devices` process.
+const COMM_TID_BASE: u64 = 1000;
 
 /// Serializes spans as Chrome/Perfetto `trace_events` JSON.
 ///
@@ -267,6 +290,7 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
     // stable tid assignment for group tracks, in first-seen order
     let mut group_tids: Vec<String> = Vec::new();
     let mut seen_ranks: Vec<DeviceId> = Vec::new();
+    let mut seen_comm_ranks: Vec<DeviceId> = Vec::new();
     for s in spans {
         let (pid, tid) = match &s.track {
             Track::Device(rank) => {
@@ -277,6 +301,17 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
                     ));
                 }
                 (DEVICES_PID, *rank as u64)
+            }
+            Track::DeviceComm(rank) => {
+                // comm-stream tracks sit just below their device track
+                let tid = COMM_TID_BASE + *rank as u64;
+                if !seen_comm_ranks.contains(rank) {
+                    seen_comm_ranks.push(*rank);
+                    events.push(format!(
+                        r#"{{"name":"thread_name","ph":"M","pid":{DEVICES_PID},"tid":{tid},"args":{{"name":"device {rank} comm"}}}}"#
+                    ));
+                }
+                (DEVICES_PID, tid)
             }
             Track::Group(name) => {
                 let tid = match group_tids.iter().position(|g| g == name) {
@@ -410,6 +445,45 @@ mod tests {
         assert_eq!(json.matches("\"thread_name\"").count(), 2);
         assert_eq!(json.matches(r#""ph":"X""#).count(), 3);
         assert!(json.contains(r#""name":"g0-1""#));
+    }
+
+    #[test]
+    fn comm_stream_spans_roll_up_separately() {
+        let collective = SpanKind::Collective {
+            kind: OpKind::AllReduce,
+            bytes: 4,
+            group: vec![0, 1],
+        };
+        let spans = vec![
+            span(
+                0,
+                SpanKind::Compute {
+                    label: "bwd".into(),
+                },
+                0.0,
+                4.0,
+            ),
+            // async all-reduce overlapping the compute span
+            Span {
+                rank: 0,
+                track: Track::DeviceComm(0),
+                kind: collective.clone(),
+                start: 1.0,
+                end: 5.0,
+            },
+        ];
+        let r = rollup(&spans);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].compute - 4.0).abs() < 1e-12);
+        assert!((r[0].comm - 0.0).abs() < 1e-12);
+        assert!((r[0].comm_overlap - 4.0).abs() < 1e-12);
+        // makespan covers the comm track: 5s total, 4s busy on main track
+        assert!((r[0].idle - 1.0).abs() < 1e-12);
+        let table = rollup_table(&r);
+        assert!(table.contains("overlap_ms"));
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains(r#""name":"device 0 comm""#));
+        assert!(json.contains(&format!(r#""tid":{}"#, COMM_TID_BASE)));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::group::{Group, GroupShared};
 use crate::stats::CommStats;
 use crate::trace::{self, RankRollup, Span, SpanKind, Tracer, Track};
 use colossalai_tensor::Tensor;
-use colossalai_topology::{Cluster, DeviceId};
+use colossalai_topology::{AllReduceAlgo, Cluster, DeviceId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -21,6 +21,9 @@ pub(crate) struct WorldInner {
     pub(crate) cluster: Cluster,
     pub(crate) stats: Mutex<CommStats>,
     pub(crate) tracer: Tracer,
+    /// When set, every all-reduce uses this schedule instead of consulting
+    /// the cost-model selector (benches and tests pin the algorithm).
+    forced_algo: Mutex<Option<AllReduceAlgo>>,
     groups: Mutex<HashMap<Vec<DeviceId>, Arc<GroupShared>>>,
     mailbox: Mutex<Mailbox>,
     mailbox_cv: Condvar,
@@ -59,6 +62,7 @@ impl World {
                 cluster,
                 stats: Mutex::new(CommStats::default()),
                 tracer: Tracer::default(),
+                forced_algo: Mutex::new(None),
                 groups: Mutex::new(HashMap::new()),
                 mailbox: Mutex::new(HashMap::new()),
                 mailbox_cv: Condvar::new(),
@@ -97,6 +101,7 @@ impl World {
                             world: inner,
                             rank,
                             clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+                            comm_clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
                             flops: Arc::new(AtomicU64::new(0)),
                         };
                         f(&ctx)
@@ -127,6 +132,14 @@ impl World {
     /// Clears accumulated statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
         *self.inner.stats.lock() = CommStats::default();
+    }
+
+    /// Pins the all-reduce schedule for every group in this world, or
+    /// restores per-call cost-model selection with `None`. Data results are
+    /// identical either way (the reduction order is canonical); only the
+    /// charged time, element-hop stats and trace phases differ.
+    pub fn force_allreduce_algo(&self, algo: Option<AllReduceAlgo>) {
+        *self.inner.forced_algo.lock() = algo;
     }
 
     // ---- tracing --------------------------------------------------------
@@ -189,6 +202,10 @@ pub struct DeviceCtx {
     pub(crate) world: Arc<WorldInner>,
     pub(crate) rank: DeviceId,
     clock: Arc<AtomicU64>,
+    /// The communication stream's clock: `async` collectives accrue here
+    /// while compute keeps running on `clock`; [`DeviceCtx::comm_sync`]
+    /// joins the two.
+    comm_clock: Arc<AtomicU64>,
     flops: Arc<AtomicU64>,
 }
 
@@ -228,6 +245,48 @@ impl DeviceCtx {
         if t > self.clock() {
             self.set_clock(t);
         }
+    }
+
+    // ---- comm stream ----------------------------------------------------
+
+    /// Current virtual time of the communication stream in seconds. Lags
+    /// the main clock while no async collective is in flight.
+    pub fn comm_clock(&self) -> f64 {
+        f64::from_bits(self.comm_clock.load(Ordering::Relaxed))
+    }
+
+    fn set_comm_clock(&self, t: f64) {
+        self.comm_clock.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Earliest virtual time a newly launched async collective can start on
+    /// this rank: the later of the two streams (compute must have produced
+    /// the payload; the comm stream must have drained prior ops).
+    pub(crate) fn comm_ready(&self) -> f64 {
+        self.clock().max(self.comm_clock())
+    }
+
+    /// Forces the comm-stream clock to at least `t`.
+    pub(crate) fn comm_advance_to(&self, t: f64) {
+        if t > self.comm_clock() {
+            self.set_comm_clock(t);
+        }
+    }
+
+    /// Joins the comm stream into the main clock: both become
+    /// `max(main, comm)`. Call before consuming the result of an async
+    /// collective (e.g. before `optimizer.step`); a no-op when the comm
+    /// stream is already behind the main clock.
+    pub fn comm_sync(&self) {
+        let t = self.comm_ready();
+        self.set_clock(t);
+        self.set_comm_clock(t);
+    }
+
+    /// The world-wide pinned all-reduce schedule, if any (see
+    /// [`World::force_allreduce_algo`]).
+    pub(crate) fn forced_allreduce_algo(&self) -> Option<AllReduceAlgo> {
+        *self.world.forced_algo.lock()
     }
 
     /// Charges `flops` of FP32 compute at this device's modeled rate.

@@ -80,6 +80,37 @@ pub struct ZeroConfig {
     pub stage: u8,
 }
 
+/// Communication section: gradient-bucket sizing and backward overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Gradient-sync bucket capacity in megabytes (PyTorch DDP's 25 MB
+    /// default). Gradients are fused into buckets of at most this size so
+    /// each bucket pays one all-reduce latency term.
+    #[serde(default = "default_bucket_mb")]
+    pub bucket_mb: usize,
+    /// Launch each bucket's collective on the comm stream as soon as its
+    /// last gradient is produced during backward (data-parallel overlap).
+    #[serde(default = "default_overlap")]
+    pub overlap: bool,
+}
+
+fn default_bucket_mb() -> usize {
+    25
+}
+
+fn default_overlap() -> bool {
+    true
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            bucket_mb: default_bucket_mb(),
+            overlap: default_overlap(),
+        }
+    }
+}
+
 /// Top-level configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub struct Config {
@@ -97,6 +128,9 @@ pub struct Config {
     /// Micro-batches accumulated per optimizer step (0/1 = no accumulation).
     #[serde(default)]
     pub gradient_accumulation: u32,
+    /// Gradient-sync bucketing and overlap.
+    #[serde(default)]
+    pub comm: CommConfig,
 }
 
 impl Config {
@@ -195,6 +229,11 @@ impl Config {
     pub fn devices_per_replica(&self) -> usize {
         self.tensor_size() * self.pipeline_size()
     }
+
+    /// Gradient-sync bucket capacity in bytes.
+    pub fn bucket_bytes(&self) -> usize {
+        self.comm.bucket_mb << 20
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +304,20 @@ mod tests {
         assert_eq!(cfg.devices_per_replica(), 1);
         assert!(!cfg.mixed_precision);
         assert!(cfg.tp_mode().is_none());
+    }
+
+    #[test]
+    fn comm_section_defaults_and_parses() {
+        let cfg = Config::from_json("{}").unwrap();
+        assert_eq!(cfg.comm.bucket_mb, 25);
+        assert!(cfg.comm.overlap);
+        assert_eq!(cfg.bucket_bytes(), 25 << 20);
+        let cfg = Config::from_json(r#"{ "comm": { "bucket_mb": 4, "overlap": false } }"#).unwrap();
+        assert_eq!(cfg.bucket_bytes(), 4 << 20);
+        assert!(!cfg.comm.overlap);
+        // partial section: missing keys take their defaults
+        let cfg = Config::from_json(r#"{ "comm": { "bucket_mb": 1 } }"#).unwrap();
+        assert!(cfg.comm.overlap);
     }
 
     #[test]

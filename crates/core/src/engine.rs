@@ -8,6 +8,7 @@ use crate::config::Config;
 use crate::context::{ParallelAxis, ParallelContext};
 use colossalai_autograd::{AdamW, Checkpoint, Layer, LrSchedule, Sgd};
 use colossalai_comm::{DeviceCtx, Group};
+use colossalai_parallel::bucket::BucketedGradSync;
 use colossalai_parallel::zero::{ZeroOptimizer, ZeroStage};
 use colossalai_tensor::Tensor;
 
@@ -32,6 +33,13 @@ pub struct Engine {
     /// because each rank holds only a shard of the parameters.
     mp_group: Option<Group>,
     ctx: DeviceCtx,
+    /// Fused bucketed gradient sync over `dp_group` (non-ZeRO engines).
+    grad_sync: Option<BucketedGradSync>,
+    /// Overlap bucket collectives with backward compute when eligible.
+    overlap: bool,
+    /// Set when an overlapped backward already synchronized the gradients,
+    /// so `step` must not reduce them again.
+    grads_synced: bool,
     scaler: Option<GradScaler>,
     grad_clip: f32,
     lr_schedule: LrSchedule,
@@ -78,13 +86,14 @@ pub fn initialize(
                 _ => ZeroStage::Three,
             };
             let group = dp_group.clone().unwrap_or_else(|| ctx.group(&[ctx.rank()]));
-            EngineOptimizer::Zero(ZeroOptimizer::new(
+            EngineOptimizer::Zero(ZeroOptimizer::with_bucket_bytes(
                 ctx,
                 &group,
                 model.as_mut(),
                 stage,
                 lr,
                 weight_decay,
+                config.bucket_bytes(),
             ))
         }
         (Some(_), OptimizerSpec::Sgd { .. }) => {
@@ -101,12 +110,19 @@ pub fn initialize(
         EngineOptimizer::Sgd(o) => o.lr,
         EngineOptimizer::Zero(o) => o.lr,
     };
+    // plain (non-ZeRO) data-parallel engines sync gradients through fused
+    // size-capped buckets instead of one all-reduce per parameter
+    let grad_sync = (dp_group.is_some() && !matches!(optimizer, EngineOptimizer::Zero(_)))
+        .then(|| BucketedGradSync::new(model.as_mut(), config.bucket_bytes()));
     Engine {
         model,
         optimizer,
         dp_group,
         mp_group,
         ctx: ctx.clone(),
+        grad_sync,
+        overlap: config.comm.overlap,
+        grads_synced: false,
         scaler: config.mixed_precision.then(GradScaler::default),
         grad_clip: config.grad_clip,
         lr_schedule: LrSchedule::Constant,
@@ -122,6 +138,7 @@ impl Engine {
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.model.zero_grad();
+        self.grads_synced = false;
     }
 
     /// Forward pass.
@@ -133,12 +150,39 @@ impl Engine {
 
     /// Backward pass from the loss gradient (scaled when mixed precision is
     /// on). Returns the input gradient.
+    ///
+    /// With `comm.overlap` on (the default) and no gradient accumulation,
+    /// data-parallel gradient sync happens *inside* this call: each bucket's
+    /// collective launches on the comm stream as soon as its last gradient
+    /// is produced, and the streams join before returning. The synced
+    /// gradients are bit-identical to the blocking path's.
     pub fn backward(&mut self, dloss: &Tensor) -> Tensor {
         let dy = match &self.scaler {
             Some(s) => s.scale_grad(dloss),
             None => dloss.clone(),
         };
         let ctx = self.ctx.clone();
+        // overlap needs each backward to be a full, final gradient pass:
+        // under accumulation, grads keep accumulating across micro-batches
+        // and must only sync once at the end
+        let overlap_eligible = self.overlap && self.accumulation == 1 && self.dp_group.is_some();
+        if let (true, Some(sync), Some(g)) = (overlap_eligible, &self.grad_sync, &self.dp_group) {
+            let g = g.clone();
+            let model = &mut self.model;
+            let dx = ctx.trace_phase("backward", || {
+                sync.backward_overlapped(&ctx, &g, model, &dy)
+            });
+            self.grads_synced = true;
+            return dx;
+        }
+        // ZeRO overlap: the reduced shards bypass the model's grads, so the
+        // engine's unscale/clip hooks (which read model grads) must be off
+        if overlap_eligible && self.scaler.is_none() && self.grad_clip == 0.0 {
+            if let EngineOptimizer::Zero(o) = &mut self.optimizer {
+                let model = &mut self.model;
+                return ctx.trace_phase("backward", || o.backward_overlapped(model, &dy));
+            }
+        }
         let model = &mut self.model;
         ctx.trace_phase("backward", || model.backward(&dy))
     }
@@ -168,19 +212,15 @@ impl Engine {
             self.model.visit_params(&mut |p| p.grad_mut().scale(inv));
         }
         // ZeRO synchronizes inside its own step; plain optimizers need the
-        // data-parallel mean first
-        if !matches!(self.optimizer, EngineOptimizer::Zero(_)) {
+        // data-parallel mean first (fused per bucket), unless an overlapped
+        // backward already produced it
+        if !self.grads_synced && !matches!(self.optimizer, EngineOptimizer::Zero(_)) {
             if let Some(g) = &self.dp_group {
-                let p = g.size() as f32;
-                let ctx = self.ctx.clone();
-                let g = g.clone();
-                self.model.visit_params(&mut |param| {
-                    let mut reduced = g.all_reduce(&ctx, param.grad().clone());
-                    reduced.scale(1.0 / p);
-                    *param.grad_mut() = reduced;
-                });
+                let sync = self.grad_sync.as_ref().expect("built with the dp group");
+                sync.sync_blocking(&self.ctx, g, &mut self.model);
             }
         }
+        self.grads_synced = false;
         if let Some(scaler) = &mut self.scaler {
             if !scaler.unscale_and_update(self.model.as_mut()) {
                 self.skipped += 1;
@@ -434,6 +474,51 @@ mod tests {
             let z = run(&format!(r#"{{ "zero": {{ "stage": {stage} }} }}"#));
             assert_eq!(z.data(), plain.data(), "ZeRO-{stage} diverged from DDP");
         }
+    }
+
+    #[test]
+    fn overlapped_engine_matches_blocking_bitwise_and_is_no_slower() {
+        use colossalai_topology::systems::system_iii;
+        let run = |json: &str| {
+            let world = World::new(system_iii());
+            let mut out = world.run_on(4, |ctx| {
+                let cfg = Config::from_json(json).unwrap();
+                let mut engine = initialize(
+                    ctx,
+                    &cfg,
+                    4,
+                    make_model(60),
+                    OptimizerSpec::AdamW {
+                        lr: 0.01,
+                        weight_decay: 0.01,
+                    },
+                );
+                let mut rng = init::rng(61 + ctx.rank() as u64);
+                for _ in 0..3 {
+                    let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+                    engine.zero_grad();
+                    let logits = engine.forward(&x);
+                    let (_, d) = cross_entropy(&logits, &[0, 1]);
+                    let _ = engine.backward(&d);
+                    engine.step();
+                }
+                let flat = colossalai_parallel::data_parallel::flatten_params(engine.model_mut());
+                (flat, engine.device().clock())
+            });
+            out.swap_remove(0)
+        };
+        // bucket_mb 0 → one bucket per parameter, exercising multi-bucket fire
+        let (blocking, t_block) = run(r#"{ "comm": { "bucket_mb": 0, "overlap": false } }"#);
+        let (overlapped, t_overlap) = run(r#"{ "comm": { "bucket_mb": 0, "overlap": true } }"#);
+        assert_eq!(
+            blocking.data(),
+            overlapped.data(),
+            "overlap must not change the trajectory"
+        );
+        assert!(
+            t_overlap <= t_block,
+            "overlap slower: {t_overlap} vs {t_block}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`tp3d`] — 3D tensor parallelism (Agarwal);
 //! * [`sequence`] — sequence parallelism with Ring Self-Attention;
 //! * [`data_parallel`] — distributed data parallelism;
+//! * [`bucket`] — bucketed, backward-overlapped gradient synchronization;
 //! * [`zero`] — the Zero Redundancy Optimizer, stages 1-3;
 //! * [`pipeline`] — GPipe and 1F1B pipeline schedules;
 //! * [`vocab_parallel`] — Megatron vocabulary-parallel embedding + the
@@ -24,6 +25,7 @@
 pub mod auto;
 pub mod bert1d;
 pub mod bert_sp;
+pub mod bucket;
 pub mod data_parallel;
 pub mod gpt1d;
 pub mod memcalc;
@@ -31,6 +33,7 @@ pub mod norm2d;
 pub mod pipeline;
 pub mod sequence;
 pub mod throughput;
+pub mod timed;
 pub mod tp1d;
 pub mod tp25d;
 pub mod tp2d;
@@ -41,12 +44,14 @@ pub mod volume;
 pub mod zero;
 
 pub use bert1d::Bert1d;
+pub use bucket::{Bucket, BucketPlan, BucketedGradSync, DEFAULT_BUCKET_BYTES};
 pub use data_parallel::{split_batch, DataParallel};
 pub use gpt1d::Gpt1d;
 pub use norm2d::{LayerNorm2d, Mlp2d};
 pub use pipeline::{PipelineStage, Schedule};
 pub use sequence::RingSelfAttention;
 pub use throughput::StepEstimate;
+pub use timed::TimedLayer;
 pub use tp1d::{ColumnParallelLinear, ParallelAttention1d, ParallelMlp, RowParallelLinear};
 pub use tp25d::{Grid25d, Linear25d};
 pub use tp2d::{Grid2d, Linear2d};

@@ -14,7 +14,17 @@
 //! Because our reductions are rank-order deterministic, every stage yields
 //! parameters *bitwise equal* to the plain data-parallel baseline — the key
 //! invariant in DESIGN.md, checked by the tests below.
+//!
+//! Gradient communication is *bucketed*: the padded flat gradient is split
+//! into p-aligned element ranges of at most the bucket capacity (default
+//! 25 MB), and each bucket is reduced with one fused collective. The master
+//! copy and Adam moments are laid out bucket-by-bucket (rank `r` owns the
+//! `r`-th p-th of every bucket), so any bucket plan yields the same bits; a
+//! single default bucket degenerates to the classic contiguous shard.
+//! [`ZeroOptimizer::backward_overlapped`] additionally launches each
+//! bucket's reduction on the comm stream during backward.
 
+use crate::bucket::{BucketPlan, DEFAULT_BUCKET_BYTES};
 use crate::data_parallel::{flatten_grads, flatten_params, unflatten_into};
 use colossalai_autograd::{adamw_update, Layer};
 use colossalai_comm::{DeviceCtx, Group};
@@ -55,15 +65,24 @@ pub struct ZeroOptimizer {
     n: usize,
     /// Padded length divisible by the group size.
     padded: usize,
-    /// This rank's FP32 master shard.
+    /// p-aligned `(offset, len)` element buckets covering `[0, padded)`.
+    buckets: Vec<(usize, usize)>,
+    /// Element count of each parameter, in visit order.
+    param_sizes: Vec<usize>,
+    /// This rank's FP32 master shard: for each bucket in order, the `r`-th
+    /// p-th of that bucket's elements.
     master: Vec<f32>,
     m: Vec<f32>,
     v: Vec<f32>,
+    /// Reduced, scaled gradient shards (one per bucket) produced by
+    /// [`ZeroOptimizer::backward_overlapped`], consumed by the next `step`.
+    pending: Option<Vec<Tensor>>,
 }
 
 impl ZeroOptimizer {
     /// Captures the model's current parameters as the master copy and
-    /// shards all optimizer state.
+    /// shards all optimizer state. Buckets default to
+    /// [`DEFAULT_BUCKET_BYTES`].
     pub fn new(
         ctx: &DeviceCtx,
         group: &Group,
@@ -72,15 +91,45 @@ impl ZeroOptimizer {
         lr: f32,
         weight_decay: f32,
     ) -> Self {
+        Self::with_bucket_bytes(
+            ctx,
+            group,
+            model,
+            stage,
+            lr,
+            weight_decay,
+            DEFAULT_BUCKET_BYTES,
+        )
+    }
+
+    /// Like [`ZeroOptimizer::new`] with an explicit gradient-bucket capacity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_bucket_bytes(
+        ctx: &DeviceCtx,
+        group: &Group,
+        model: &mut dyn Layer,
+        stage: ZeroStage,
+        lr: f32,
+        weight_decay: f32,
+        bucket_bytes: usize,
+    ) -> Self {
+        let mut param_sizes = Vec::new();
+        model.visit_params(&mut |p| param_sizes.push(p.numel()));
         let flat = flatten_params(model);
         let n = flat.numel();
         let p = group.size();
         let padded = n.div_ceil(p) * p;
+        let buckets = BucketPlan::element_ranges(n, p, bucket_bytes);
         let shard_len = padded / p;
         let mut full = flat.into_vec();
         full.resize(padded, 0.0);
         let r = group.rank();
-        let master = full[r * shard_len..(r + 1) * shard_len].to_vec();
+        let mut master = Vec::with_capacity(shard_len);
+        for &(o, b) in &buckets {
+            let sl = b / p;
+            master.extend_from_slice(&full[o + r * sl..o + (r + 1) * sl]);
+        }
+        assert_eq!(master.len(), shard_len);
         ZeroOptimizer {
             stage,
             ctx: ctx.clone(),
@@ -93,9 +142,12 @@ impl ZeroOptimizer {
             t: 0,
             n,
             padded,
+            buckets,
+            param_sizes,
             master,
             m: vec![0.0; shard_len],
             v: vec![0.0; shard_len],
+            pending: None,
         }
     }
 
@@ -104,49 +156,151 @@ impl ZeroOptimizer {
         self.padded / self.group.size()
     }
 
+    /// The p-aligned `(offset, len)` element buckets of the flat gradient.
+    pub fn bucket_ranges(&self) -> &[(usize, usize)] {
+        &self.buckets
+    }
+
+    /// Reduces one bucket of the flat gradient (blocking or on the comm
+    /// stream) and returns this rank's scaled shard of it.
+    fn reduce_bucket(&self, bucket: Tensor, asynchronous: bool) -> Tensor {
+        let p = self.group.size();
+        let r = self.group.rank();
+        let sl = bucket.numel() / p;
+        let mut shard = match self.stage {
+            ZeroStage::One => {
+                // full all-reduce, then slice: the ZeRO-1 communication shape
+                let full = if asynchronous {
+                    self.group.all_reduce_async(&self.ctx, bucket)
+                } else {
+                    self.group.all_reduce(&self.ctx, bucket)
+                };
+                full.narrow(0, r * sl, sl)
+            }
+            ZeroStage::Two | ZeroStage::Three => {
+                if asynchronous {
+                    self.group.reduce_scatter_async(&self.ctx, bucket, 0)
+                } else {
+                    self.group.reduce_scatter(&self.ctx, bucket, 0)
+                }
+            }
+        };
+        shard.scale(1.0 / p as f32);
+        shard
+    }
+
+    /// Runs the model's backward with bucketed gradient reduction overlapped
+    /// on the comm stream: each bucket's collective launches as soon as the
+    /// produced gradient suffix covers its element range. The reduced shards
+    /// are held as `pending` and consumed by the next [`ZeroOptimizer::step`]
+    /// (which then skips its own gradient communication). Returns the input
+    /// gradient; the trajectory stays bitwise-identical to the blocking path.
+    pub fn backward_overlapped(&mut self, model: &mut dyn Layer, dy: &Tensor) -> Tensor {
+        // element offset of each parameter in the flat layout
+        let offsets: Vec<usize> = self
+            .param_sizes
+            .iter()
+            .scan(0, |acc, &s| {
+                let o = *acc;
+                *acc += s;
+                Some(o)
+            })
+            .collect();
+        let mut flat = vec![0.0f32; self.padded];
+        let mut pi = self.param_sizes.len(); // start of the produced param suffix
+        let mut elem_start = self.n; // pad [n, padded) counts as produced
+        let mut next = self.buckets.len(); // buckets fire back to front
+        let mut shards: Vec<Option<Tensor>> = vec![None; self.buckets.len()];
+        // split the &mut self borrow: backward_staged's closure needs the
+        // plan and comm handles but not the optimizer state
+        let this: &ZeroOptimizer = self;
+        let dx = model.backward_staged(dy, &mut |stage| {
+            pi -= stage.len();
+            for (k, g) in stage.iter().enumerate() {
+                let o = offsets[pi + k];
+                flat[o..o + g.numel()].copy_from_slice(g.data());
+            }
+            elem_start = offsets.get(pi).copied().unwrap_or(this.n);
+            while next > 0 && this.buckets[next - 1].0 >= elem_start {
+                next -= 1;
+                let (o, b) = this.buckets[next];
+                let bucket = Tensor::from_vec([b], flat[o..o + b].to_vec());
+                shards[next] = Some(this.reduce_bucket(bucket, true));
+            }
+        });
+        assert_eq!(pi, 0, "backward_staged must cover every parameter");
+        assert_eq!(next, 0, "every bucket must have launched");
+        // shards must be final before the optimizer reads them
+        self.ctx.comm_sync();
+        self.pending = Some(shards.into_iter().map(|s| s.unwrap()).collect());
+        dx
+    }
+
     /// Synchronizes gradients, updates this rank's shard, and re-materializes
     /// the full parameters into the model. Gradients are averaged over the
     /// group (data-parallel mean). Clears the model's gradients afterwards.
+    /// Uses gradient shards left by [`ZeroOptimizer::backward_overlapped`]
+    /// when present, skipping its own communication.
     pub fn step(&mut self, model: &mut dyn Layer) {
-        let p = self.group.size();
         let shard_len = self.shard_len();
-        let r = self.group.rank();
 
-        let mut flat_grads = flatten_grads(model).into_vec();
-        assert_eq!(flat_grads.len(), self.n, "model parameter set changed");
-        flat_grads.resize(self.padded, 0.0);
-        let grads = Tensor::from_vec([self.padded], flat_grads);
-
-        let mut grad_shard = match self.stage {
-            ZeroStage::One => {
-                // full all-reduce, then slice: the ZeRO-1 communication shape
-                let full = self.group.all_reduce(&self.ctx, grads);
-                full.narrow(0, r * shard_len, shard_len)
+        let grad_shards = match self.pending.take() {
+            Some(shards) => shards,
+            None => {
+                let mut flat_grads = flatten_grads(model).into_vec();
+                assert_eq!(flat_grads.len(), self.n, "model parameter set changed");
+                flat_grads.resize(self.padded, 0.0);
+                self.buckets
+                    .iter()
+                    .map(|&(o, b)| {
+                        let bucket = Tensor::from_vec([b], flat_grads[o..o + b].to_vec());
+                        self.reduce_bucket(bucket, false)
+                    })
+                    .collect()
             }
-            ZeroStage::Two | ZeroStage::Three => self.group.reduce_scatter(&self.ctx, grads, 0),
         };
-        grad_shard.scale(1.0 / p as f32);
 
         self.t += 1;
-        adamw_update(
-            &mut self.master,
-            grad_shard.data(),
-            &mut self.m,
-            &mut self.v,
-            self.t,
-            self.lr,
-            self.beta1,
-            self.beta2,
-            self.eps,
-            self.weight_decay,
-        );
+        let mut ms = 0;
+        for shard in &grad_shards {
+            let sl = shard.numel();
+            adamw_update(
+                &mut self.master[ms..ms + sl],
+                shard.data(),
+                &mut self.m[ms..ms + sl],
+                &mut self.v[ms..ms + sl],
+                self.t,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+            );
+            ms += sl;
+        }
+        assert_eq!(ms, shard_len);
 
         // re-materialize the full parameters
-        let shard = Tensor::from_vec([shard_len], self.master.clone());
-        let full = self.group.all_gather_cat(&self.ctx, shard, 0);
+        let full = self.gather_full();
         let trimmed = full.narrow(0, 0, self.n);
         unflatten_into(model, &trimmed);
         model.zero_grad();
+    }
+
+    /// All-gathers the bucket-sharded master copy back into the padded flat
+    /// parameter vector.
+    fn gather_full(&self) -> Tensor {
+        let p = self.group.size();
+        let mut full = vec![0.0f32; self.padded];
+        let mut ms = 0;
+        for &(o, b) in &self.buckets {
+            let sl = b / p;
+            let part = Tensor::from_vec([sl], self.master[ms..ms + sl].to_vec());
+            let gathered = self.group.all_gather_cat(&self.ctx, part, 0);
+            full[o..o + b].copy_from_slice(gathered.data());
+            ms += sl;
+        }
+        Tensor::from_vec([self.padded], full)
     }
 
     /// ZeRO-3 helper: drops the full parameters from the model, leaving
@@ -169,8 +323,7 @@ impl ZeroOptimizer {
             ZeroStage::Three,
             "materialize only applies to stage 3"
         );
-        let shard = Tensor::from_vec([self.shard_len()], self.master.clone());
-        let full = self.group.all_gather_cat(&self.ctx, shard, 0);
+        let full = self.gather_full();
         let trimmed = full.narrow(0, 0, self.n);
         unflatten_into(model, &trimmed);
     }
@@ -226,11 +379,31 @@ mod tests {
         steps: usize,
         stage: ZeroStage,
     ) -> (Tensor, colossalai_comm::CommStats) {
+        zero_trajectory_opts(p, steps, stage, super::DEFAULT_BUCKET_BYTES, false)
+    }
+
+    /// Like [`zero_trajectory`], with an explicit bucket capacity and
+    /// optionally the comm-overlapped backward path.
+    fn zero_trajectory_opts(
+        p: usize,
+        steps: usize,
+        stage: ZeroStage,
+        bucket_bytes: usize,
+        overlap: bool,
+    ) -> (Tensor, colossalai_comm::CommStats) {
         let world = World::new(system_ii());
         let mut out = world.run_on(p, |ctx| {
             let g = ctx.world_group(p);
             let mut model = make_model(900);
-            let mut opt = ZeroOptimizer::new(ctx, &g, &mut model, stage, 0.01, 0.05);
+            let mut opt = ZeroOptimizer::with_bucket_bytes(
+                ctx,
+                &g,
+                &mut model,
+                stage,
+                0.01,
+                0.05,
+                bucket_bytes,
+            );
             for s in 0..steps {
                 let mut rng = init::rng(1000 + s as u64);
                 let x = init::uniform([p * 2, 6], -1.0, 1.0, &mut rng);
@@ -242,7 +415,11 @@ mod tests {
                 let t_local: Vec<usize> = t.chunks(2).nth(g.rank()).unwrap().to_vec();
                 let logits = model.forward(&x_local);
                 let (_, dlogits) = cross_entropy(&logits, &t_local);
-                let _ = model.backward(&dlogits);
+                if overlap {
+                    let _ = opt.backward_overlapped(&mut model, &dlogits);
+                } else {
+                    let _ = model.backward(&dlogits);
+                }
                 opt.step(&mut model);
                 if stage == ZeroStage::Three {
                     opt.release_params(&mut model);
@@ -273,6 +450,52 @@ mod tests {
         let want = ddp_trajectory(4, 3);
         let (got, _) = zero_trajectory(4, 3, ZeroStage::Three);
         assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn tiny_buckets_stay_bitwise_equal_to_ddp() {
+        // 16-element buckets over the 116-element padded flat grad → many
+        // buckets, bucket-sharded master layout; the bits must not move
+        let want = ddp_trajectory(4, 3);
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, false);
+            assert_eq!(got.data(), want.data(), "stage {stage:?} with tiny buckets");
+        }
+    }
+
+    #[test]
+    fn overlapped_backward_stays_bitwise_equal_to_ddp() {
+        let want = ddp_trajectory(4, 3);
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, true);
+            assert_eq!(got.data(), want.data(), "stage {stage:?} overlapped");
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_cover_padded_flat_grad() {
+        let world = World::new(system_ii());
+        world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let mut model = make_model(903);
+            let opt = ZeroOptimizer::with_bucket_bytes(
+                ctx,
+                &g,
+                &mut model,
+                ZeroStage::Two,
+                0.01,
+                0.0,
+                64,
+            );
+            let mut o = 0;
+            for &(off, len) in opt.bucket_ranges() {
+                assert_eq!(off, o);
+                assert_eq!(len % 4, 0);
+                o += len;
+            }
+            assert_eq!(o, 116, "covers ceil(114/4)*4");
+            assert!(opt.bucket_ranges().len() > 1);
+        });
     }
 
     #[test]

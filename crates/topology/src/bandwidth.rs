@@ -57,6 +57,44 @@ pub fn probe_collective(cluster: &Cluster, group_sizes: &[usize], bytes: u64) ->
         .collect()
 }
 
+/// Result of probing an all-reduce under both schedules over one group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllReduceProbe {
+    pub group: Vec<DeviceId>,
+    /// Flat-ring algorithm bandwidth in bytes/s.
+    pub flat: f64,
+    /// Hierarchical (two-level) algorithm bandwidth in bytes/s. Equals
+    /// `flat` wherever the hierarchical schedule degrades to the ring.
+    pub hierarchical: f64,
+    /// What [`cost::select_allreduce_algo`] picks for this group and size.
+    pub selected: cost::AllReduceAlgo,
+}
+
+/// Probes an all-reduce over each prefix group `{0..k}` under both the
+/// flat-ring and hierarchical schedules (Fig 10c: the bandwidth gap the
+/// topology-aware selector exploits on multi-node systems).
+pub fn probe_allreduce(
+    cluster: &Cluster,
+    group_sizes: &[usize],
+    bytes: u64,
+) -> Vec<AllReduceProbe> {
+    group_sizes
+        .iter()
+        .map(|&k| {
+            assert!(k >= 2 && k <= cluster.n_devices(), "bad group size {k}");
+            let group: Vec<DeviceId> = (0..k).collect();
+            let t_flat = cost::allreduce_time(cluster, &group, bytes);
+            let t_hier = cost::hierarchical_allreduce_time(cluster, &group, bytes);
+            AllReduceProbe {
+                selected: cost::select_allreduce_algo(cluster, &group, bytes),
+                group,
+                flat: cost::algorithm_bandwidth(bytes, t_flat),
+                hierarchical: cost::algorithm_bandwidth(bytes, t_hier),
+            }
+        })
+        .collect()
+}
+
 /// Min / max pairwise bandwidth — the headline numbers of Fig 10a.
 pub fn pairwise_extremes(cluster: &Cluster, bytes: u64) -> (f64, f64) {
     let probes = probe_pairs(cluster, bytes);
@@ -71,7 +109,7 @@ pub fn pairwise_extremes(cluster: &Cluster, bytes: u64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::systems::{system_i, system_ii};
+    use crate::systems::{system_i, system_ii, system_iii};
 
     const PROBE_BYTES: u64 = 125 << 20; // the paper's 125 MB probe
 
@@ -105,5 +143,33 @@ mod tests {
         assert!(bw_ii[0].bandwidth > 150.0e9);
         assert!(bw_ii[1].bandwidth < 20.0e9);
         assert!(bw_ii[2].bandwidth < 20.0e9);
+    }
+
+    #[test]
+    fn allreduce_probe_shows_hierarchy_win_on_system_iii() {
+        let probes = probe_allreduce(&system_iii(), &[4, 8, 16, 32], PROBE_BYTES);
+        for p in &probes {
+            assert!(
+                p.hierarchical >= p.flat,
+                "hierarchical must never lose: {:?}",
+                p
+            );
+        }
+        // 4-GPU group fits one node: both schedules are the same ring
+        assert_eq!(probes[0].flat, probes[0].hierarchical);
+        assert_eq!(probes[0].selected, cost::AllReduceAlgo::FlatRing);
+        // cross-node groups: hierarchical wins and gets selected
+        for p in &probes[1..] {
+            assert!(p.hierarchical > p.flat, "{:?}", p);
+            assert_eq!(p.selected, cost::AllReduceAlgo::Hierarchical);
+        }
+    }
+
+    #[test]
+    fn allreduce_probe_is_flat_on_single_node() {
+        for p in probe_allreduce(&system_i(), &[2, 4, 8], PROBE_BYTES) {
+            assert_eq!(p.flat, p.hierarchical);
+            assert_eq!(p.selected, cost::AllReduceAlgo::FlatRing);
+        }
     }
 }

@@ -69,6 +69,90 @@ pub fn alltoall_time(cluster: &Cluster, group: &[DeviceId], bytes_per_pair: u64)
     (p - 1) as f64 * (link.latency + bytes_per_pair as f64 / link.bandwidth)
 }
 
+/// Which executable schedule realizes an all-reduce over a group.
+///
+/// [`select_allreduce_algo`] picks per call by evaluating the alpha-beta
+/// model on the actual link graph; `colossalai-comm` consults it so the
+/// *executed* collective charges the same schedule the model predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllReduceAlgo {
+    /// One ring over the whole group (bottleneck = slowest ring link).
+    FlatRing,
+    /// Two-level NCCL-style schedule: intra-node reduce-scatter, ring
+    /// all-reduce among node leaders, intra-node all-gather.
+    Hierarchical,
+}
+
+/// Partitions `group` into node-local subgroups, nodes in first-seen order
+/// and devices in group-rank order within each node.
+pub fn node_partition(cluster: &Cluster, group: &[DeviceId]) -> Vec<Vec<DeviceId>> {
+    let mut nodes: Vec<Vec<DeviceId>> = Vec::new();
+    for &d in group {
+        match nodes
+            .iter_mut()
+            .find(|n| cluster.node(n[0]) == cluster.node(d))
+        {
+            Some(n) => n.push(d),
+            None => nodes.push(vec![d]),
+        }
+    }
+    nodes
+}
+
+/// True when the two-level schedule is well-formed for `group`: at least two
+/// nodes, every node contributing the same number of devices. Ragged layouts
+/// (and single nodes) fall back to the flat ring.
+pub fn hierarchical_applicable(cluster: &Cluster, group: &[DeviceId]) -> bool {
+    let nodes = node_partition(cluster, group);
+    nodes.len() > 1 && nodes.iter().all(|n| n.len() == nodes[0].len()) && nodes[0].len() > 1
+}
+
+/// The three phase durations of the hierarchical all-reduce, or `None` when
+/// the schedule does not apply (single node / ragged layout): intra-node
+/// reduce-scatter (slowest node gates), leader ring all-reduce over the slow
+/// link, intra-node all-gather.
+pub fn hierarchical_allreduce_phases(
+    cluster: &Cluster,
+    group: &[DeviceId],
+    bytes: u64,
+) -> Option<(f64, f64, f64)> {
+    if !hierarchical_applicable(cluster, group) {
+        return None;
+    }
+    let nodes = node_partition(cluster, group);
+    let local = nodes[0].len();
+    let leaders: Vec<DeviceId> = nodes.iter().map(|n| n[0]).collect();
+    let t1 = nodes
+        .iter()
+        .map(|n| reduce_scatter_time(cluster, n, bytes))
+        .fold(0.0, f64::max);
+    let t2 = allreduce_time(cluster, &leaders, bytes / local as u64);
+    let t3 = nodes
+        .iter()
+        .map(|n| allgather_time(cluster, n, bytes / local as u64))
+        .fold(0.0, f64::max);
+    Some((t1, t2, t3))
+}
+
+/// Element hops the hierarchical schedule moves for an `n`-element
+/// all-reduce, or `None` when the schedule does not apply. With `m` nodes of
+/// `l` ranks each: two intra-node ring passes move `2 m (l-1) n` hops and
+/// the leader ring moves `2 (m-1) n/l` — compare the flat ring's
+/// `2 (m l - 1) n`, which drags every hop across the bottleneck link.
+pub fn hierarchical_allreduce_elements(
+    cluster: &Cluster,
+    group: &[DeviceId],
+    n: u64,
+) -> Option<u64> {
+    if !hierarchical_applicable(cluster, group) {
+        return None;
+    }
+    let nodes = node_partition(cluster, group);
+    let m = nodes.len() as u64;
+    let l = nodes[0].len() as u64;
+    Some(2 * m * (l - 1) * n + 2 * (m - 1) * (n / l))
+}
+
 /// Seconds for a *hierarchical* all-reduce: ring reduce-scatter inside each
 /// node, ring all-reduce of the shards across node leaders, ring all-gather
 /// inside each node — the standard two-level NCCL strategy that keeps the
@@ -81,36 +165,36 @@ pub fn hierarchical_allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes:
     if p <= 1 || bytes == 0 {
         return 0.0;
     }
-    // partition the group by node
-    let mut nodes: Vec<Vec<DeviceId>> = Vec::new();
-    for &d in group {
-        match nodes
-            .iter_mut()
-            .find(|n| cluster.node(n[0]) == cluster.node(d))
-        {
-            Some(n) => n.push(d),
-            None => nodes.push(vec![d]),
-        }
-    }
-    if nodes.len() == 1 || nodes.iter().any(|n| n.len() != nodes[0].len()) {
+    match hierarchical_allreduce_phases(cluster, group, bytes) {
+        Some((t1, t2, t3)) => t1 + t2 + t3,
         // single node or ragged layout: flat ring
-        return allreduce_time(cluster, group, bytes);
+        None => allreduce_time(cluster, group, bytes),
     }
-    let local = nodes[0].len();
-    let leaders: Vec<DeviceId> = nodes.iter().map(|n| n[0]).collect();
-    // phase 1: intra-node reduce-scatter (slowest node gates)
-    let t1 = nodes
-        .iter()
-        .map(|n| reduce_scatter_time(cluster, n, bytes))
-        .fold(0.0, f64::max);
-    // phase 2: cross-node all-reduce of each shard (1/local of the buffer)
-    let t2 = allreduce_time(cluster, &leaders, bytes / local as u64);
-    // phase 3: intra-node all-gather
-    let t3 = nodes
-        .iter()
-        .map(|n| allgather_time(cluster, n, bytes / local as u64))
-        .fold(0.0, f64::max);
-    t1 + t2 + t3
+}
+
+/// Seconds for an all-reduce under an explicit algorithm choice.
+pub fn allreduce_time_with(
+    algo: AllReduceAlgo,
+    cluster: &Cluster,
+    group: &[DeviceId],
+    bytes: u64,
+) -> f64 {
+    match algo {
+        AllReduceAlgo::FlatRing => allreduce_time(cluster, group, bytes),
+        AllReduceAlgo::Hierarchical => hierarchical_allreduce_time(cluster, group, bytes),
+    }
+}
+
+/// Picks the cheaper all-reduce schedule for this call by evaluating both
+/// alpha-beta estimates on the actual link graph. Ties (including every
+/// single-node group, where hierarchical degrades to the flat ring) keep the
+/// flat ring.
+pub fn select_allreduce_algo(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> AllReduceAlgo {
+    if hierarchical_allreduce_time(cluster, group, bytes) < allreduce_time(cluster, group, bytes) {
+        AllReduceAlgo::Hierarchical
+    } else {
+        AllReduceAlgo::FlatRing
+    }
 }
 
 /// The "algorithm bandwidth" a bandwidth probe would report for a collective
@@ -227,6 +311,92 @@ mod tests {
             hierarchical_allreduce_time(&c, &group, bytes),
             allreduce_time(&c, &group, bytes)
         );
+    }
+
+    #[test]
+    fn selector_picks_hierarchical_only_across_nodes() {
+        let mut multi = Cluster::homogeneous(
+            "multi",
+            4,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        multi.full_mesh_intra_node(Link::nvlink());
+        let bytes = 64 << 20;
+        let group16: Vec<usize> = (0..16).collect();
+        assert_eq!(
+            select_allreduce_algo(&multi, &group16, bytes),
+            AllReduceAlgo::Hierarchical
+        );
+        // single-node group: degrades to flat, tie keeps FlatRing
+        let group4: Vec<usize> = (0..4).collect();
+        assert_eq!(
+            select_allreduce_algo(&multi, &group4, bytes),
+            AllReduceAlgo::FlatRing
+        );
+        assert_eq!(
+            select_allreduce_algo(&nvlink_box(), &(0..8).collect::<Vec<_>>(), bytes),
+            AllReduceAlgo::FlatRing
+        );
+    }
+
+    #[test]
+    fn ragged_layouts_are_not_hierarchical() {
+        let mut multi = Cluster::homogeneous(
+            "multi",
+            2,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        multi.full_mesh_intra_node(Link::nvlink());
+        // 3 devices from node 0, 2 from node 1
+        let ragged = [0usize, 1, 2, 4, 5];
+        assert!(!hierarchical_applicable(&multi, &ragged));
+        assert_eq!(
+            hierarchical_allreduce_time(&multi, &ragged, 8 << 20),
+            allreduce_time(&multi, &ragged, 8 << 20)
+        );
+        // 1 GPU per node: no intra-node phase possible
+        let leaders = [0usize, 4];
+        assert!(!hierarchical_applicable(&multi, &leaders));
+    }
+
+    #[test]
+    fn node_partition_keeps_group_rank_order() {
+        let multi = Cluster::homogeneous(
+            "multi",
+            2,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        let parts = node_partition(&multi, &[5, 1, 0, 6, 3]);
+        assert_eq!(parts, vec![vec![5, 6], vec![1, 0, 3]]);
+    }
+
+    #[test]
+    fn phases_sum_to_hierarchical_time() {
+        let mut multi = Cluster::homogeneous(
+            "multi",
+            4,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        multi.full_mesh_intra_node(Link::nvlink());
+        let group: Vec<usize> = (0..16).collect();
+        let bytes = 32 << 20;
+        let (t1, t2, t3) = hierarchical_allreduce_phases(&multi, &group, bytes).unwrap();
+        assert!(t1 > 0.0 && t2 > 0.0 && t3 > 0.0);
+        assert!((t1 + t2 + t3 - hierarchical_allreduce_time(&multi, &group, bytes)).abs() < 1e-15);
+        // the leader ring over IB dominates both intra-node phases
+        assert!(t2 > t1 && t2 > t3);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod link;
 pub mod systems;
 
 pub use cluster::Cluster;
+pub use cost::AllReduceAlgo;
 pub use device::{DeviceId, GpuSpec, HostSpec};
 pub use link::{Link, LinkKind};
 pub use systems::{system_i, system_ii, system_iii, system_iv};
