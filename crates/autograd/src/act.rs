@@ -24,7 +24,9 @@ impl Layer for Gelu {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
-        ops::gelu_grad(&x).zip(dy, |g, d| g * d)
+        // fused gelu'(x) * dy: one pooled buffer instead of the composed
+        // gelu_grad + zip pair, bitwise-identical arithmetic
+        ops::gelu_backward(&x, dy)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -50,7 +52,9 @@ impl Layer for Relu {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
-        ops::relu_grad(&x).zip(dy, |g, d| g * d)
+        // single-buffer fusion of relu_grad + zip; the mask value is still
+        // multiplied exactly as in the composed path
+        x.zip(dy, |v, d| if v > 0.0 { 1.0 } else { 0.0 } * d)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

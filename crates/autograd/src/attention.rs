@@ -4,7 +4,7 @@ use crate::layer::Layer;
 use crate::linear::Linear;
 use crate::param::Param;
 use colossalai_tensor::init::InitRng;
-use colossalai_tensor::ops::{softmax, softmax_backward};
+use colossalai_tensor::ops::{softmax_backward_inplace, softmax_inplace};
 use colossalai_tensor::{bmm, bmm_at, bmm_bt, Tensor};
 
 /// Large negative value used for masking (avoids NaN that `-inf` would
@@ -130,7 +130,9 @@ impl Layer for MultiHeadAttention {
         let mut scores = bmm_bt(&q, &k);
         scores.scale(scale);
         self.apply_causal_mask(&mut scores);
-        let attn = softmax(&scores);
+        // scores is uniquely owned here: softmax runs in place, no copy
+        softmax_inplace(&mut scores);
+        let attn = scores;
         let z = bmm(&attn, &v);
         let merged = merge_heads(&z, heads);
         let out = self.wo.forward(&merged);
@@ -151,8 +153,10 @@ impl Layer for MultiHeadAttention {
         let dattn = bmm_bt(&dz, &v);
         let dv = bmm_at(&attn, &dz);
         // attn = softmax(scores); masked entries carry ~zero probability, so
-        // their gradient contribution vanishes automatically
-        let mut dscores = softmax_backward(&attn, &dattn);
+        // their gradient contribution vanishes automatically. dattn is
+        // uniquely owned, so the softmax backward mutates it in place.
+        let mut dscores = dattn;
+        softmax_backward_inplace(&attn, &mut dscores);
         dscores.scale(scale);
         // scores = q @ k^T
         let dq = bmm(&dscores, &k);

@@ -3,15 +3,21 @@
 use crate::layer::Layer;
 use crate::param::Param;
 use colossalai_tensor::init::InitRng;
-use colossalai_tensor::ops::sum_axis;
-use colossalai_tensor::{init, matmul_at, matmul_bt, matmul_nd, Tensor};
+use colossalai_tensor::ops::{add_bias_gelu, add_bias_gelu_backward, sum_axis0_acc};
+use colossalai_tensor::{init, matmul_at_acc, matmul_bt, matmul_nd, Tensor};
 
 /// `y = x W + b` with `W: [in, out]`, applied to inputs of shape
-/// `[.., in]`.
+/// `[.., in]`. With [`Linear::with_gelu`], the layer computes
+/// `y = gelu(x W + b)` through the fused `add_bias_gelu` kernel —
+/// bitwise-identical to a `Linear` followed by a separate `Gelu` layer, but
+/// without the intermediate allocations.
 pub struct Linear {
     w: Param,
     b: Option<Param>,
+    fused_gelu: bool,
     cached_x: Option<Tensor>,
+    /// Pre-activation `h = x W + b`, cached only in fused-GELU mode.
+    cached_h: Option<Tensor>,
 }
 
 impl Linear {
@@ -25,8 +31,19 @@ impl Linear {
         Linear {
             w: Param::new(format!("{name}.weight"), w),
             b: b.map(|b| Param::new(format!("{name}.bias"), b)),
+            fused_gelu: false,
             cached_x: None,
+            cached_h: None,
         }
+    }
+
+    /// Fuses a GELU activation into this layer (`y = gelu(x W + b)`).
+    /// Requires a bias. Replaces a `[Linear, Gelu]` pair with identical
+    /// parameters and bitwise-identical outputs/gradients.
+    pub fn with_gelu(mut self) -> Self {
+        assert!(self.b.is_some(), "with_gelu requires a bias");
+        self.fused_gelu = true;
+        self
     }
 
     /// LeCun-normal initialized layer (the paper's "Jax initialization").
@@ -70,23 +87,38 @@ impl Layer for Linear {
             "linear input width mismatch"
         );
         self.cached_x = Some(x.clone());
-        let y = matmul_nd(x, self.w.value());
-        match &self.b {
-            Some(b) => y.add_bias(b.value()),
-            None => y,
+        let mut y = matmul_nd(x, self.w.value());
+        if self.fused_gelu {
+            let b = self.b.as_ref().expect("fused gelu requires bias");
+            let (h, out) = add_bias_gelu(y, b.value());
+            self.cached_h = Some(h);
+            return out;
         }
+        if let Some(b) = &self.b {
+            // the GEMM output is uniquely owned: bias adds in place
+            y.add_bias_assign(b.value());
+        }
+        y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
         let (rows, d_in) = x.shape().as_matrix();
         let x2 = x.reshape([rows, d_in]);
-        let dy2 = dy.reshape([rows, self.d_out()]);
-        // dW = x^T dy
-        self.w.accumulate_grad(&matmul_at(&x2, &dy2));
-        // db = column sums of dy
+        // in fused-GELU mode, first pull dy back through the activation:
+        // dh = gelu'(h) * dy, then the usual linear backward on dh
+        let dy2 = if self.fused_gelu {
+            let h = self.cached_h.take().expect("backward before forward");
+            add_bias_gelu_backward(&h, dy).reshaped([rows, self.d_out()])
+        } else {
+            dy.reshape([rows, self.d_out()])
+        };
+        // dW = x^T dy, accumulated straight into the parameter gradient —
+        // no dW temporary, no zero-fill, no second axpy pass
+        matmul_at_acc(&x2, &dy2, self.w.grad_mut());
+        // db = column sums of dy, same fused accumulation
         if let Some(b) = &mut self.b {
-            b.accumulate_grad(&sum_axis(&dy2, 0));
+            sum_axis0_acc(&dy2, b.grad_mut());
         }
         // dx = dy W^T
         let dx = matmul_bt(&dy2, self.w.value());

@@ -32,7 +32,7 @@ impl LayerNorm {
 impl Layer for LayerNorm {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         let (y, means, inv_stds) =
-            ops::layernorm(x, self.gamma.value(), self.beta.value(), self.eps);
+            ops::layernorm_fused(x, self.gamma.value(), self.beta.value(), self.eps);
         self.cache = Some((x.clone(), means, inv_stds));
         y
     }

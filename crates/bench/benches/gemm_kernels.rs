@@ -14,7 +14,9 @@
 
 use colossalai_tensor::kernel::{gemm_mat, gemm_mat_threaded, Mat};
 use colossalai_tensor::matmul::{gemm_ref_blocked, gemm_ref_ikj, matmul_flops};
+use colossalai_tensor::{axpy_slices, scale_slice};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 const SHAPES: &[(usize, usize, usize)] = &[
     (512, 512, 512),
@@ -95,6 +97,87 @@ fn bench_kernels(c: &mut Criterion) {
         }
     }
     group.finish();
+    micro_assert_axpy_scale();
+}
+
+/// Median seconds over `runs` timed executions of `f`.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[runs / 2]
+}
+
+/// Guards the `chunks_exact` rewrite of `Tensor::axpy`/`scale`: the chunked
+/// slice kernels must not regress against the plain scalar loops. The floor
+/// is lenient (1.5x) so noisy shared-CPU CI never flakes; a real regression
+/// (e.g. a dropped `#[inline]` forcing an outlined call per element) blows
+/// well past it.
+fn micro_assert_axpy_scale() {
+    const N: usize = 1 << 16;
+    const REPS: usize = 200;
+    let src = rand_vec(N, 11);
+    let base = rand_vec(N, 13);
+
+    let mut dst = base.clone();
+    let naive_axpy = median_secs(9, || {
+        for _ in 0..REPS {
+            for (a, &b) in dst.iter_mut().zip(&src) {
+                *a += 0.5 * b;
+            }
+        }
+        std::hint::black_box(&mut dst);
+    });
+    let mut dst = base.clone();
+    let chunked_axpy = median_secs(9, || {
+        for _ in 0..REPS {
+            axpy_slices(&mut dst, 0.5, &src);
+        }
+        std::hint::black_box(&mut dst);
+    });
+
+    let mut dst = base.clone();
+    let naive_scale = median_secs(9, || {
+        for _ in 0..REPS {
+            for v in dst.iter_mut() {
+                *v *= 1.0001;
+            }
+        }
+        std::hint::black_box(&mut dst);
+    });
+    let mut dst = base;
+    let chunked_scale = median_secs(9, || {
+        for _ in 0..REPS {
+            scale_slice(&mut dst, 1.0001);
+        }
+        std::hint::black_box(&mut dst);
+    });
+
+    println!(
+        "axpy  {N} elems x{REPS}: chunked {:.3} ms vs naive {:.3} ms ({:.2}x)",
+        chunked_axpy * 1e3,
+        naive_axpy * 1e3,
+        naive_axpy / chunked_axpy
+    );
+    println!(
+        "scale {N} elems x{REPS}: chunked {:.3} ms vs naive {:.3} ms ({:.2}x)",
+        chunked_scale * 1e3,
+        naive_scale * 1e3,
+        naive_scale / chunked_scale
+    );
+    assert!(
+        chunked_axpy <= naive_axpy * 1.5,
+        "chunked axpy regressed: {chunked_axpy:.6}s vs naive {naive_axpy:.6}s"
+    );
+    assert!(
+        chunked_scale <= naive_scale * 1.5,
+        "chunked scale regressed: {chunked_scale:.6}s vs naive {naive_scale:.6}s"
+    );
 }
 
 criterion_group!(benches, bench_kernels);

@@ -231,23 +231,29 @@ pub fn rollup(spans: &[Span]) -> Vec<RankRollup> {
     out
 }
 
-/// Formats a rollup as a fixed-width table (times in milliseconds).
+/// Formats a rollup as a fixed-width table (times in milliseconds). The
+/// `pool_hit%` column reports the storage pool's global hit rate (the pool
+/// is process-wide, so every rank shows the same figure), with a footer
+/// summarizing the full allocator counters.
 pub fn rollup_table(rollups: &[RankRollup]) -> String {
+    let pool = colossalai_tensor::pool::stats();
     let mut out = String::from(
-        "rank   compute_ms      comm_ms   overlap_ms       mem_ms      idle_ms\n\
-         -----------------------------------------------------------------------\n",
+        "rank   compute_ms      comm_ms   overlap_ms    pool_hit%       mem_ms      idle_ms\n\
+         ------------------------------------------------------------------------------------\n",
     );
     for r in rollups {
         out.push_str(&format!(
-            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
+            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>12.3} {:>12.3}\n",
             r.rank,
             r.compute * 1e3,
             r.comm * 1e3,
             r.comm_overlap * 1e3,
+            pool.hit_rate() * 100.0,
             r.mem * 1e3,
             r.idle * 1e3
         ));
     }
+    out.push_str(&format!("pool: {}\n", pool.summary()));
     out
 }
 
@@ -422,6 +428,8 @@ mod tests {
         assert!((r[1].idle - 2.0).abs() < 1e-12);
         let table = rollup_table(&r);
         assert!(table.contains("idle_ms"));
+        assert!(table.contains("pool_hit%"));
+        assert!(table.contains("pool: hits="));
     }
 
     #[test]

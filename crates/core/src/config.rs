@@ -111,6 +111,28 @@ impl Default for CommConfig {
     }
 }
 
+/// Memory section: allocator behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Recycle tensor storage through the global size-classed pool (on by
+    /// default). The `COLOSSAL_POOL=off` environment variable overrides
+    /// this to off regardless of the config.
+    #[serde(default = "default_pool")]
+    pub pool: bool,
+}
+
+fn default_pool() -> bool {
+    true
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            pool: default_pool(),
+        }
+    }
+}
+
 /// Top-level configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub struct Config {
@@ -131,6 +153,9 @@ pub struct Config {
     /// Gradient-sync bucketing and overlap.
     #[serde(default)]
     pub comm: CommConfig,
+    /// Allocator behavior (storage-pool toggle).
+    #[serde(default)]
+    pub mem: MemConfig,
 }
 
 impl Config {
@@ -318,6 +343,14 @@ mod tests {
         // partial section: missing keys take their defaults
         let cfg = Config::from_json(r#"{ "comm": { "bucket_mb": 1 } }"#).unwrap();
         assert!(cfg.comm.overlap);
+    }
+
+    #[test]
+    fn mem_section_defaults_and_parses() {
+        let cfg = Config::from_json("{}").unwrap();
+        assert!(cfg.mem.pool, "pool defaults on");
+        let cfg = Config::from_json(r#"{ "mem": { "pool": false } }"#).unwrap();
+        assert!(!cfg.mem.pool);
     }
 
     #[test]

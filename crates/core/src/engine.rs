@@ -64,6 +64,9 @@ pub fn initialize(
     optimizer: OptimizerSpec,
 ) -> Engine {
     config.validate().expect("invalid configuration");
+    // allocator policy: the config can turn pooled tensor storage off (the
+    // COLOSSAL_POOL env var still wins over a `true` here)
+    colossalai_tensor::set_pool_enabled(config.mem.pool);
     // activation checkpointing: wrap the whole model (the paper's engine
     // applies it per injected module; at engine granularity the numerics
     // are identical and the memory model is strictly conservative)

@@ -10,8 +10,8 @@
 
 use colossalai_autograd::{adamw_update, Layer};
 use colossalai_memory::offload::{plan, ModelData, OffloadPlan, PlacementPolicy};
-use colossalai_parallel::data_parallel::{flatten_grads, flatten_params, unflatten_into};
-use colossalai_tensor::Tensor;
+use colossalai_parallel::data_parallel::{flatten_grads, flatten_params, unflatten_from_slice};
+use colossalai_tensor::pool;
 use colossalai_topology::{HostSpec, Link};
 
 /// Hybrid AdamW over a flat parameter vector split at `gpu_elems`.
@@ -110,7 +110,10 @@ impl HybridAdam {
             self.eps,
             self.weight_decay,
         );
-        unflatten_into(model, &Tensor::from_vec([self.n], self.master.clone()));
+        // write the master copy straight back into the params (no clone of
+        // the flat master per step) and hand the grad buffer to the pool
+        unflatten_from_slice(model, &self.master);
+        pool::recycle(grads);
         model.zero_grad();
 
         // cost model: the CPU half's fp16 gradients go down and updated

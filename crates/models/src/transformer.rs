@@ -1,7 +1,7 @@
 //! The runnable Transformer block (Fig 2 of the paper): Multi-head
 //! Attention + Feed Forward, pre-LayerNorm, residual connections.
 
-use colossalai_autograd::{Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Param, Sequential};
+use colossalai_autograd::{Layer, LayerNorm, Linear, MultiHeadAttention, Param, Sequential};
 use colossalai_tensor::init::InitRng;
 use colossalai_tensor::Tensor;
 
@@ -54,15 +54,14 @@ impl TransformerBlock {
         rng: &mut InitRng,
     ) -> Self {
         let attn = MultiHeadAttention::new(&format!("{name}.attn"), dim, heads, causal, rng);
+        // fc1 carries its GELU fused (bitwise-identical to a separate Gelu
+        // layer, which held no params — the parameter visit order is
+        // unchanged)
         let mlp = Sequential::new(vec![
-            Box::new(Linear::from_rng(
-                &format!("{name}.fc1"),
-                dim,
-                dim * mlp_ratio,
-                true,
-                rng,
-            )),
-            Box::new(Gelu::new()),
+            Box::new(
+                Linear::from_rng(&format!("{name}.fc1"), dim, dim * mlp_ratio, true, rng)
+                    .with_gelu(),
+            ),
             Box::new(Linear::from_rng(
                 &format!("{name}.fc2"),
                 dim * mlp_ratio,

@@ -158,7 +158,8 @@ impl BucketedGradSync {
         model.visit_params(&mut |p| grads.push(p.grad().clone()));
         let mut reduced = Vec::with_capacity(self.plan.buckets.len());
         for b in &self.plan.buckets {
-            let mut flat = Vec::with_capacity(b.len);
+            // pooled: bucket-sized flats (up to 25 MB) recycle step to step
+            let mut flat = colossalai_tensor::pool::take_buffer(b.len);
             for g in &grads[b.params.clone()] {
                 flat.extend_from_slice(g.data());
             }
@@ -196,7 +197,7 @@ impl BucketedGradSync {
             while next > 0 && self.plan.buckets[next - 1].params.start >= produced {
                 next -= 1;
                 let b = &self.plan.buckets[next];
-                let mut flat = Vec::with_capacity(b.len);
+                let mut flat = colossalai_tensor::pool::take_buffer(b.len);
                 for g in grads[b.params.clone()].iter() {
                     flat.extend_from_slice(g.as_ref().expect("bucket grad produced").data());
                 }
@@ -226,8 +227,8 @@ impl BucketedGradSync {
             }
             let n = p.numel();
             let shape = p.grad().shape().clone();
-            let slice = reduced[bi].data()[off..off + n].to_vec();
-            *p.grad_mut() = Tensor::from_vec(shape, slice);
+            // pooled copy instead of a fresh `to_vec` per parameter
+            *p.grad_mut() = Tensor::from_slice(shape, &reduced[bi].data()[off..off + n]);
             off += n;
             pi += 1;
         });

@@ -109,17 +109,24 @@ impl<M: Layer> Layer for DataParallel<M> {
     }
 }
 
+/// Total elements across a model's parameters (pre-sizes flatten buffers).
+fn total_param_elems(model: &mut dyn Layer) -> usize {
+    let mut n = 0;
+    model.visit_params(&mut |p| n += p.numel());
+    n
+}
+
 /// Flattens all parameter values of a model into one vector (ZeRO's working
 /// representation). Order is the model's `visit_params` order.
 pub fn flatten_params(model: &mut dyn Layer) -> Tensor {
-    let mut out = Vec::new();
+    let mut out = colossalai_tensor::pool::take_buffer(total_param_elems(model));
     model.visit_params(&mut |p| out.extend_from_slice(p.value().data()));
     Tensor::from_vec([out.len()], out)
 }
 
 /// Flattens all parameter gradients into one vector.
 pub fn flatten_grads(model: &mut dyn Layer) -> Tensor {
-    let mut out = Vec::new();
+    let mut out = colossalai_tensor::pool::take_buffer(total_param_elems(model));
     model.visit_params(&mut |p| out.extend_from_slice(p.grad().data()));
     Tensor::from_vec([out.len()], out)
 }
@@ -127,15 +134,22 @@ pub fn flatten_grads(model: &mut dyn Layer) -> Tensor {
 /// Writes a flat vector back into the model's parameters (inverse of
 /// [`flatten_params`]).
 pub fn unflatten_into(model: &mut dyn Layer, flat: &Tensor) {
+    unflatten_from_slice(model, flat.data());
+}
+
+/// Slice-based variant of [`unflatten_into`]: writes `flat` back into the
+/// parameters without requiring the caller to wrap it in a tensor first
+/// (the hybrid optimizer holds its master copy as a plain buffer).
+pub fn unflatten_from_slice(model: &mut dyn Layer, flat: &[f32]) {
     let mut off = 0;
     model.visit_params(&mut |p| {
         let n = p.numel();
         let shape = p.value().shape().clone();
-        let slice = flat.data()[off..off + n].to_vec();
-        p.set_value(Tensor::from_vec(shape, slice));
+        // pooled copy instead of `to_vec` per parameter
+        p.set_value(Tensor::from_slice(shape, &flat[off..off + n]));
         off += n;
     });
-    assert_eq!(off, flat.numel(), "flat vector length mismatch");
+    assert_eq!(off, flat.len(), "flat vector length mismatch");
 }
 
 #[cfg(test)]

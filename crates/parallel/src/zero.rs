@@ -28,7 +28,7 @@ use crate::bucket::{BucketPlan, DEFAULT_BUCKET_BYTES};
 use crate::data_parallel::{flatten_grads, flatten_params, unflatten_into};
 use colossalai_autograd::{adamw_update, Layer};
 use colossalai_comm::{DeviceCtx, Group};
-use colossalai_tensor::Tensor;
+use colossalai_tensor::{pool, Tensor};
 
 /// Which ZeRO stage to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,7 +206,7 @@ impl ZeroOptimizer {
                 Some(o)
             })
             .collect();
-        let mut flat = vec![0.0f32; self.padded];
+        let mut flat = pool::take_zeroed(self.padded);
         let mut pi = self.param_sizes.len(); // start of the produced param suffix
         let mut elem_start = self.n; // pad [n, padded) counts as produced
         let mut next = self.buckets.len(); // buckets fire back to front
@@ -224,12 +224,13 @@ impl ZeroOptimizer {
             while next > 0 && this.buckets[next - 1].0 >= elem_start {
                 next -= 1;
                 let (o, b) = this.buckets[next];
-                let bucket = Tensor::from_vec([b], flat[o..o + b].to_vec());
+                let bucket = Tensor::from_slice([b], &flat[o..o + b]);
                 shards[next] = Some(this.reduce_bucket(bucket, true));
             }
         });
         assert_eq!(pi, 0, "backward_staged must cover every parameter");
         assert_eq!(next, 0, "every bucket must have launched");
+        pool::recycle(flat);
         // shards must be final before the optimizer reads them
         self.ctx.comm_sync();
         self.pending = Some(shards.into_iter().map(|s| s.unwrap()).collect());
@@ -250,13 +251,16 @@ impl ZeroOptimizer {
                 let mut flat_grads = flatten_grads(model).into_vec();
                 assert_eq!(flat_grads.len(), self.n, "model parameter set changed");
                 flat_grads.resize(self.padded, 0.0);
-                self.buckets
+                let shards: Vec<Tensor> = self
+                    .buckets
                     .iter()
                     .map(|&(o, b)| {
-                        let bucket = Tensor::from_vec([b], flat_grads[o..o + b].to_vec());
+                        let bucket = Tensor::from_slice([b], &flat_grads[o..o + b]);
                         self.reduce_bucket(bucket, false)
                     })
-                    .collect()
+                    .collect();
+                pool::recycle(flat_grads);
+                shards
             }
         };
 
@@ -291,11 +295,11 @@ impl ZeroOptimizer {
     /// parameter vector.
     fn gather_full(&self) -> Tensor {
         let p = self.group.size();
-        let mut full = vec![0.0f32; self.padded];
+        let mut full = pool::take_zeroed(self.padded);
         let mut ms = 0;
         for &(o, b) in &self.buckets {
             let sl = b / p;
-            let part = Tensor::from_vec([sl], self.master[ms..ms + sl].to_vec());
+            let part = Tensor::from_slice([sl], &self.master[ms..ms + sl]);
             let gathered = self.group.all_gather_cat(&self.ctx, part, 0);
             full[o..o + b].copy_from_slice(gathered.data());
             ms += sl;

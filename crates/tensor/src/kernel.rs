@@ -277,8 +277,10 @@ pub fn gemm_mat(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
         return;
     }
     let kb_max = k.min(KC);
-    let mut apack = vec![0.0f32; m.min(MC).div_ceil(MR) * MR * kb_max];
-    let mut bpack = vec![0.0f32; n.min(NC).div_ceil(NR) * NR * kb_max];
+    // packing panels recycle through the storage pool: a training step calls
+    // this kernel hundreds of times with identical panel sizes
+    let mut apack = crate::pool::take_zeroed(m.min(MC).div_ceil(MR) * MR * kb_max);
+    let mut bpack = crate::pool::take_zeroed(n.min(NC).div_ceil(NR) * NR * kb_max);
     for jc in (0..n).step_by(NC) {
         let nb = (n - jc).min(NC);
         for pc in (0..k).step_by(KC) {
@@ -293,6 +295,8 @@ pub fn gemm_mat(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
             }
         }
     }
+    crate::pool::recycle(apack);
+    crate::pool::recycle(bpack);
 }
 
 /// Packed GEMM with the output's row panels split across `threads` scoped
@@ -339,6 +343,45 @@ fn gemm_small(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
             }
         }
     }
+}
+
+/// Register-dot variant of [`gemm_small`] for a `c` that already holds live
+/// data: each output element's ascending-`k` dot is fully reduced in a
+/// register first and added to `c` exactly once. `gemm_small` itself folds
+/// into `c` memory once per `k` step, which is the same sequence only when
+/// `c` starts at zero — this variant keeps the bits right when it doesn't.
+fn gemm_small_acc(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at(i, p) * b.at(p, j);
+            }
+            *c_ij += acc;
+        }
+    }
+}
+
+/// `c += a @ b` where `c` may already hold live data (fused gradient
+/// accumulation): every output element receives its fully-reduced
+/// ascending-`k` dot exactly once, so accumulating in place is
+/// bitwise-identical to running [`gemm_mat_auto`] into a zeroed temporary
+/// and adding that element-wise. Only valid for `k <= KC` — a single packed
+/// k-block, hence a single writeback per element; callers with deeper
+/// reductions must take the temporary path.
+pub fn gemm_mat_acc(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(k <= KC, "gemm_mat_acc requires k <= KC (single k-block)");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= SMALL_FLOP_CUTOFF {
+        return gemm_small_acc(a, b, c, m, k, n);
+    }
+    // above the small cutoff the auto dispatch always takes the packed
+    // microkernel, whose writeback adds each register tile to `c` once per
+    // k-block — exactly once here, since k <= KC
+    gemm_mat_auto(a, b, c, m, k, n);
 }
 
 /// The kernel entry point every matmul variant routes through:

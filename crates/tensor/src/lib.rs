@@ -23,11 +23,15 @@ pub mod init;
 pub mod kernel;
 pub mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 
 pub use f16::F16;
 pub use kernel::{kernel_threads, set_kernel_threads};
-pub use matmul::{bmm, bmm_at, bmm_bt, gemm, matmul, matmul_at, matmul_bt, matmul_nd};
+pub use matmul::{
+    bmm, bmm_at, bmm_bt, gemm, matmul, matmul_at, matmul_at_acc, matmul_bt, matmul_nd,
+};
+pub use pool::{pool_enabled, set_pool_enabled, PoolStats};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{axpy_slices, scale_slice, Tensor};

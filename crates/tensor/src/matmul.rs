@@ -26,7 +26,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     gemm(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec([m, n], out)
 }
@@ -98,7 +98,7 @@ pub fn matmul_nd(a: &Tensor, b: &Tensor) -> Tensor {
     let (rows, k) = a.shape().as_matrix();
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_nd inner-dimension mismatch");
-    let mut out = vec![0.0f32; rows * n];
+    let mut out = crate::pool::take_zeroed(rows * n);
     gemm(a.data(), b.data(), &mut out, rows, k, n);
     let mut dims = a.dims().to_vec();
     *dims.last_mut().unwrap() = n;
@@ -112,7 +112,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_bt inner-dimension mismatch");
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     gemm_mat_auto(
         Mat::row_major(a.data(), k),
         Mat::transposed(b.data(), k),
@@ -124,6 +124,38 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec([m, n], out)
 }
 
+/// Fused gradient-accumulating `A^T @ B`: `out += a^T @ b` without the
+/// temporary tensor (and its zero-fill and second axpy pass) that
+/// `matmul_at` + `Tensor::axpy` would cost. Bitwise-identical to that
+/// composed pair: for `k <= kernel::KC` each output element gets its
+/// fully-reduced ascending-`k` dot added exactly once (see
+/// [`crate::kernel::gemm_mat_acc`]); deeper reductions fall back to the
+/// composed path itself.
+pub fn matmul_at_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(b.rank(), 2);
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_at_acc inner-dimension mismatch");
+    assert_eq!(
+        out.dims(),
+        &[m, n][..],
+        "matmul_at_acc output shape mismatch"
+    );
+    if k <= crate::kernel::KC {
+        crate::kernel::gemm_mat_acc(
+            Mat::transposed(a.data(), m),
+            Mat::row_major(b.data(), n),
+            out.data_mut(),
+            m,
+            k,
+            n,
+        );
+    } else {
+        out.axpy(1.0, &matmul_at(a, b));
+    }
+}
+
 /// `A^T @ B` without materializing the transpose: `(k, m)^T @ (k, n) -> (m, n)`.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2);
@@ -131,7 +163,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_at inner-dimension mismatch");
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::pool::take_zeroed(m * n);
     gemm_mat_auto(
         Mat::transposed(a.data(), m),
         Mat::row_major(b.data(), n),
@@ -152,7 +184,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(ba, bb, "bmm batch mismatch");
     assert_eq!(k, k2, "bmm inner-dimension mismatch");
-    let mut out = vec![0.0f32; ba * m * n];
+    let mut out = crate::pool::take_zeroed(ba * m * n);
     for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
         gemm_mat_auto(
             Mat::row_major(&a.data()[t * m * k..(t + 1) * m * k], k),
@@ -174,7 +206,7 @@ pub fn bmm_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (bb, n, k2) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(ba, bb, "bmm_bt batch mismatch");
     assert_eq!(k, k2, "bmm_bt inner-dimension mismatch");
-    let mut out = vec![0.0f32; ba * m * n];
+    let mut out = crate::pool::take_zeroed(ba * m * n);
     for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
         gemm_mat_auto(
             Mat::row_major(&a.data()[t * m * k..(t + 1) * m * k], k),
@@ -196,7 +228,7 @@ pub fn bmm_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(ba, bb, "bmm_at batch mismatch");
     assert_eq!(k, k2, "bmm_at inner-dimension mismatch");
-    let mut out = vec![0.0f32; ba * m * n];
+    let mut out = crate::pool::take_zeroed(ba * m * n);
     for_each_batch(ba, m * n, m * k * n, &mut out, |t, c_t| {
         gemm_mat_auto(
             Mat::transposed(&a.data()[t * k * m..(t + 1) * k * m], m),

@@ -1,13 +1,31 @@
 //! Neural-network math kernels: activations, normalization, reductions.
+//!
+//! Hot paths come in two forms: the original *composed* ops (allocate a
+//! fresh output per step) and *fused / in-place* variants that reuse the
+//! caller's uniquely-owned buffer or draw one pooled buffer for an entire
+//! 2–4-op chain. The fused variants are bitwise-identical to the composed
+//! ones — same per-element arithmetic in the same order — so swapping them
+//! in never perturbs the serial-equivalence contract; `tests/fused_props.rs`
+//! property-tests that identity.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Numerically stable softmax over the last dimension.
 pub fn softmax(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// In-place softmax over the last dimension. On a uniquely-owned tensor
+/// (e.g. attention scores just produced by `bmm_bt`) this allocates
+/// nothing; [`softmax`] is exactly this after a copy-on-write clone, so the
+/// two are bitwise-identical.
+pub fn softmax_inplace(x: &mut Tensor) {
     assert!(x.rank() >= 1, "softmax requires rank >= 1");
     let n = *x.dims().last().unwrap();
-    let mut out = x.clone();
-    for row in out.data_mut().chunks_mut(n) {
+    for row in x.data_mut().chunks_mut(n) {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -19,22 +37,27 @@ pub fn softmax(x: &Tensor) -> Tensor {
             *v *= inv;
         }
     }
-    out
 }
 
 /// Backward of softmax: given `y = softmax(x)` and upstream `dy`, returns
 /// `dx = y * (dy - sum(dy * y))` row-wise.
 pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    let mut out = dy.clone();
+    softmax_backward_inplace(y, &mut out);
+    out
+}
+
+/// In-place backward of softmax: overwrites `dy` with `dx`. Allocation-free
+/// when `dy` is uniquely owned; bitwise-identical to [`softmax_backward`].
+pub fn softmax_backward_inplace(y: &Tensor, dy: &mut Tensor) {
     assert_eq!(y.shape(), dy.shape(), "softmax_backward shape mismatch");
     let n = *y.dims().last().unwrap();
-    let mut out = dy.clone();
-    for (dy_row, y_row) in out.data_mut().chunks_mut(n).zip(y.data().chunks(n)) {
+    for (dy_row, y_row) in dy.data_mut().chunks_mut(n).zip(y.data().chunks(n)) {
         let s: f32 = dy_row.iter().zip(y_row.iter()).map(|(&d, &v)| d * v).sum();
         for (d, &v) in dy_row.iter_mut().zip(y_row.iter()) {
             *d = v * (*d - s);
         }
     }
-    out
 }
 
 /// The tanh-approximated GELU used by BERT/GPT/ViT.
@@ -42,20 +65,63 @@ pub fn gelu(x: &Tensor) -> Tensor {
     x.map(gelu_scalar)
 }
 
+#[inline]
 fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
 
+#[inline]
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
 /// Derivative of the tanh-approximated GELU.
 pub fn gelu_grad(x: &Tensor) -> Tensor {
-    x.map(|x| {
-        const C: f32 = 0.797_884_6;
-        let inner = C * (x + 0.044_715 * x * x * x);
-        let t = inner.tanh();
-        let dinner = C * (1.0 + 3.0 * 0.044_715 * x * x);
-        0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
-    })
+    x.map(gelu_grad_scalar)
+}
+
+/// Fused GELU backward: `dx = gelu'(x) * dy` in one pooled buffer instead
+/// of the composed `gelu_grad(x).zip(dy, ..)` pair of allocations. Both
+/// paths compute `gelu_grad_scalar(x) * dy` per element, so they are
+/// bitwise-identical.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip(dy, |x, d| gelu_grad_scalar(x) * d)
+}
+
+/// Fused bias-add + GELU: returns `(h, y)` where `h = x + bias` (row-wise)
+/// and `y = gelu(h)` — the forward of a `Linear`+`Gelu` pair, which needs
+/// `h` cached for the backward pass. Consumes `x` so a uniquely-owned GEMM
+/// output is updated in place; one pooled buffer for `y` replaces the
+/// composed chain's two fresh allocations (`add_bias` clone + `gelu` map).
+pub fn add_bias_gelu(mut x: Tensor, bias: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(bias.rank(), 1, "bias must be rank 1");
+    let n = bias.numel();
+    assert_eq!(
+        *x.dims().last().expect("add_bias_gelu on scalar"),
+        n,
+        "bias length mismatch"
+    );
+    let mut y = pool::take_buffer(x.numel());
+    let b = bias.data();
+    for row in x.data_mut().chunks_mut(n) {
+        for (h, &bv) in row.iter_mut().zip(b.iter()) {
+            *h += bv;
+            y.push(gelu_scalar(*h));
+        }
+    }
+    let y = Tensor::from_vec(x.shape().clone(), y);
+    (x, y)
+}
+
+/// Backward of [`add_bias_gelu`] with respect to its pre-activation `h`:
+/// `dh = gelu'(h) * dy` (the bias gradient is `sum_axis(dh, 0)` as usual).
+pub fn add_bias_gelu_backward(h: &Tensor, dy: &Tensor) -> Tensor {
+    gelu_backward(h, dy)
 }
 
 /// Rectified linear unit.
@@ -99,6 +165,37 @@ pub fn layernorm(
         inv_stds.push(inv_std);
     }
     (out, means, inv_stds)
+}
+
+/// Fused layer normalization: identical statistics and normalization
+/// arithmetic to [`layernorm`] (two-pass mean/variance per row — a one-pass
+/// sum-of-squares would change rounding and break bitwise equivalence), but
+/// the output is written into one pooled buffer instead of copy-on-write
+/// cloning `x` only to overwrite every element.
+pub fn layernorm_fused(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let n = *x.dims().last().expect("layernorm on scalar");
+    assert_eq!(gamma.numel(), n, "gamma length mismatch");
+    assert_eq!(beta.numel(), n, "beta length mismatch");
+    let rows = x.numel() / n;
+    let mut out = pool::take_buffer(x.numel());
+    let mut means = Vec::with_capacity(rows);
+    let mut inv_stds = Vec::with_capacity(rows);
+    for row in x.data().chunks(n) {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (&v, (&g, &b)) in row.iter().zip(gamma.data().iter().zip(beta.data().iter())) {
+            out.push((v - mean) * inv_std * g + b);
+        }
+        means.push(mean);
+        inv_stds.push(inv_std);
+    }
+    (Tensor::from_vec(x.shape().clone(), out), means, inv_stds)
 }
 
 /// Backward of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
@@ -148,7 +245,7 @@ pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
     let extent = x.dims()[axis];
     let outer: usize = x.dims()[..axis].iter().product();
     let inner: usize = x.dims()[axis + 1..].iter().product();
-    let mut out = vec![0.0f32; outer * inner];
+    let mut out = pool::take_zeroed(outer * inner);
     for o in 0..outer {
         for e in 0..extent {
             let base = o * extent * inner + e * inner;
@@ -168,6 +265,26 @@ pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
     Tensor::from_vec(dims, out)
 }
 
+/// Fused bias-gradient accumulation: `out += column sums of x` for a
+/// `[rows, n]` matrix, without the temporary that `sum_axis(x, 0)` +
+/// `Tensor::axpy` would allocate. Each column's ascending-row sum is fully
+/// reduced in a register and added to `out` exactly once — the same
+/// summation sequence `sum_axis` performs into a zeroed buffer — so the
+/// result is bitwise-identical to the composed pair.
+pub fn sum_axis0_acc(x: &Tensor, out: &mut Tensor) {
+    assert_eq!(x.rank(), 2, "sum_axis0_acc expects a matrix");
+    let (rows, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(out.dims(), &[n][..], "sum_axis0_acc output shape mismatch");
+    let src = x.data();
+    for (j, o) in out.data_mut().iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for r in 0..rows {
+            acc += src[r * n + j];
+        }
+        *o += acc;
+    }
+}
+
 /// Mean along an axis, removing it.
 pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
     let extent = x.dims()[axis];
@@ -183,7 +300,8 @@ pub fn max_axis(x: &Tensor, axis: usize) -> Tensor {
     assert!(extent > 0, "max_axis over empty extent");
     let outer: usize = x.dims()[..axis].iter().product();
     let inner: usize = x.dims()[axis + 1..].iter().product();
-    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    let mut out = pool::take_buffer(outer * inner);
+    out.resize(outer * inner, f32::NEG_INFINITY);
     for o in 0..outer {
         for e in 0..extent {
             let base = o * extent * inner + e * inner;

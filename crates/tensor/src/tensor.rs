@@ -1,9 +1,85 @@
 //! The dense `f32` tensor type used across the whole workspace.
 
+use crate::pool;
 use crate::shape::Shape;
 use std::fmt;
+use std::mem;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 use std::sync::Arc;
+
+/// The owned backing buffer of a [`Tensor`], wrapped so the buffer recycles
+/// through the global [`pool`] when the last handle drops instead of hitting
+/// the system allocator. `Clone` (the copy-on-write unshare path) draws its
+/// copy from the pool too, so steady-state training mutates recycled memory
+/// instead of faulting in fresh pages every step.
+pub struct Storage {
+    buf: Vec<f32>,
+}
+
+impl Storage {
+    /// Wraps a caller-provided buffer (it will recycle on drop).
+    #[inline]
+    fn from_vec(buf: Vec<f32>) -> Self {
+        Storage { buf }
+    }
+
+    /// A zero-filled buffer of length `n`, pooled when possible.
+    #[inline]
+    fn zeroed(n: usize) -> Self {
+        Storage {
+            buf: pool::take_zeroed(n),
+        }
+    }
+
+    /// Consumes the storage, handing the buffer to the caller. The `Drop`
+    /// that still runs sees an empty `Vec` (capacity 0), which the pool
+    /// ignores.
+    #[inline]
+    fn into_buf(mut self) -> Vec<f32> {
+        mem::take(&mut self.buf)
+    }
+
+    /// A pooled deep copy of a slice (the unshare / `into_vec`-while-shared
+    /// path).
+    #[inline]
+    fn copied_from(src: &[f32]) -> Self {
+        let mut buf = pool::take_buffer(src.len());
+        buf.extend_from_slice(src);
+        Storage { buf }
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        pool::recycle(mem::take(&mut self.buf));
+    }
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        Storage::copied_from(&self.buf)
+    }
+}
+
+impl PartialEq for Storage {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl std::ops::Deref for Storage {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.buf.fmt(f)
+    }
+}
 
 /// A dense, contiguous, row-major `f32` tensor with copy-on-write storage.
 ///
@@ -34,7 +110,7 @@ use std::sync::Arc;
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Arc<Storage>,
 }
 
 impl Tensor {
@@ -53,17 +129,34 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(Storage::from_vec(data)),
         }
     }
 
-    /// All-zeros tensor.
+    /// Builds a tensor by copying a slice into pooled storage.
+    pub fn from_slice(shape: impl Into<Shape>, data: &[f32]) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor {
+            shape,
+            data: Arc::new(Storage::copied_from(data)),
+        }
+    }
+
+    /// All-zeros tensor (drawn from the storage pool when possible).
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
         Tensor {
             shape,
-            data: Arc::new(vec![0.0; n]),
+            data: Arc::new(Storage::zeroed(n)),
         }
     }
 
@@ -76,9 +169,11 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
+        let mut buf = pool::take_buffer(n);
+        buf.resize(n, value);
         Tensor {
             shape,
-            data: Arc::new(vec![value; n]),
+            data: Arc::new(Storage::from_vec(buf)),
         }
     }
 
@@ -86,15 +181,17 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: Arc::new(vec![value]),
+            data: Arc::new(Storage::from_vec(vec![value])),
         }
     }
 
     /// `[0, 1, 2, .., n-1]` as a 1-D tensor (useful in tests).
     pub fn arange(n: usize) -> Self {
+        let mut buf = pool::take_buffer(n);
+        buf.extend((0..n).map(|i| i as f32));
         Tensor {
             shape: Shape::new([n]),
-            data: Arc::new((0..n).map(|i| i as f32).collect()),
+            data: Arc::new(Storage::from_vec(buf)),
         }
     }
 
@@ -129,13 +226,17 @@ impl Tensor {
     /// handles, it is unshared (copied) first, so the returned slice is
     /// always exclusively owned.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        Arc::make_mut(&mut self.data).buf.as_mut_slice()
     }
 
-    /// Consumes the tensor, returning the backing buffer (copying only if
-    /// the storage is still shared with other handles).
+    /// Consumes the tensor, returning the backing buffer (copying — into a
+    /// pooled buffer — only if the storage is still shared with other
+    /// handles).
     pub fn into_vec(self) -> Vec<f32> {
-        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+        match Arc::try_unwrap(self.data) {
+            Ok(storage) => storage.into_buf(),
+            Err(shared) => Storage::copied_from(&shared).into_buf(),
+        }
     }
 
     /// True if `self` and `other` share one storage allocation (i.e. both
@@ -152,7 +253,7 @@ impl Tensor {
     /// Sets the element at a multi-index (unsharing the storage if needed).
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        Arc::make_mut(&mut self.data)[off] = value;
+        self.data_mut()[off] = value;
     }
 
     /// The value of a rank-0 or single-element tensor.
@@ -186,11 +287,13 @@ impl Tensor {
         self
     }
 
-    /// Applies `f` to every element, returning a new tensor.
+    /// Applies `f` to every element, returning a new (pooled) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut buf = pool::take_buffer(self.numel());
+        buf.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+            data: Arc::new(Storage::from_vec(buf)),
         }
     }
 
@@ -208,32 +311,34 @@ impl Tensor {
             "shape mismatch: {} vs {}",
             self.shape, other.shape
         );
+        let mut buf = pool::take_buffer(self.numel());
+        buf.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(
-                self.data
-                    .iter()
-                    .zip(other.data.iter())
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-            ),
+            data: Arc::new(Storage::from_vec(buf)),
         }
     }
 
     /// `self += alpha * other`, the fused update at the heart of every
-    /// optimizer and gradient accumulation step.
+    /// optimizer and gradient accumulation step. The loop runs over
+    /// fixed-width `chunks_exact` lanes so the compiler can drop bounds
+    /// checks and autovectorize.
+    #[inline]
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        axpy_slices(self.data_mut(), alpha, other.data());
     }
 
-    /// Multiplies every element by `s` in place.
+    /// Multiplies every element by `s` in place (autovectorized like
+    /// [`Tensor::axpy`]).
+    #[inline]
     pub fn scale(&mut self, s: f32) {
-        for x in self.data_mut() {
-            *x *= s;
-        }
+        scale_slice(self.data_mut(), s);
     }
 
     /// Sum of all elements.
@@ -284,7 +389,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose() requires rank 2");
         let (r, c) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; r * c];
+        let mut out = pool::take_zeroed(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -303,7 +408,7 @@ impl Tensor {
         }
         let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
         let out_shape = Shape::new(out_dims);
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = pool::take_zeroed(self.numel());
         let in_strides = self.shape.strides();
         for (out_off, slot) in out.iter_mut().enumerate() {
             let out_idx = out_shape.unravel(out_off);
@@ -315,7 +420,7 @@ impl Tensor {
         }
         Tensor {
             shape: out_shape,
-            data: Arc::new(out),
+            data: Arc::new(Storage::from_vec(out)),
         }
     }
 
@@ -333,7 +438,7 @@ impl Tensor {
         );
         let outer: usize = self.dims()[..dim].iter().product();
         let inner: usize = self.dims()[dim + 1..].iter().product();
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let mut out = pool::take_buffer(outer * len * inner);
         for o in 0..outer {
             let base = o * extent * inner + start * inner;
             out.extend_from_slice(&self.data[base..base + len * inner]);
@@ -400,13 +505,19 @@ impl Tensor {
         let out_shape = first.shape.with_dim(dim, total);
         let outer: usize = first.dims()[..dim].iter().product();
         let inner: usize = first.dims()[dim + 1..].iter().product();
-        let mut out = Vec::with_capacity(out_shape.numel());
-        for o in 0..outer {
-            for t in tensors {
-                let extent = t.dims()[dim];
-                let base = o * extent * inner;
-                out.extend_from_slice(&t.data[base..base + extent * inner]);
+        // one pre-sized pooled buffer, filled with row-strided copies (one
+        // `copy_from_slice` per (tensor, outer) pair) instead of growing via
+        // repeated `extend_from_slice`
+        let mut out = pool::take_zeroed(out_shape.numel());
+        let out_row = total * inner;
+        let mut col_off = 0usize;
+        for t in tensors {
+            let part = t.dims()[dim] * inner;
+            for o in 0..outer {
+                out[o * out_row + col_off..o * out_row + col_off + part]
+                    .copy_from_slice(&t.data[o * part..(o + 1) * part]);
             }
+            col_off += part;
         }
         Tensor::from_vec(out_shape, out)
     }
@@ -415,7 +526,7 @@ impl Tensor {
     pub fn stack(tensors: &[Tensor]) -> Tensor {
         assert!(!tensors.is_empty(), "stack of empty list");
         let first_shape = tensors[0].shape.clone();
-        let mut data = Vec::with_capacity(first_shape.numel() * tensors.len());
+        let mut data = pool::take_buffer(first_shape.numel() * tensors.len());
         for t in tensors {
             assert_eq!(t.shape, first_shape, "stack shape mismatch");
             data.extend_from_slice(&t.data);
@@ -427,6 +538,14 @@ impl Tensor {
 
     /// Adds a rank-1 bias of length `n` to the last dimension (`n`-wide rows).
     pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_bias_assign(bias);
+        out
+    }
+
+    /// In-place variant of [`Tensor::add_bias`]: allocation-free on a
+    /// uniquely-owned tensor (e.g. a fresh GEMM output).
+    pub fn add_bias_assign(&mut self, bias: &Tensor) {
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
         let n = bias.numel();
         assert_eq!(
@@ -434,13 +553,11 @@ impl Tensor {
             n,
             "bias length mismatch"
         );
-        let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(n) {
+        for row in self.data_mut().chunks_mut(n) {
             for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
                 *x += b;
             }
         }
-        out
     }
 
     /// Memory footprint in bytes if stored as `f32`.
@@ -451,6 +568,40 @@ impl Tensor {
     /// Memory footprint in bytes if stored as `f16`.
     pub fn bytes_f16(&self) -> usize {
         self.numel() * 2
+    }
+}
+
+/// `dst[i] += alpha * src[i]` over 8-wide exact chunks (bounds-check-free,
+/// autovectorizable) with a scalar tail. Public so benches can pin its
+/// throughput and optimizers can fuse over raw slices.
+#[inline]
+pub fn axpy_slices(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    const LANES: usize = 8;
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for i in 0..LANES {
+            dc[i] += alpha * sc[i];
+        }
+    }
+    for (x, &b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *x += alpha * b;
+    }
+}
+
+/// `dst[i] *= s` over 8-wide exact chunks with a scalar tail.
+#[inline]
+pub fn scale_slice(dst: &mut [f32], s: f32) {
+    const LANES: usize = 8;
+    let mut d = dst.chunks_exact_mut(LANES);
+    for dc in &mut d {
+        for x in dc.iter_mut() {
+            *x *= s;
+        }
+    }
+    for x in d.into_remainder() {
+        *x *= s;
     }
 }
 
