@@ -205,6 +205,50 @@ pub fn sgd_momentum_update(
 ) {
     assert_eq!(param.len(), vel.len());
     assert_eq!(param.len(), grad.len());
+    if colossalai_tensor::par::par_eligible(param.len()) {
+        // element-independent recurrence: lockstep (param, vel, grad)
+        // chunks on deterministic boundaries, the serial kernel on each
+        let items = lockstep3(param, vel, grad);
+        if items.len() > 1 {
+            colossalai_tensor::par::par_items(items, |_, (p, v, g)| {
+                sgd_momentum_chunk(p, v, g, lr, momentum);
+            });
+            return;
+        }
+    }
+    sgd_momentum_chunk(param, vel, grad, lr, momentum);
+}
+
+/// Splits `(a, b, c)` into lockstep chunk triples on the deterministic
+/// [`colossalai_tensor::par::partition`] boundaries (depends only on length
+/// and the thread budget, never on timing).
+fn lockstep3<'s>(
+    a: &'s mut [f32],
+    b: &'s mut [f32],
+    c: &'s [f32],
+) -> Vec<(&'s mut [f32], &'s mut [f32], &'s [f32])> {
+    let budget = colossalai_tensor::kernel_threads();
+    let (chunks, per) =
+        colossalai_tensor::par::partition(a.len(), budget, colossalai_tensor::par::MIN_CHUNK);
+    let mut items = Vec::with_capacity(chunks);
+    let (mut ar, mut br, mut cr) = (a, b, c);
+    while !ar.is_empty() {
+        let take = per.min(ar.len());
+        let (ah, at) = ar.split_at_mut(take);
+        let (bh, bt) = br.split_at_mut(take);
+        let (ch, ct) = cr.split_at(take);
+        items.push((ah, bh, ch));
+        ar = at;
+        br = bt;
+        cr = ct;
+    }
+    items
+}
+
+/// The serial SGD+momentum sweep over one chunk: 8-wide `chunks_exact`
+/// lanes plus a scalar tail computing the identical per-element expression,
+/// so chunk boundaries never change a bit.
+fn sgd_momentum_chunk(param: &mut [f32], vel: &mut [f32], grad: &[f32], lr: f32, momentum: f32) {
     const LANES: usize = 8;
     let mut p = param.chunks_exact_mut(LANES);
     let mut v = vel.chunks_exact_mut(LANES);
@@ -278,6 +322,69 @@ pub fn adamw_update(
     assert_eq!(param.len(), v.len());
     let bc1 = 1.0 - beta1.powi(t as i32);
     let bc2 = 1.0 - beta2.powi(t as i32);
+    if colossalai_tensor::par::par_eligible(param.len()) {
+        // lockstep (param, m, v, grad) chunks; each runs the serial kernel
+        // with the same precomputed bias corrections
+        let budget = colossalai_tensor::kernel_threads();
+        let (chunks, per) = colossalai_tensor::par::partition(
+            param.len(),
+            budget,
+            colossalai_tensor::par::MIN_CHUNK,
+        );
+        if chunks > 1 {
+            type AdamItem<'s> = (&'s mut [f32], &'s [f32], &'s mut [f32], &'s mut [f32]);
+            let mut items: Vec<AdamItem> = Vec::with_capacity(chunks);
+            let (mut pr, mut gr, mut mr, mut vr) = (param, grad, m, v);
+            while !pr.is_empty() {
+                let take = per.min(pr.len());
+                let (ph, pt) = pr.split_at_mut(take);
+                let (gh, gt) = gr.split_at(take);
+                let (mh, mt) = mr.split_at_mut(take);
+                let (vh, vt) = vr.split_at_mut(take);
+                items.push((ph, gh, mh, vh));
+                pr = pt;
+                gr = gt;
+                mr = mt;
+                vr = vt;
+            }
+            colossalai_tensor::par::par_items(items, |_, (p, g, mm, vv)| {
+                adamw_chunk(p, g, mm, vv, bc1, bc2, lr, beta1, beta2, eps, weight_decay);
+            });
+            return;
+        }
+    }
+    adamw_chunk(
+        param,
+        grad,
+        m,
+        v,
+        bc1,
+        bc2,
+        lr,
+        beta1,
+        beta2,
+        eps,
+        weight_decay,
+    );
+}
+
+/// The serial AdamW sweep over one chunk, with the step's bias corrections
+/// precomputed by the caller: 8-wide lanes plus a scalar tail, both calling
+/// [`adamw_scalar`], so chunk boundaries never change a bit.
+#[allow(clippy::too_many_arguments)]
+fn adamw_chunk(
+    param: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    bc1: f32,
+    bc2: f32,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+) {
     const LANES: usize = 8;
     let mut pc = param.chunks_exact_mut(LANES);
     let mut gc = grad.chunks_exact(LANES);

@@ -1,0 +1,182 @@
+//! Wall-clock benchmark of the persistent intra-op worker pool
+//! (`tensor::par`) against the spawn-per-call threading it replaced, on the
+//! `dp_overlap` workload: 16 data-parallel ranks on System III training the
+//! same 4x256x256 MLP with overlapped bucketed gradient sync and AdamW.
+//!
+//! Two backends for the *same partition of the same arithmetic*:
+//!
+//! * **pool** — the production path: every threaded kernel (GEMM row
+//!   panels, `for_each_batch` sweeps, elementwise/optimizer chunks) submits
+//!   its deterministic task list to the parked `colossal-par-*` workers.
+//! * **spawn** — the pre-pool path (`COLOSSAL_PAR=off`): the identical row
+//!   panels run under `std::thread::scope`, paying a fresh OS thread spawn
+//!   + join on every kernel call.
+//!
+//! The batch is sized so the hidden-layer GEMMs (16x256x256 per rank) clear
+//! `par_flop_cutoff`, i.e. both modes really do thread the hot kernels.
+//! The interesting number is *host* time: spawn/join traffic is invisible
+//! to the virtual clock. Both backends partition work identically
+//! (`par::partition` depends only on size and budget), so the run is
+//! bitwise-identical end to end — asserted on the final parameters.
+//!
+//! Rounds are interleaved (spawn, pool, spawn, pool, ...) so slow drift on
+//! a shared host hits both modes equally; each mode reports its
+//! best-of-[`ROUNDS`] step time, measured over the step loop only.
+//!
+//! `--json` prints one machine-readable object (used by the CI smoke):
+//! `{"pooled_steps_per_s": .., "spawn_steps_per_s": .., "speedup": ..,
+//!   "par_util": .., "bitwise_identical": ..}`.
+
+use colossalai_autograd::Layer;
+use colossalai_bench::print_table;
+use colossalai_comm::{DeviceCtx, World};
+use colossalai_parallel::data_parallel::{flatten_params, split_batch, DataParallel};
+use colossalai_parallel::DEFAULT_BUCKET_BYTES;
+use colossalai_tensor::ops::cross_entropy;
+use colossalai_tensor::{init, par};
+use colossalai_topology::systems::system_iii;
+use std::time::Instant;
+
+const P: usize = 16;
+const STEPS: usize = 6;
+const HIDDEN: usize = 256;
+const LAYERS: usize = 4;
+const ROUNDS: usize = 5;
+/// Per-rank batch rows; 16x256x256 MACs per hidden GEMM clears the default
+/// `par_flop_cutoff` of 64^3 so the kernels thread in both modes.
+const LOCAL_ROWS: usize = 16;
+
+fn make_model(seed: u64) -> colossalai_autograd::Sequential {
+    use colossalai_autograd::{Linear, Sequential};
+    let mut rng = init::rng(seed);
+    let mut dims = vec![("in".to_string(), 32, HIDDEN)];
+    for i in 0..LAYERS {
+        dims.push((format!("h{i}"), HIDDEN, HIDDEN));
+    }
+    dims.push(("out".to_string(), HIDDEN, 8));
+    let layers: Vec<Box<dyn Layer>> = dims
+        .into_iter()
+        .map(|(name, d_in, d_out)| {
+            Box::new(Linear::from_rng(&name, d_in, d_out, true, &mut rng)) as Box<dyn Layer>
+        })
+        .collect();
+    Sequential::new(layers)
+}
+
+/// One full DP training pass (`steps` optimizer steps on every rank) under
+/// the given backend. Returns (per-step seconds, rank 0's flat parameters).
+/// Setup (world spawn, model init) is identical in both modes and excluded
+/// from step time.
+fn train_pass(pooled: bool, steps: usize) -> (Vec<f64>, Vec<f32>) {
+    par::set_enabled(pooled);
+    let world = World::new(system_iii());
+    let mut rng = init::rng(7);
+    let xs: Vec<_> = (0..steps)
+        .map(|_| init::uniform([P * LOCAL_ROWS, 32], -1.0, 1.0, &mut rng))
+        .collect();
+    let mut out = world.run_on(P, |ctx: &DeviceCtx| {
+        let g = ctx.world_group(P);
+        let mut dp = DataParallel::with_bucket_bytes(
+            ctx,
+            &g,
+            make_model(11),
+            DEFAULT_BUCKET_BYTES.min(HIDDEN * HIDDEN * 2 * 4),
+        )
+        .with_overlap(true);
+        let mut opt = colossalai_autograd::AdamW::new(0.01, 0.01);
+        let mut dts = Vec::with_capacity(xs.len());
+        for x in &xs {
+            let t0 = Instant::now();
+            dp.zero_grad();
+            let x_local = split_batch(x, P, g.rank());
+            let t: Vec<usize> = (0..x_local.dims()[0]).map(|i| i % 8).collect();
+            let logits = dp.forward(&x_local);
+            let (_, d) = cross_entropy(&logits, &t);
+            let _ = dp.backward(&d);
+            opt.step_layer(&mut dp);
+            dts.push(t0.elapsed().as_secs_f64());
+        }
+        (dts, flatten_params(&mut dp).into_vec())
+    });
+    // ranks are in lockstep at every collective: per step, the slowest
+    // rank's span is the wall step time
+    let steps_dt: Vec<f64> = (0..steps)
+        .map(|s| out.iter().map(|(t, _)| t[s]).fold(0.0, f64::max))
+        .collect();
+    (steps_dt, out.swap_remove(0).1)
+}
+
+fn main() {
+    // An explicit budget makes the bench meaningful on hosts where
+    // COLOSSAL_KERNEL_THREADS is unset (budget 1 would collapse both modes
+    // to the identical serial path).
+    if colossalai_tensor::kernel_threads() <= 1 {
+        colossalai_tensor::set_kernel_threads(4);
+    }
+    let threads = colossalai_tensor::kernel_threads();
+
+    // Warm-up both backends once (spawns and parks the pool workers; faults
+    // allocator arenas) and check the determinism contract end to end, then
+    // interleave rounds so slow host drift hits both modes equally.
+    // Best-of over rounds filters scheduler noise.
+    let (_, spawn_params) = train_pass(false, STEPS);
+    let (_, pool_params) = train_pass(true, STEPS);
+    let identical = pool_params == spawn_params;
+    par::reset_stats();
+    let mut best_spawn = f64::INFINITY;
+    let mut best_pool = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let (dts, p) = train_pass(false, STEPS);
+        assert_eq!(p, spawn_params, "training is deterministic");
+        best_spawn = dts.into_iter().fold(best_spawn, f64::min);
+        let (dts, p) = train_pass(true, STEPS);
+        assert_eq!(p, pool_params, "training is deterministic");
+        best_pool = dts.into_iter().fold(best_pool, f64::min);
+    }
+    let stats = par::stats();
+    let spawn_sps = 1.0 / best_spawn;
+    let pool_sps = 1.0 / best_pool;
+    let speedup = pool_sps / spawn_sps;
+
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{{\"pooled_steps_per_s\": {pool_sps:.3}, \"spawn_steps_per_s\": {spawn_sps:.3}, \
+             \"speedup\": {speedup:.3}, \"par_util\": {:.4}, \
+             \"bitwise_identical\": {identical}}}",
+            stats.util()
+        );
+        return;
+    }
+
+    assert!(identical, "pool backend changed the bits");
+    let rows = vec![
+        vec![
+            "spawn per call".to_string(),
+            format!("{:.1}", spawn_sps),
+            "-".to_string(),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "persistent pool".to_string(),
+            format!("{:.1}", pool_sps),
+            format!("{:.1}%", stats.util() * 100.0),
+            format!("{speedup:.2}x"),
+        ],
+    ];
+    print_table(
+        &format!(
+            "Persistent intra-op pool vs spawn-per-call, dp_overlap workload \
+             ({P} ranks, budget {threads}, best of {ROUNDS}x{STEPS} steps)"
+        ),
+        &["threading backend", "steps/s (wall)", "par util", "speedup"],
+        &rows,
+    );
+    println!("\npar: {}", stats.summary());
+    println!(
+        "\nBoth rows run the identical deterministic partition — the pool \
+         only changes which OS thread executes each chunk and how it is \
+         woken — and the final parameters are asserted bitwise-identical. \
+         Set COLOSSAL_PAR=off (the spawn row) or COLOSSAL_KERNEL_THREADS=1 \
+         (fully serial) to pick the backend at runtime."
+    );
+}

@@ -379,10 +379,7 @@ impl Group {
         let cluster = ctx.cluster().clone();
         let forced = ctx.forced_allreduce_algo();
         self.rendezvous_on(ctx, t, stream, move |inputs| {
-            let mut sum = inputs[0].clone();
-            for x in &inputs[1..] {
-                sum.axpy(1.0, x);
-            }
+            let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
             let algo = forced.unwrap_or_else(|| {
                 cost::select_allreduce_algo(&cluster, &members, n * wire.bytes())
@@ -457,10 +454,7 @@ impl Group {
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
         self.rendezvous_on(ctx, t, stream, move |inputs| {
-            let mut sum = inputs[0].clone();
-            for x in &inputs[1..] {
-                sum.axpy(1.0, x);
-            }
+            let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
             let outs = sum.chunk(dim, p);
             let cost = cost::reduce_scatter_time(&cluster, &members, n * wire.bytes());
@@ -644,10 +638,7 @@ impl Group {
         let cluster = ctx.cluster().clone();
         let forced = ctx.forced_allreduce_algo();
         self.rendezvous(ctx, t, move |inputs| {
-            let mut acc = inputs[0].clone();
-            for x in &inputs[1..] {
-                acc = acc.zip(x, f32::max);
-            }
+            let acc = reduce_max_rank_ordered(inputs);
             let n = acc.numel() as u64;
             // max is associative+commutative, so the hierarchical schedule
             // applies to it exactly as to sum
@@ -684,10 +675,7 @@ impl Group {
         let members = self.members().to_vec();
         let cluster = ctx.cluster().clone();
         self.rendezvous(ctx, t, move |inputs| {
-            let mut sum = inputs[0].clone();
-            for x in &inputs[1..] {
-                sum.axpy(1.0, x);
-            }
+            let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
             let outs = (0..p)
                 .map(|r| {
@@ -716,6 +704,61 @@ impl Group {
             Done::new(vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
         });
     }
+}
+
+/// Elementwise sum of the rank-ordered rendezvous inputs. On the parallel
+/// path the element range is chunked across the `tensor::par` pool while
+/// each chunk still accumulates ranks in ascending order — the per-element
+/// float sequence is exactly the serial loop's, so the result is
+/// bitwise-identical at any thread count (the repo's arithmetic-equivalence
+/// contract for collectives).
+fn reduce_sum_rank_ordered(inputs: &[Tensor]) -> Tensor {
+    let mut sum = inputs[0].clone();
+    if inputs.len() > 1 && colossalai_tensor::par::par_eligible(sum.numel()) {
+        let srcs: Vec<&[f32]> = inputs[1..].iter().map(|t| t.data()).collect();
+        colossalai_tensor::par::par_chunks_static(
+            sum.data_mut(),
+            colossalai_tensor::par::MIN_CHUNK,
+            |off, dst| {
+                let len = dst.len();
+                for s in &srcs {
+                    colossalai_tensor::axpy_slices(dst, 1.0, &s[off..off + len]);
+                }
+            },
+        );
+        return sum;
+    }
+    for x in &inputs[1..] {
+        sum.axpy(1.0, x);
+    }
+    sum
+}
+
+/// Elementwise max of the rank-ordered rendezvous inputs; parallel over
+/// element chunks like [`reduce_sum_rank_ordered`] (max is exact, but the
+/// ascending-rank order is kept anyway for uniformity).
+fn reduce_max_rank_ordered(inputs: &[Tensor]) -> Tensor {
+    let mut acc = inputs[0].clone();
+    if inputs.len() > 1 && colossalai_tensor::par::par_eligible(acc.numel()) {
+        let srcs: Vec<&[f32]> = inputs[1..].iter().map(|t| t.data()).collect();
+        colossalai_tensor::par::par_chunks_static(
+            acc.data_mut(),
+            colossalai_tensor::par::MIN_CHUNK,
+            |off, dst| {
+                let len = dst.len();
+                for s in &srcs {
+                    for (d, &v) in dst.iter_mut().zip(&s[off..off + len]) {
+                        *d = f32::max(*d, v);
+                    }
+                }
+            },
+        );
+        return acc;
+    }
+    for x in &inputs[1..] {
+        acc = acc.zip(x, f32::max);
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -111,6 +111,29 @@ impl Default for CommConfig {
     }
 }
 
+/// Compute section: intra-op parallel runtime knobs. A value of 0 means
+/// "leave the ambient setting alone" — the corresponding environment
+/// variable (or the built-in default) stays in effect, so configs only
+/// override what they mention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ComputeConfig {
+    /// Intra-op kernel thread budget (`set_kernel_threads`; env
+    /// `COLOSSAL_KERNEL_THREADS`). 0 = keep ambient; note the runtime
+    /// clamps explicit sets to at least 1.
+    #[serde(default)]
+    pub threads: usize,
+    /// Element cutoff below which parallelized element-wise/row-wise
+    /// kernels stay serial (`set_par_cutoff`; env `COLOSSAL_PAR_CUTOFF`).
+    /// 0 = keep ambient.
+    #[serde(default)]
+    pub par_cutoff: usize,
+    /// Multiply-add cutoff for threaded GEMM dispatch
+    /// (`set_par_flop_cutoff`; env `COLOSSAL_PAR_FLOP_CUTOFF`). 0 = keep
+    /// ambient.
+    #[serde(default)]
+    pub par_flop_cutoff: usize,
+}
+
 /// Memory section: allocator behavior.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemConfig {
@@ -156,6 +179,9 @@ pub struct Config {
     /// Allocator behavior (storage-pool toggle).
     #[serde(default)]
     pub mem: MemConfig,
+    /// Intra-op parallel runtime (thread budget and cutoffs).
+    #[serde(default)]
+    pub compute: ComputeConfig,
 }
 
 impl Config {
@@ -351,6 +377,25 @@ mod tests {
         assert!(cfg.mem.pool, "pool defaults on");
         let cfg = Config::from_json(r#"{ "mem": { "pool": false } }"#).unwrap();
         assert!(!cfg.mem.pool);
+    }
+
+    #[test]
+    fn compute_section_defaults_and_parses() {
+        let cfg = Config::from_json("{}").unwrap();
+        assert_eq!(cfg.compute.threads, 0, "0 = keep ambient setting");
+        assert_eq!(cfg.compute.par_cutoff, 0);
+        assert_eq!(cfg.compute.par_flop_cutoff, 0);
+        let cfg = Config::from_json(
+            r#"{ "compute": { "threads": 4, "par_cutoff": 1024, "par_flop_cutoff": 4096 } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.compute.threads, 4);
+        assert_eq!(cfg.compute.par_cutoff, 1024);
+        assert_eq!(cfg.compute.par_flop_cutoff, 4096);
+        // partial section: missing keys stay ambient
+        let cfg = Config::from_json(r#"{ "compute": { "threads": 2 } }"#).unwrap();
+        assert_eq!(cfg.compute.threads, 2);
+        assert_eq!(cfg.compute.par_cutoff, 0);
     }
 
     #[test]

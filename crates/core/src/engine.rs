@@ -67,6 +67,16 @@ pub fn initialize(
     // allocator policy: the config can turn pooled tensor storage off (the
     // COLOSSAL_POOL env var still wins over a `true` here)
     colossalai_tensor::set_pool_enabled(config.mem.pool);
+    // intra-op parallel runtime: 0 means "keep the ambient env/default"
+    if config.compute.threads > 0 {
+        colossalai_tensor::set_kernel_threads(config.compute.threads);
+    }
+    if config.compute.par_cutoff > 0 {
+        colossalai_tensor::par::set_par_cutoff(config.compute.par_cutoff);
+    }
+    if config.compute.par_flop_cutoff > 0 {
+        colossalai_tensor::set_par_flop_cutoff(config.compute.par_flop_cutoff);
+    }
     // activation checkpointing: wrap the whole model (the paper's engine
     // applies it per injected module; at engine granularity the numerics
     // are identical and the memory model is strictly conservative)

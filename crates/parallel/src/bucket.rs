@@ -158,11 +158,7 @@ impl BucketedGradSync {
         model.visit_params(&mut |p| grads.push(p.grad().clone()));
         let mut reduced = Vec::with_capacity(self.plan.buckets.len());
         for b in &self.plan.buckets {
-            // pooled: bucket-sized flats (up to 25 MB) recycle step to step
-            let mut flat = colossalai_tensor::pool::take_buffer(b.len);
-            for g in &grads[b.params.clone()] {
-                flat.extend_from_slice(g.data());
-            }
+            let flat = flatten_slices(b.len, grads[b.params.clone()].iter().map(|g| g.data()));
             let mut r = group.all_reduce(ctx, Tensor::from_vec([b.len], flat));
             r.scale(scale);
             reduced.push(r);
@@ -197,10 +193,12 @@ impl BucketedGradSync {
             while next > 0 && self.plan.buckets[next - 1].params.start >= produced {
                 next -= 1;
                 let b = &self.plan.buckets[next];
-                let mut flat = colossalai_tensor::pool::take_buffer(b.len);
-                for g in grads[b.params.clone()].iter() {
-                    flat.extend_from_slice(g.as_ref().expect("bucket grad produced").data());
-                }
+                let flat = flatten_slices(
+                    b.len,
+                    grads[b.params.clone()]
+                        .iter()
+                        .map(|g| g.as_ref().expect("bucket grad produced").data()),
+                );
                 let mut r = group.all_reduce_async(ctx, Tensor::from_vec([b.len], flat));
                 r.scale(scale);
                 reduced[next] = Some(r);
@@ -216,7 +214,39 @@ impl BucketedGradSync {
     }
 
     /// Scatters the reduced flat buckets back into per-parameter gradients.
+    /// For large models the per-parameter copies (pure, disjoint reads of
+    /// `reduced`) run across the `tensor::par` pool: one visit collects each
+    /// parameter's (shape, bucket, offset), the tensors are built in
+    /// parallel, and a second visit assigns them in order.
     fn write_back(&self, model: &mut dyn Layer, reduced: &[Tensor]) {
+        let total = self.plan.total_elements();
+        if colossalai_tensor::par::par_eligible(total) && self.plan.param_sizes.len() > 1 {
+            let mut metas = Vec::with_capacity(self.plan.param_sizes.len());
+            {
+                let mut pi = 0;
+                let mut bi = 0;
+                let mut off = 0;
+                model.visit_params(&mut |p| {
+                    while pi >= self.plan.buckets[bi].params.end {
+                        bi += 1;
+                        off = 0;
+                    }
+                    metas.push((p.grad().shape().clone(), bi, off));
+                    off += p.numel();
+                    pi += 1;
+                });
+                assert_eq!(pi, self.plan.param_sizes.len());
+            }
+            let built = colossalai_tensor::par::par_map(metas, |_, (shape, bi, off)| {
+                let n = shape.numel();
+                Tensor::from_slice(shape, &reduced[bi].data()[off..off + n])
+            });
+            let mut built = built.into_iter();
+            model.visit_params(&mut |p| {
+                *p.grad_mut() = built.next().expect("one built grad per parameter");
+            });
+            return;
+        }
         let mut pi = 0;
         let mut bi = 0;
         let mut off = 0;
@@ -234,6 +264,37 @@ impl BucketedGradSync {
         });
         assert_eq!(pi, self.plan.param_sizes.len());
     }
+}
+
+/// Flattens ordered gradient slices into one pooled bucket buffer. Large
+/// buckets copy each slice's disjoint span on its own `tensor::par`
+/// executor; the result is byte-identical to sequential `extend_from_slice`.
+fn flatten_slices<'g>(len: usize, srcs: impl Iterator<Item = &'g [f32]>) -> Vec<f32> {
+    if colossalai_tensor::par::par_eligible(len) {
+        let srcs: Vec<&[f32]> = srcs.collect();
+        if srcs.len() > 1 {
+            let mut flat = colossalai_tensor::pool::take_zeroed(len);
+            let mut segs: Vec<(&[f32], &mut [f32])> = Vec::with_capacity(srcs.len());
+            let mut rest = flat.as_mut_slice();
+            for s in srcs {
+                let (head, tail) = rest.split_at_mut(s.len());
+                segs.push((s, head));
+                rest = tail;
+            }
+            colossalai_tensor::par::par_items(segs, |_, (s, d)| d.copy_from_slice(s));
+            return flat;
+        }
+        let mut flat = colossalai_tensor::pool::take_buffer(len);
+        for s in srcs {
+            flat.extend_from_slice(s);
+        }
+        return flat;
+    }
+    let mut flat = colossalai_tensor::pool::take_buffer(len);
+    for s in srcs {
+        flat.extend_from_slice(s);
+    }
+    flat
 }
 
 #[cfg(test)]

@@ -52,36 +52,77 @@ pub const NC: usize = 256;
 /// kernel instead of paying the packing round-trip.
 const SMALL_FLOP_CUTOFF: usize = 16 * 16 * 16;
 
-/// Minimum multiply-add count before the parallel path can win over its
-/// thread spawn cost.
-const PAR_FLOP_CUTOFF: usize = 64 * 64 * 64;
+/// Default minimum multiply-add count before the parallel GEMM path can win
+/// over its dispatch cost (see [`par_flop_cutoff`]).
+pub const DEFAULT_PAR_FLOP_CUTOFF: usize = 64 * 64 * 64;
 
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+static PAR_FLOP_CUTOFF: AtomicUsize = AtomicUsize::new(0);
 
-/// Sets the kernel thread budget (clamped to at least 1) for every
-/// subsequent GEMM on any thread.
+/// The one place that defines how every runtime knob in this crate resolves
+/// and caches (`kernel_threads`, [`par_flop_cutoff`], `par::par_cutoff`):
+///
+/// 1. a non-zero value already in `cell` wins — either a cached resolution
+///    or an explicit setter call (setters clamp to at least 1, so 0 can
+///    never be stored and `0` doubles as the "unset" sentinel);
+/// 2. otherwise `env` is read **once**, parsed (`trim`, `parse::<usize>`,
+///    values of 0 rejected like any other parse failure), defaulted to
+///    `default`, and the result is cached in `cell`.
+///
+/// Consequence: environment changes after the first resolution are ignored
+/// — tests and embedders that need to change a knob at runtime must use the
+/// setter, which takes effect immediately on every thread.
+pub(crate) fn resolve_cached(cell: &AtomicUsize, env: &str, default: usize) -> usize {
+    let v = cell.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let resolved = std::env::var(env)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+        .max(1);
+    cell.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the kernel thread budget for every subsequent kernel on any thread.
+/// A value of 0 clamps to 1 — "no parallelism", never "no work": budget 1
+/// means every kernel (GEMM, element-wise, the `par` pool) runs its plain
+/// serial path.
 pub fn set_kernel_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// The kernel thread budget: the last [`set_kernel_threads`] value, else the
-/// `COLOSSAL_KERNEL_THREADS` environment variable, else 1.
+/// `COLOSSAL_KERNEL_THREADS` environment variable, else 1; resolution and
+/// caching semantics are defined by [`resolve_cached`] (the env var is read
+/// once and cached; setters override immediately).
 ///
 /// The default is deliberately 1: the simulated cluster already runs one OS
 /// thread per device, so an eager per-GEMM pool would oversubscribe the host
 /// as soon as a `World` spans more than a couple of ranks.
 pub fn kernel_threads() -> usize {
-    let t = THREADS.load(Ordering::Relaxed);
-    if t != 0 {
-        return t;
-    }
-    let resolved = std::env::var("COLOSSAL_KERNEL_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1);
-    THREADS.store(resolved, Ordering::Relaxed);
-    resolved
+    resolve_cached(&THREADS, "COLOSSAL_KERNEL_THREADS", 1)
+}
+
+/// Sets the GEMM parallel cutoff (clamped to at least 1): threaded dispatch
+/// engages when `m * n * k` reaches this many multiply-adds.
+pub fn set_par_flop_cutoff(n: usize) {
+    PAR_FLOP_CUTOFF.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Minimum multiply-add count before [`gemm_mat_auto`] / [`for_each_batch`]
+/// go parallel: the last [`set_par_flop_cutoff`] value, else
+/// `COLOSSAL_PAR_FLOP_CUTOFF`, else [`DEFAULT_PAR_FLOP_CUTOFF`]; resolution
+/// per [`resolve_cached`].
+pub fn par_flop_cutoff() -> usize {
+    resolve_cached(
+        &PAR_FLOP_CUTOFF,
+        "COLOSSAL_PAR_FLOP_CUTOFF",
+        DEFAULT_PAR_FLOP_CUTOFF,
+    )
 }
 
 /// A logical row-major `rows x cols` matrix over a strided storage slice:
@@ -299,9 +340,33 @@ pub fn gemm_mat(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
     crate::pool::recycle(bpack);
 }
 
-/// Packed GEMM with the output's row panels split across `threads` scoped
-/// worker threads. Each row of `c` is produced by exactly one thread running
-/// the same serial block schedule, so the result is independent of `threads`.
+/// Splits `c` into `MR`-aligned row panels — the partition depends only on
+/// `(m, threads)`, per the `par` determinism contract — yielding
+/// `(row_offset, rows, panel)` triples. Shared by the pool and spawn
+/// backends so both produce identical work splits.
+type RowPanels<'c> = Vec<(usize, usize, &'c mut [f32])>;
+
+fn row_panels<'c>(c: &'c mut [f32], m: usize, n: usize, threads: usize) -> RowPanels<'c> {
+    let t = threads.min(m.div_ceil(MR)).max(1);
+    let rows_per = m.div_ceil(MR).div_ceil(t) * MR;
+    let mut panels = Vec::with_capacity(t);
+    let mut rest = c;
+    let mut i0 = 0;
+    while i0 < m {
+        let rows = rows_per.min(m - i0);
+        let (head, tail) = rest.split_at_mut(rows * n);
+        rest = tail;
+        panels.push((i0, rows, head));
+        i0 += rows;
+    }
+    panels
+}
+
+/// Packed GEMM with the output's row panels split across up to `threads`
+/// executors. Each row of `c` is produced by exactly one executor running
+/// the same serial block schedule, so the result is independent of
+/// `threads` and of the backend (persistent pool by default, legacy
+/// spawn-per-call via [`gemm_mat_threaded_spawn`] when `par` is disabled).
 pub fn gemm_mat_threaded(
     a: Mat,
     b: Mat,
@@ -315,17 +380,32 @@ pub fn gemm_mat_threaded(
     if t == 1 {
         return gemm_mat(a, b, c, m, k, n);
     }
-    let rows_per = m.div_ceil(MR).div_ceil(t) * MR;
+    crate::par::par_items(row_panels(c, m, n, threads), |_, (i0, rows, panel)| {
+        gemm_mat(a.rows_from(i0), b, panel, rows, k, n);
+    });
+}
+
+/// The pre-pool threading backend: same row-panel split as
+/// [`gemm_mat_threaded`], but paying a fresh `std::thread::scope` spawn per
+/// call. Kept as the `COLOSSAL_PAR=off` fallback and as the baseline leg of
+/// the `par_runtime` bench.
+pub fn gemm_mat_threaded_spawn(
+    a: Mat,
+    b: Mat,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let t = threads.min(m.div_ceil(MR)).max(1);
+    if t == 1 {
+        return gemm_mat(a, b, c, m, k, n);
+    }
     std::thread::scope(|s| {
-        let mut rest = c;
-        let mut i0 = 0;
-        while i0 < m {
-            let rows = rows_per.min(m - i0);
-            let (head, tail) = std::mem::take(&mut rest).split_at_mut(rows * n);
-            rest = tail;
+        for (i0, rows, panel) in row_panels(c, m, n, threads) {
             let a_sub = a.rows_from(i0);
-            s.spawn(move || gemm_mat(a_sub, b, head, rows, k, n));
-            i0 += rows;
+            s.spawn(move || gemm_mat(a_sub, b, panel, rows, k, n));
         }
     });
 }
@@ -396,8 +476,12 @@ pub fn gemm_mat_auto(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize
         return gemm_small(a, b, c, m, k, n);
     }
     let threads = kernel_threads();
-    if threads > 1 && macs >= PAR_FLOP_CUTOFF && m > MR {
-        gemm_mat_threaded(a, b, c, m, k, n, threads);
+    if threads > 1 && macs >= par_flop_cutoff() && m > MR {
+        if crate::par::enabled() {
+            gemm_mat_threaded(a, b, c, m, k, n, threads);
+        } else {
+            gemm_mat_threaded_spawn(a, b, c, m, k, n, threads);
+        }
     } else {
         gemm_mat(a, b, c, m, k, n);
     }
@@ -413,33 +497,39 @@ where
 {
     assert_eq!(c.len(), ba * csize, "for_each_batch output size");
     let threads = kernel_threads().min(ba).max(1);
-    if threads == 1 || ba.saturating_mul(macs_per_batch) < PAR_FLOP_CUTOFF {
+    if threads == 1 || ba.saturating_mul(macs_per_batch) < par_flop_cutoff() {
         for (t, c_t) in c.chunks_exact_mut(csize.max(1)).take(ba).enumerate() {
             run(t, c_t);
         }
         return;
     }
+    // batch-range split depends only on (ba, threads), never on timing
     let per = ba.div_ceil(threads);
-    let run = &run;
-    std::thread::scope(|s| {
-        let mut rest = c;
-        let mut t0 = 0;
-        while t0 < ba {
-            let batches = per.min(ba - t0);
-            let (head, tail) = std::mem::take(&mut rest).split_at_mut(batches * csize);
-            rest = tail;
-            s.spawn(move || {
-                for (off, c_t) in head
-                    .chunks_exact_mut(csize.max(1))
-                    .take(batches)
-                    .enumerate()
-                {
-                    run(t0 + off, c_t);
-                }
-            });
-            t0 += batches;
+    let mut items: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
+    let mut rest = c;
+    let mut t0 = 0;
+    while t0 < ba {
+        let batches = per.min(ba - t0);
+        let (head, tail) = rest.split_at_mut(batches * csize);
+        rest = tail;
+        items.push((t0, head));
+        t0 += batches;
+    }
+    let sweep = |(t0, head): (usize, &mut [f32])| {
+        for (off, c_t) in head.chunks_exact_mut(csize.max(1)).enumerate() {
+            run(t0 + off, c_t);
         }
-    });
+    };
+    if crate::par::enabled() {
+        crate::par::par_items(items, |_, item| sweep(item));
+    } else {
+        let run_ref = &sweep;
+        std::thread::scope(|s| {
+            for item in items {
+                s.spawn(move || run_ref(item));
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -531,7 +621,18 @@ mod tests {
                 n,
                 threads,
             );
-            assert_eq!(serial, par, "threads={threads}");
+            assert_eq!(serial, par, "pool backend, threads={threads}");
+            let mut spawned = vec![0.0f32; m * n];
+            gemm_mat_threaded_spawn(
+                Mat::row_major(&a, k),
+                Mat::row_major(&b, n),
+                &mut spawned,
+                m,
+                k,
+                n,
+                threads,
+            );
+            assert_eq!(serial, spawned, "spawn backend, threads={threads}");
         }
     }
 
@@ -609,8 +710,18 @@ mod tests {
     fn thread_budget_roundtrip() {
         set_kernel_threads(3);
         assert_eq!(kernel_threads(), 3);
-        set_kernel_threads(0); // clamped
+        set_kernel_threads(0); // 0 clamps to 1: "no parallelism", never "no work"
         assert_eq!(kernel_threads(), 1);
+    }
+
+    #[test]
+    fn par_flop_cutoff_roundtrip() {
+        set_par_flop_cutoff(12345);
+        assert_eq!(par_flop_cutoff(), 12345);
+        set_par_flop_cutoff(0); // clamped like every knob
+        assert_eq!(par_flop_cutoff(), 1);
+        set_par_flop_cutoff(DEFAULT_PAR_FLOP_CUTOFF);
+        assert_eq!(par_flop_cutoff(), DEFAULT_PAR_FLOP_CUTOFF);
     }
 
     #[test]

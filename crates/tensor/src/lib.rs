@@ -16,22 +16,28 @@
 //! * all randomness is seeded ChaCha8 so parallel-vs-serial equivalence tests
 //!   can construct identical global parameters;
 //! * real arithmetic runs on a packed, register-blocked GEMM core (see
-//!   [`kernel`]) with an opt-in thread budget (`COLOSSAL_KERNEL_THREADS`).
+//!   [`kernel`]) with an opt-in thread budget (`COLOSSAL_KERNEL_THREADS`);
+//! * intra-op parallelism (GEMM row panels, element-wise sweeps, row-wise
+//!   normalizations) executes on a persistent deterministic worker pool
+//!   (see [`par`]) whose partitions depend only on `(len, budget)` — results
+//!   are bitwise-identical to serial at any thread count.
 
 pub mod f16;
 pub mod init;
 pub mod kernel;
 pub mod matmul;
 pub mod ops;
+pub mod par;
 pub mod pool;
 pub mod shape;
 pub mod tensor;
 
 pub use f16::F16;
-pub use kernel::{kernel_threads, set_kernel_threads};
+pub use kernel::{kernel_threads, par_flop_cutoff, set_kernel_threads, set_par_flop_cutoff};
 pub use matmul::{
     bmm, bmm_at, bmm_bt, gemm, matmul, matmul_at, matmul_at_acc, matmul_bt, matmul_nd,
 };
+pub use par::ParStats;
 pub use pool::{pool_enabled, set_pool_enabled, PoolStats};
 pub use shape::Shape;
 pub use tensor::{axpy_slices, scale_slice, Tensor};

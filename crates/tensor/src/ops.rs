@@ -25,7 +25,20 @@ pub fn softmax(x: &Tensor) -> Tensor {
 pub fn softmax_inplace(x: &mut Tensor) {
     assert!(x.rank() >= 1, "softmax requires rank >= 1");
     let n = *x.dims().last().unwrap();
-    for row in x.data_mut().chunks_mut(n) {
+    let numel = x.numel();
+    if crate::par::par_eligible(numel) && n > 0 && numel > n {
+        // rows are independent: chunking on row boundaries runs the exact
+        // serial per-row arithmetic on each executor
+        crate::par::par_chunks_unit(x.data_mut(), n, crate::par::MIN_CHUNK, |_, rows| {
+            softmax_rows(rows, n);
+        });
+        return;
+    }
+    softmax_rows(x.data_mut(), n);
+}
+
+fn softmax_rows(data: &mut [f32], n: usize) {
+    for row in data.chunks_mut(n) {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -106,7 +119,36 @@ pub fn add_bias_gelu(mut x: Tensor, bias: &Tensor) -> (Tensor, Tensor) {
         n,
         "bias length mismatch"
     );
-    let mut y = pool::take_buffer(x.numel());
+    let numel = x.numel();
+    if crate::par::par_eligible(numel) && n > 0 {
+        let rows = numel / n;
+        let min_rows = crate::par::MIN_CHUNK.div_ceil(n).max(1);
+        let (chunks, per) = crate::par::partition(rows, crate::kernel_threads(), min_rows);
+        if chunks > 1 {
+            // pre-sized output + lockstep (x, y) row-chunk pairs; each row
+            // runs the identical serial arithmetic (indexed stores instead
+            // of push produce the same bits)
+            let mut y = pool::take_zeroed(numel);
+            {
+                let b = bias.data();
+                let mut items: Vec<(&mut [f32], &mut [f32])> = Vec::with_capacity(chunks);
+                let mut xr = x.data_mut();
+                let mut yr = y.as_mut_slice();
+                while !xr.is_empty() {
+                    let take = (per * n).min(xr.len());
+                    let (xh, xt) = xr.split_at_mut(take);
+                    let (yh, yt) = yr.split_at_mut(take);
+                    items.push((xh, yh));
+                    xr = xt;
+                    yr = yt;
+                }
+                crate::par::par_items(items, |_, (xc, yc)| add_bias_gelu_rows(xc, yc, b, n));
+            }
+            let y = Tensor::from_vec(x.shape().clone(), y);
+            return (x, y);
+        }
+    }
+    let mut y = pool::take_buffer(numel);
     let b = bias.data();
     for row in x.data_mut().chunks_mut(n) {
         for (h, &bv) in row.iter_mut().zip(b.iter()) {
@@ -116,6 +158,15 @@ pub fn add_bias_gelu(mut x: Tensor, bias: &Tensor) -> (Tensor, Tensor) {
     }
     let y = Tensor::from_vec(x.shape().clone(), y);
     (x, y)
+}
+
+fn add_bias_gelu_rows(x: &mut [f32], y: &mut [f32], b: &[f32], n: usize) {
+    for (row, y_row) in x.chunks_mut(n).zip(y.chunks_mut(n)) {
+        for ((h, yv), &bv) in row.iter_mut().zip(y_row.iter_mut()).zip(b.iter()) {
+            *h += bv;
+            *yv = gelu_scalar(*h);
+        }
+    }
 }
 
 /// Backward of [`add_bias_gelu`] with respect to its pre-activation `h`:
@@ -182,6 +233,43 @@ pub fn layernorm_fused(
     assert_eq!(gamma.numel(), n, "gamma length mismatch");
     assert_eq!(beta.numel(), n, "beta length mismatch");
     let rows = x.numel() / n;
+    if crate::par::par_eligible(x.numel()) && n > 0 && rows > 1 {
+        let min_rows = crate::par::MIN_CHUNK.div_ceil(n).max(1);
+        let (chunks, per) = crate::par::partition(rows, crate::kernel_threads(), min_rows);
+        if chunks > 1 {
+            // pre-sized out/means/inv_stds split in lockstep on the same
+            // deterministic row boundaries; per-row arithmetic is the exact
+            // serial body (indexed stores instead of push)
+            let mut out = pool::take_zeroed(x.numel());
+            let mut means = vec![0.0f32; rows];
+            let mut inv_stds = vec![0.0f32; rows];
+            {
+                let xs = x.data();
+                let (g, bt) = (gamma.data(), beta.data());
+                type LnItem<'a> = (usize, &'a mut [f32], &'a mut [f32], &'a mut [f32]);
+                let mut items: Vec<LnItem> = Vec::with_capacity(chunks);
+                let mut xo = 0usize;
+                let mut or = out.as_mut_slice();
+                let mut mr = means.as_mut_slice();
+                let mut ir = inv_stds.as_mut_slice();
+                while !mr.is_empty() {
+                    let rtake = per.min(mr.len());
+                    let (oh, ot) = or.split_at_mut(rtake * n);
+                    let (mh, mt) = mr.split_at_mut(rtake);
+                    let (ih, it) = ir.split_at_mut(rtake);
+                    items.push((xo, oh, mh, ih));
+                    or = ot;
+                    mr = mt;
+                    ir = it;
+                    xo += rtake * n;
+                }
+                crate::par::par_items(items, |_, (xo, oc, mc, ic)| {
+                    layernorm_rows(&xs[xo..xo + oc.len()], oc, mc, ic, g, bt, eps, n);
+                });
+            }
+            return (Tensor::from_vec(x.shape().clone(), out), means, inv_stds);
+        }
+    }
     let mut out = pool::take_buffer(x.numel());
     let mut means = Vec::with_capacity(rows);
     let mut inv_stds = Vec::with_capacity(rows);
@@ -196,6 +284,38 @@ pub fn layernorm_fused(
         inv_stds.push(inv_std);
     }
     (Tensor::from_vec(x.shape().clone(), out), means, inv_stds)
+}
+
+#[allow(clippy::too_many_arguments)] // internal lockstep row sweep
+fn layernorm_rows(
+    x: &[f32],
+    out: &mut [f32],
+    means: &mut [f32],
+    inv_stds: &mut [f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    n: usize,
+) {
+    for (((row, o_row), m_slot), i_slot) in x
+        .chunks(n)
+        .zip(out.chunks_mut(n))
+        .zip(means.iter_mut())
+        .zip(inv_stds.iter_mut())
+    {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for ((&v, o), (&g, &b)) in row
+            .iter()
+            .zip(o_row.iter_mut())
+            .zip(gamma.iter().zip(beta.iter()))
+        {
+            *o = (v - mean) * inv_std * g + b;
+        }
+        *m_slot = mean;
+        *i_slot = inv_std;
+    }
 }
 
 /// Backward of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
