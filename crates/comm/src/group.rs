@@ -136,6 +136,15 @@ impl GroupShared {
             cv: Condvar::new(),
         }
     }
+
+    /// Wakes every rank parked in this group's rendezvous so it can observe
+    /// the run's abort flag (see `WorldInner::abort_wake`). Locking the slot
+    /// before notifying closes the race against a rank between its abort
+    /// check and its wait.
+    pub(crate) fn abort_wake(&self) {
+        drop(self.slot.lock());
+        self.cv.notify_all();
+    }
 }
 
 /// A member's handle to a process group.
@@ -190,6 +199,7 @@ impl Group {
     where
         F: FnOnce(&[Tensor]) -> Done,
     {
+        ctx.check_abort();
         let p = self.size();
         let t_arrive = match stream {
             Stream::Main => ctx.clock(),
@@ -225,7 +235,7 @@ impl Group {
         let mut st = shared.slot.lock();
         // wait for the previous op to fully drain
         while st.phase == Phase::Distribute {
-            shared.cv.wait(&mut st);
+            ctx.wait_on(&shared.cv, &mut st);
         }
         assert!(
             st.inputs[self.my_index].is_none(),
@@ -256,7 +266,7 @@ impl Group {
             shared.cv.notify_all();
         } else {
             while st.phase == Phase::Collect {
-                shared.cv.wait(&mut st);
+                ctx.wait_on(&shared.cv, &mut st);
             }
         }
         let out = st.outputs[self.my_index]
@@ -326,11 +336,15 @@ impl Group {
         }
     }
 
-    /// Emits the one-per-op span on this group's dedicated track.
+    /// Emits the one-per-op span on this group's dedicated track. The span
+    /// is attributed to the group's first member (not the recording rank —
+    /// which rank arrives last is backend/pool-dependent), keeping trace
+    /// snapshots bitwise identical across backends.
     fn trace_group_span(&self, ctx: &DeviceCtx, kind: OpKind, bytes: u64, start: f64, end: f64) {
         if ctx.tracing() {
             let members = self.members();
-            ctx.trace_span_on(
+            ctx.trace_span_as(
+                members[0],
                 Track::Group(group_track_name(members)),
                 SpanKind::Collective {
                     kind,
@@ -376,15 +390,15 @@ impl Group {
     fn all_reduce_wire_on(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire, stream: Stream) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         let forced = ctx.forced_allreduce_algo();
         self.rendezvous_on(ctx, t, stream, move |inputs| {
             let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
             let algo = forced.unwrap_or_else(|| {
-                cost::select_allreduce_algo(&cluster, &members, n * wire.bytes())
+                cost::select_allreduce_algo(cluster, &members, n * wire.bytes())
             });
-            let (cost, elements, phases) = allreduce_plan(algo, &cluster, &members, n, wire);
+            let (cost, elements, phases) = allreduce_plan(algo, cluster, &members, n, wire);
             Done {
                 outputs: vec![sum; p],
                 cost,
@@ -410,11 +424,11 @@ impl Group {
     fn all_gather_cat_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             let contrib = inputs[0].numel() as u64;
             let full = Tensor::cat(inputs, dim);
-            let cost = cost::allgather_time(&cluster, &members, contrib * wire.bytes());
+            let cost = cost::allgather_time(cluster, &members, contrib * wire.bytes());
             let elements = (p as u64 - 1) * p as u64 * contrib;
             Done::new(vec![full; p], cost, OpKind::AllGather, elements, wire)
         })
@@ -452,12 +466,12 @@ impl Group {
     ) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous_on(ctx, t, stream, move |inputs| {
             let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
             let outs = sum.chunk(dim, p);
-            let cost = cost::reduce_scatter_time(&cluster, &members, n * wire.bytes());
+            let cost = cost::reduce_scatter_time(cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
             Done::new(outs, cost, OpKind::ReduceScatter, elements, wire)
         })
@@ -479,11 +493,11 @@ impl Group {
         let p = self.size();
         assert!(root < p, "broadcast root {root} out of range");
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             let src = inputs[root].clone();
             let n = src.numel() as u64;
-            let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
+            let cost = cost::broadcast_time(cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
             Done::new(vec![src; p], cost, OpKind::Broadcast, elements, wire)
         })
@@ -512,7 +526,7 @@ impl Group {
         let p = self.size();
         assert!(root < p, "scatter root {root} out of range");
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             let src = &inputs[root];
             let n = src.numel() as u64;
@@ -520,7 +534,7 @@ impl Group {
             // uneven chunks: the largest one gates the pairwise exchange
             let max_chunk = outs.iter().map(|c| c.numel() as u64).max().unwrap_or(0);
             let kept = outs[root].numel() as u64;
-            let cost = cost::alltoall_time(&cluster, &members, max_chunk * wire.bytes());
+            let cost = cost::alltoall_time(cluster, &members, max_chunk * wire.bytes());
             // the root wires out everything except its own chunk
             let elements = n - kept;
             Done::new(outs, cost, OpKind::Scatter, elements, wire)
@@ -549,7 +563,7 @@ impl Group {
         let p = self.size();
         assert!(root < p, "gather root {root} out of range");
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             // contributions may be ragged: bill what each rank actually sends
             let max_contrib = inputs
@@ -575,7 +589,7 @@ impl Group {
                     }
                 })
                 .collect();
-            let cost = cost::alltoall_time(&cluster, &members, max_contrib * wire.bytes());
+            let cost = cost::alltoall_time(cluster, &members, max_contrib * wire.bytes());
             Done::new(outs, cost, OpKind::Gather, elements, wire)
         })
     }
@@ -594,7 +608,7 @@ impl Group {
     fn all_to_all_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             let n = inputs[0].numel() as u64;
             let per_rank: Vec<Vec<Tensor>> =
@@ -613,7 +627,7 @@ impl Group {
                     Tensor::cat(&mine, dim)
                 })
                 .collect();
-            let cost = cost::alltoall_time(&cluster, &members, max_chunk * wire.bytes());
+            let cost = cost::alltoall_time(cluster, &members, max_chunk * wire.bytes());
             // each rank wires out its tensor minus the chunk it keeps; the
             // kept chunks across ranks sum to exactly one tensor
             let elements = (p as u64 - 1) * n;
@@ -635,7 +649,7 @@ impl Group {
     fn all_reduce_max_wire(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire) -> Tensor {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         let forced = ctx.forced_allreduce_algo();
         self.rendezvous(ctx, t, move |inputs| {
             let acc = reduce_max_rank_ordered(inputs);
@@ -643,9 +657,9 @@ impl Group {
             // max is associative+commutative, so the hierarchical schedule
             // applies to it exactly as to sum
             let algo = forced.unwrap_or_else(|| {
-                cost::select_allreduce_algo(&cluster, &members, n * wire.bytes())
+                cost::select_allreduce_algo(cluster, &members, n * wire.bytes())
             });
-            let (cost, elements, phases) = allreduce_plan(algo, &cluster, &members, n, wire);
+            let (cost, elements, phases) = allreduce_plan(algo, cluster, &members, n, wire);
             Done {
                 outputs: vec![acc; p],
                 cost,
@@ -673,7 +687,7 @@ impl Group {
         let p = self.size();
         assert!(root < p, "reduce root {root} out of range");
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         self.rendezvous(ctx, t, move |inputs| {
             let sum = reduce_sum_rank_ordered(inputs);
             let n = sum.numel() as u64;
@@ -686,7 +700,7 @@ impl Group {
                     }
                 })
                 .collect();
-            let cost = cost::broadcast_time(&cluster, &members, n * wire.bytes());
+            let cost = cost::broadcast_time(cluster, &members, n * wire.bytes());
             let elements = (p as u64 - 1) * n;
             Done::new(outs, cost, OpKind::Reduce, elements, wire)
         })
@@ -697,10 +711,10 @@ impl Group {
     pub fn barrier(&self, ctx: &DeviceCtx) {
         let p = self.size();
         let members = self.members().to_vec();
-        let cluster = ctx.cluster().clone();
+        let cluster = ctx.cluster();
         let wire = Wire::F32;
         let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
-            let cost = cost::allreduce_time(&cluster, &members, wire.bytes());
+            let cost = cost::allreduce_time(cluster, &members, wire.bytes());
             Done::new(vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
         });
     }

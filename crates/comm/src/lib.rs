@@ -1,21 +1,30 @@
 //! # colossalai-comm
 //!
-//! Thread-backed collective communication for the simulated cluster.
+//! Collective communication for the simulated cluster.
 //!
-//! Every simulated GPU is an OS thread holding a [`world::DeviceCtx`].
-//! Collectives ([`group::Group`]) move real tensors between threads — so all
+//! Every simulated GPU is a task holding a [`world::DeviceCtx`].
+//! Collectives ([`group::Group`]) move real tensors between tasks — so all
 //! distributed arithmetic in the workspace is numerically real — while
 //! charging *virtual* time from the alpha-beta ring model of
 //! `colossalai-topology` and recording element-hop traffic that matches the
 //! closed-form communication volumes of Table 1 in the paper.
+//!
+//! Rank tasks execute under one of two backends (see
+//! [`world::WorldBackend`]): the default event-driven [`sched`]uler, which
+//! multiplexes any number of ranks onto a fixed worker pool in virtual-time
+//! order, or the legacy thread-per-rank mode (`COLOSSAL_WORLD=threads`).
+//! Both produce bitwise-identical results.
 
 pub mod group;
+pub(crate) mod sched;
 pub mod stats;
 pub mod trace;
+pub mod workload;
 pub mod world;
 
 pub use colossalai_topology::AllReduceAlgo;
 pub use group::{Group, Wire};
 pub use stats::{CommStats, OpKind};
 pub use trace::{RankRollup, Span, SpanKind, Track};
-pub use world::{DeviceCtx, World};
+pub use workload::HybridSpec;
+pub use world::{DeviceCtx, World, WorldBackend};

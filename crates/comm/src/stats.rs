@@ -40,7 +40,10 @@ impl OpKind {
 }
 
 /// Aggregate communication statistics for a world or a phase.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares the full breakdown; the backend-parity tests use it
+/// to assert the scheduler and thread-per-rank backends account identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Number of collective invocations (counted once per group op, not per
     /// rank).

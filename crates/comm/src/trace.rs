@@ -8,10 +8,15 @@
 //! `colossalai-core`, chunk/offload movement in `colossalai-memory`.
 //!
 //! Tracing is off by default and costs one relaxed atomic load per
-//! potential span when disabled. When enabled, spans are appended to a
-//! world-global vector under a mutex (device threads are already
-//! serialized around the virtual clock, so the lock is uncontended in
-//! practice).
+//! potential span when disabled. When enabled, spans are appended to
+//! per-track *lanes* (a `BTreeMap<Track, Vec<Span>>`): within a lane the
+//! recording order is deterministic (a device track is written only by its
+//! own rank in program order; a group track is serialized by the rendezvous
+//! slot), and [`Tracer::snapshot`] concatenates lanes in canonical
+//! [`Track`] order. Snapshots are therefore bitwise identical across
+//! execution backends and scheduler pool sizes, even though the interleaving
+//! of host threads differs — the backend-parity tests compare them with
+//! `assert_eq!`.
 //!
 //! [`chrome_trace_json`] exports the Chrome/Perfetto `trace_events`
 //! format: one track (`tid`) per simulated device under the `devices`
@@ -21,6 +26,7 @@
 use crate::stats::OpKind;
 use colossalai_topology::DeviceId;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// What a span represents.
@@ -93,8 +99,10 @@ impl SpanKind {
     }
 }
 
-/// Which timeline a span renders on.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Which timeline a span renders on. The derived order (devices by rank,
+/// then comm streams by rank, then groups by name) is the canonical lane
+/// order of [`Tracer::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Track {
     /// The per-device track of `rank`.
     Device(DeviceId),
@@ -109,7 +117,8 @@ pub enum Track {
 /// One traced event over virtual time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Span {
-    /// Rank that recorded the span (for group tracks: the last arrival).
+    /// Rank the span is attributed to (for group tracks: the group's first
+    /// member, so traces don't depend on which rank arrived last).
     pub rank: DeviceId,
     pub track: Track,
     pub kind: SpanKind,
@@ -127,11 +136,13 @@ impl Span {
 }
 
 /// The world-global span sink. Disabled by default; when disabled,
-/// [`Tracer::record`] is a single relaxed atomic load.
+/// [`Tracer::record`] is a single relaxed atomic load. Spans are stored in
+/// per-track lanes so snapshots don't depend on how the host interleaved
+/// the recording threads.
 #[derive(Default)]
 pub struct Tracer {
     enabled: AtomicBool,
-    spans: Mutex<Vec<Span>>,
+    lanes: Mutex<BTreeMap<Track, Vec<Span>>>,
 }
 
 impl Tracer {
@@ -148,18 +159,24 @@ impl Tracer {
     /// Records `span` if tracing is enabled.
     pub fn record(&self, span: Span) {
         if self.enabled() {
-            self.spans.lock().push(span);
+            self.lanes
+                .lock()
+                .entry(span.track.clone())
+                .or_default()
+                .push(span);
         }
     }
 
-    /// Snapshot of all recorded spans (in recording order).
+    /// Snapshot of all recorded spans: lanes in canonical [`Track`] order,
+    /// each lane in recording order. Bitwise-deterministic for a
+    /// deterministic workload, regardless of backend or pool size.
     pub fn snapshot(&self) -> Vec<Span> {
-        self.spans.lock().clone()
+        self.lanes.lock().values().flatten().cloned().collect()
     }
 
     /// Drops all recorded spans (e.g. after a warm-up step).
     pub fn clear(&self) {
-        self.spans.lock().clear();
+        self.lanes.lock().clear();
     }
 }
 
@@ -231,23 +248,43 @@ pub fn rollup(spans: &[Span]) -> Vec<RankRollup> {
     out
 }
 
+/// World sizes at or above this print the compact min/median/max rollup
+/// instead of one row per rank (a 4096-rank table is unreadable noise).
+pub const ROLLUP_COMPACT_THRESHOLD: usize = 64;
+
 /// Formats a rollup as a fixed-width table (times in milliseconds). The
 /// `pool_hit%` column reports the storage pool's global hit rate and the
 /// `par_util%` column the worker-pool utilization (the share of intra-op
 /// task units executed by `tensor::par` workers rather than the submitting
 /// rank threads); both pools are process-wide, so every rank shows the same
 /// figures. Footers summarize the full allocator and worker-pool counters.
+///
+/// At [`ROLLUP_COMPACT_THRESHOLD`] ranks and above, the per-rank rows
+/// collapse into per-column min/median/max summary lines; use
+/// [`rollup_table_full`] to force every row.
 pub fn rollup_table(rollups: &[RankRollup]) -> String {
+    rollup_table_opts(rollups, rollups.len() < ROLLUP_COMPACT_THRESHOLD)
+}
+
+/// [`rollup_table`] with one row per rank regardless of world size.
+pub fn rollup_table_full(rollups: &[RankRollup]) -> String {
+    rollup_table_opts(rollups, true)
+}
+
+/// [`rollup_table`] with explicit row control: `full` prints every rank,
+/// otherwise the compact min/median/max summary (median is the upper
+/// median, the sorted element at `len / 2`).
+pub fn rollup_table_opts(rollups: &[RankRollup], full: bool) -> String {
     let pool = colossalai_tensor::pool::stats();
     let par = colossalai_tensor::par::stats();
     let mut out = String::from(
         "rank   compute_ms      comm_ms   overlap_ms    pool_hit%    par_util%       mem_ms      idle_ms\n\
          -------------------------------------------------------------------------------------------------\n",
     );
-    for r in rollups {
+    let row = |out: &mut String, label: &str, r: &RankRollup| {
         out.push_str(&format!(
             "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>12.1} {:>12.3} {:>12.3}\n",
-            r.rank,
+            label,
             r.compute * 1e3,
             r.comm * 1e3,
             r.comm_overlap * 1e3,
@@ -255,6 +292,36 @@ pub fn rollup_table(rollups: &[RankRollup]) -> String {
             par.util() * 100.0,
             r.mem * 1e3,
             r.idle * 1e3
+        ));
+    };
+    if full || rollups.is_empty() {
+        for r in rollups {
+            row(&mut out, &r.rank.to_string(), r);
+        }
+    } else {
+        // each column is summarized independently, so a summary "row" is
+        // not any single rank's rollup
+        let stat = |pick: fn(&[f64]) -> f64| {
+            let col = |get: fn(&RankRollup) -> f64| {
+                let mut v: Vec<f64> = rollups.iter().map(get).collect();
+                v.sort_by(f64::total_cmp);
+                pick(&v)
+            };
+            RankRollup {
+                rank: 0,
+                compute: col(|r| r.compute),
+                comm: col(|r| r.comm),
+                comm_overlap: col(|r| r.comm_overlap),
+                mem: col(|r| r.mem),
+                idle: col(|r| r.idle),
+            }
+        };
+        row(&mut out, "min", &stat(|v| v[0]));
+        row(&mut out, "med", &stat(|v| v[v.len() / 2]));
+        row(&mut out, "max", &stat(|v| v[v.len() - 1]));
+        out.push_str(&format!(
+            "ranks: {} (per-rank rows elided; rollup_table_full prints all)\n",
+            rollups.len()
         ));
     }
     out.push_str(&format!("pool: {}\n", pool.summary()));
@@ -437,6 +504,69 @@ mod tests {
         assert!(table.contains("pool: hits="));
         assert!(table.contains("par_util%"));
         assert!(table.contains("par:  jobs="));
+    }
+
+    #[test]
+    fn snapshot_orders_lanes_canonically() {
+        let t = Tracer::default();
+        t.set_enabled(true);
+        // record in scrambled lane order — the snapshot must not care
+        t.record(Span {
+            rank: 0,
+            track: Track::Group("g0-1".into()),
+            kind: SpanKind::Phase { name: "op".into() },
+            start: 0.0,
+            end: 1.0,
+        });
+        t.record(span(1, SpanKind::Compute { label: "b".into() }, 0.0, 1.0));
+        t.record(Span {
+            rank: 0,
+            track: Track::DeviceComm(0),
+            kind: SpanKind::Phase { name: "ar".into() },
+            start: 0.0,
+            end: 1.0,
+        });
+        t.record(span(0, SpanKind::Compute { label: "a".into() }, 0.0, 1.0));
+        t.record(span(0, SpanKind::Compute { label: "a2".into() }, 1.0, 2.0));
+        let tracks: Vec<Track> = t.snapshot().into_iter().map(|s| s.track).collect();
+        assert_eq!(
+            tracks,
+            vec![
+                Track::Device(0),
+                Track::Device(0),
+                Track::Device(1),
+                Track::DeviceComm(0),
+                Track::Group("g0-1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn big_rollup_compacts_to_min_med_max() {
+        let rollups: Vec<RankRollup> = (0..ROLLUP_COMPACT_THRESHOLD)
+            .map(|rank| RankRollup {
+                rank,
+                compute: rank as f64,
+                ..Default::default()
+            })
+            .collect();
+        let table = rollup_table(&rollups);
+        assert!(table.contains(" min"), "{table}");
+        assert!(table.contains(" med"), "{table}");
+        assert!(table.contains(" max"), "{table}");
+        assert!(table.contains("ranks: 64"), "{table}");
+        // min 0ms, upper median 32000ms, max 63000ms in the compute column
+        assert!(table.contains("0.000"), "{table}");
+        assert!(table.contains("32000.000"), "{table}");
+        assert!(table.contains("63000.000"), "{table}");
+        // one row below threshold stays per-rank
+        let small = rollup_table(&rollups[..ROLLUP_COMPACT_THRESHOLD - 1]);
+        assert!(!small.contains(" med"), "{small}");
+        assert!(small.contains("\n  62 "), "{small}");
+        // the full variant always prints every rank
+        let full = rollup_table_full(&rollups);
+        assert!(full.contains("\n  63 "), "{full}");
+        assert!(!full.contains(" med"), "{full}");
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! The simulated multi-device world: one OS thread per device, a shared
-//! cluster model, a virtual clock per device, and global traffic stats.
+//! The simulated multi-device world: per-device virtual clocks, a shared
+//! cluster model, global traffic stats, and two execution backends — the
+//! event-driven rank scheduler (default) and the legacy thread-per-rank
+//! mode.
 
 use crate::group::{Group, GroupShared};
+use crate::sched::{AbortRun, Scheduler};
 use crate::stats::CommStats;
 use crate::trace::{self, RankRollup, Span, SpanKind, Tracer, Track};
 use colossalai_tensor::Tensor;
@@ -10,11 +13,70 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Point-to-point mailboxes keyed by (from, to, tag); each message carries
 /// its virtual arrival time.
 type Mailbox = HashMap<(DeviceId, DeviceId, u64), VecDeque<(Tensor, f64)>>;
+
+/// How [`World::run_on`] executes its rank closures.
+///
+/// Both backends produce bitwise-identical results, clocks, stats and
+/// traces (`tests/world_backend_parity.rs`); they differ only in host
+/// scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorldBackend {
+    /// Legacy mode: all `n` rank threads run concurrently, scheduled by the
+    /// OS. Fine up to a few dozen ranks; thrashes beyond that.
+    Threads,
+    /// Event-driven rank scheduler: every rank is a resumable task and at
+    /// most `pool` of them execute at once, admitted from a central queue
+    /// ordered by `(virtual_time, rank)`. `pool == 0` means "host cores".
+    /// This is what lets 512–4096-rank worlds run in bounded memory and
+    /// wall time.
+    Sched {
+        /// Number of concurrently running rank tasks (0 = host cores).
+        pool: usize,
+    },
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Backend requested by `COLOSSAL_WORLD` / `COLOSSAL_WORLD_POOL` (read
+/// once): `threads` for the legacy mode, anything else (including unset)
+/// for the scheduler.
+fn env_backend() -> WorldBackend {
+    static BACKEND: OnceLock<WorldBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        let threads =
+            std::env::var("COLOSSAL_WORLD").is_ok_and(|v| v.trim().eq_ignore_ascii_case("threads"));
+        if threads {
+            WorldBackend::Threads
+        } else {
+            let pool = std::env::var("COLOSSAL_WORLD_POOL")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            WorldBackend::Sched { pool }
+        }
+    })
+}
+
+/// Per-rank stack size under the scheduler: `COLOSSAL_WORLD_STACK` bytes,
+/// else 1 MiB — enough for the simulated workloads while keeping a
+/// 4096-rank world around 4 GiB of (mostly uncommitted) reservations.
+fn rank_stack_bytes() -> usize {
+    static STACK: OnceLock<usize> = OnceLock::new();
+    *STACK.get_or_init(|| {
+        std::env::var("COLOSSAL_WORLD_STACK")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(1 << 20)
+    })
+}
 
 /// Shared state behind a [`World`].
 pub(crate) struct WorldInner {
@@ -27,11 +89,28 @@ pub(crate) struct WorldInner {
     groups: Mutex<HashMap<Vec<DeviceId>, Arc<GroupShared>>>,
     mailbox: Mutex<Mailbox>,
     mailbox_cv: Condvar,
+    /// Programmatic backend override (wins over the environment).
+    backend: Mutex<Option<WorldBackend>>,
+}
+
+impl WorldInner {
+    /// Wakes every task parked on a resource condvar (mailbox waits, group
+    /// rendezvous) so they can observe the abort flag and unwind. Locking
+    /// each resource mutex before notifying closes the race against a task
+    /// between its abort check and its wait.
+    fn abort_wake(&self) {
+        drop(self.mailbox.lock());
+        self.mailbox_cv.notify_all();
+        let groups: Vec<Arc<GroupShared>> = self.groups.lock().values().cloned().collect();
+        for g in groups {
+            g.abort_wake();
+        }
+    }
 }
 
 /// A simulated cluster execution context.
 ///
-/// `World::run` launches one thread per participating device and hands each
+/// `World::run` launches one task per participating device and hands each
 /// a [`DeviceCtx`]. Collectives exchange real tensors through shared memory
 /// while charging virtual time according to the cluster's link model, so
 /// results are numerically real and timings follow the modeled hardware.
@@ -66,6 +145,7 @@ impl World {
                 groups: Mutex::new(HashMap::new()),
                 mailbox: Mutex::new(HashMap::new()),
                 mailbox_cv: Condvar::new(),
+                backend: Mutex::new(None),
             }),
         }
     }
@@ -75,11 +155,31 @@ impl World {
         &self.inner.cluster
     }
 
-    /// Runs `f` on the first `n` devices of the cluster, one thread each,
-    /// and returns the per-rank results ordered by rank.
+    /// Pins the execution backend for this world (`None` restores the
+    /// `COLOSSAL_WORLD` / default resolution). Results are identical either
+    /// way; this exists for benches and the backend-parity tests.
+    pub fn set_backend(&self, backend: Option<WorldBackend>) {
+        *self.inner.backend.lock() = backend;
+    }
+
+    /// The backend the next [`World::run_on`] call will use, with the
+    /// scheduler's `pool = 0` already resolved to the host core count.
+    pub fn backend(&self) -> WorldBackend {
+        let b = self.inner.backend.lock().unwrap_or_else(env_backend);
+        match b {
+            WorldBackend::Sched { pool: 0 } => WorldBackend::Sched { pool: host_cores() },
+            other => other,
+        }
+    }
+
+    /// Runs `f` on the first `n` devices of the cluster and returns the
+    /// per-rank results ordered by rank.
     ///
-    /// Panics in any device thread propagate (the run aborts with that
-    /// panic), so test assertions inside device closures work as usual.
+    /// Under the default scheduler backend each rank is a task on a fixed
+    /// worker pool; under [`WorldBackend::Threads`] every rank gets a free
+    /// running OS thread. Panics in any rank abort the run and propagate
+    /// with the panicking rank's message (`"device thread panicked: ..."`),
+    /// so test assertions inside device closures work as usual.
     pub fn run_on<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -90,6 +190,18 @@ impl World {
             "cannot run on {n} devices of a {}-device cluster",
             self.inner.cluster.n_devices()
         );
+        match self.backend() {
+            WorldBackend::Threads => self.run_threads(n, f),
+            WorldBackend::Sched { pool } => self.run_sched(n, pool, f),
+        }
+    }
+
+    /// The legacy thread-per-rank backend.
+    fn run_threads<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&DeviceCtx) -> R + Send + Sync,
+    {
         let inner = &self.inner;
         let f = &f;
         std::thread::scope(|scope| {
@@ -97,13 +209,7 @@ impl World {
                 .map(|rank| {
                     let inner = Arc::clone(inner);
                     scope.spawn(move || {
-                        let ctx = DeviceCtx {
-                            world: inner,
-                            rank,
-                            clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
-                            comm_clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
-                            flops: Arc::new(AtomicU64::new(0)),
-                        };
+                        let ctx = DeviceCtx::new(inner, rank, None);
                         f(&ctx)
                     })
                 })
@@ -113,6 +219,71 @@ impl World {
                 .map(|h| h.join().expect("device thread panicked"))
                 .collect()
         })
+    }
+
+    /// The event-driven scheduler backend: `n` parked rank tasks admitted
+    /// onto `pool` running slots in `(virtual_time, rank)` order.
+    fn run_sched<R, F>(&self, n: usize, pool: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&DeviceCtx) -> R + Send + Sync,
+    {
+        let pool = if pool == 0 { host_cores() } else { pool };
+        let sched = Scheduler::new(n, pool);
+        // (rank, message) of every rank that panicked on its own (peers
+        // unwound by the abort marker are not recorded)
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let inner = &self.inner;
+        let f = &f;
+        let results: Vec<Option<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let inner = Arc::clone(inner);
+                    let sched = Arc::clone(&sched);
+                    let panics = &panics;
+                    std::thread::Builder::new()
+                        .name(format!("colossal-rank-{rank}"))
+                        .stack_size(rank_stack_bytes())
+                        .spawn_scoped(scope, move || {
+                            let ctx = DeviceCtx::new(Arc::clone(&inner), rank, Some(&sched));
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    sched.wait_admitted(rank);
+                                    ctx.check_abort();
+                                    f(&ctx)
+                                }));
+                            let out = match out {
+                                Ok(v) => Some(v),
+                                Err(payload) => {
+                                    if !payload.is::<AbortRun>() {
+                                        // as_ref, not &payload: the latter would
+                                        // unsize the Box itself into `dyn Any`
+                                        panics.lock().push((rank, panic_message(payload.as_ref())));
+                                        sched.abort_all();
+                                        inner.abort_wake();
+                                    }
+                                    None
+                                }
+                            };
+                            sched.task_done(rank);
+                            out
+                        })
+                        .expect("spawn rank task")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(None))
+                .collect()
+        });
+        let primary = panics.into_inner().into_iter().min_by_key(|&(r, _)| r);
+        if let Some((rank, msg)) = primary {
+            panic!("device thread panicked: rank {rank}: {msg}");
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("rank task produced no result"))
+            .collect()
     }
 
     /// Runs `f` on every device of the cluster.
@@ -160,7 +331,10 @@ impl World {
         self.inner.tracer.enabled()
     }
 
-    /// Snapshot of all recorded spans, in recording order.
+    /// Snapshot of all recorded spans in canonical lane order (device
+    /// tracks by rank, comm-stream tracks by rank, then group tracks by
+    /// name; within a lane, recording order). The snapshot is
+    /// bitwise-identical across backends and pool sizes.
     pub fn trace(&self) -> Vec<Span> {
         self.inner.tracer.snapshot()
     }
@@ -183,9 +357,27 @@ impl World {
         trace::rollup(&self.trace())
     }
 
-    /// The rollup formatted as a fixed-width table.
+    /// The rollup formatted as a fixed-width table. At 64 ranks and above
+    /// the per-rank rows collapse into min/median/max summary lines; use
+    /// [`World::rollup_table_full`] to force every row.
     pub fn rollup_table(&self) -> String {
         trace::rollup_table(&self.trace_rollup())
+    }
+
+    /// The rollup table with one row per rank regardless of world size.
+    pub fn rollup_table_full(&self) -> String {
+        trace::rollup_table_full(&self.trace_rollup())
+    }
+}
+
+/// Human-readable text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -207,9 +399,22 @@ pub struct DeviceCtx {
     /// joins the two.
     comm_clock: Arc<AtomicU64>,
     flops: Arc<AtomicU64>,
+    /// The run's rank scheduler (`None` under the legacy threads backend).
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl DeviceCtx {
+    fn new(world: Arc<WorldInner>, rank: DeviceId, sched: Option<&Arc<Scheduler>>) -> DeviceCtx {
+        DeviceCtx {
+            world,
+            rank,
+            clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+            comm_clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+            flops: Arc::new(AtomicU64::new(0)),
+            sched: sched.map(Arc::clone),
+        }
+    }
+
     /// Global device id of this context.
     pub fn rank(&self) -> DeviceId {
         self.rank
@@ -222,7 +427,7 @@ impl DeviceCtx {
 
     /// Current virtual time in seconds.
     ///
-    /// The clock is only ever written by its own device thread, so relaxed
+    /// The clock is only ever written by its own device task, so relaxed
     /// atomics are sufficient — the `Arc<AtomicU64>` exists to let clones of
     /// the ctx (held by layers, optimizers, schedules) share one clock, not
     /// for cross-thread communication.
@@ -234,16 +439,59 @@ impl DeviceCtx {
         self.clock.store(t.to_bits(), Ordering::Relaxed);
     }
 
-    /// Advances the virtual clock by `dt` seconds.
+    /// Advances the virtual clock by `dt` seconds. A clock advance is a
+    /// scheduler yield point: if another rank task is ready at an earlier
+    /// virtual time, the slot is handed over (which never changes results —
+    /// only host execution order).
     pub fn advance(&self, dt: f64) {
         assert!(dt >= 0.0, "negative time step");
         self.set_clock(self.clock() + dt);
+        self.maybe_yield();
     }
 
     /// Forces the clock to at least `t` (used when receiving messages).
     pub(crate) fn advance_to(&self, t: f64) {
         if t > self.clock() {
             self.set_clock(t);
+        }
+        self.maybe_yield();
+    }
+
+    /// Yields the running slot when an earlier-in-virtual-time task is
+    /// ready (no-op under the threads backend).
+    #[inline]
+    fn maybe_yield(&self) {
+        if let Some(sched) = &self.sched {
+            sched.maybe_yield(self.rank, self.clock());
+        }
+    }
+
+    /// Unwinds (silently) when the run is aborting after another rank's
+    /// panic. No-op under the threads backend.
+    pub(crate) fn check_abort(&self) {
+        if let Some(sched) = &self.sched {
+            if sched.abort.load(Ordering::Relaxed) {
+                std::panic::resume_unwind(Box::new(AbortRun));
+            }
+        }
+    }
+
+    /// Scheduler-aware condvar wait: releases this task's running slot
+    /// while parked so another ready rank can execute (the threads backend
+    /// waits directly). The resource lock (`guard`) is held through the
+    /// wait as usual; slot reacquisition happens with it released, so lock
+    /// order is always resource → scheduler.
+    pub(crate) fn wait_on<T>(&self, cv: &Condvar, guard: &mut parking_lot::MutexGuard<'_, T>) {
+        match &self.sched {
+            None => cv.wait(guard),
+            Some(sched) => {
+                self.check_abort();
+                sched.begin_block(self.rank);
+                cv.wait(guard);
+                let (rank, clock) = (self.rank, self.clock());
+                parking_lot::MutexGuard::unlocked(guard, || sched.end_block(rank, clock));
+                self.check_abort();
+            }
         }
     }
 
@@ -354,6 +602,27 @@ impl DeviceCtx {
         }
     }
 
+    /// Records a span attributed to an explicit rank (group-track spans use
+    /// the group's first member so traces don't depend on arrival order).
+    pub(crate) fn trace_span_as(
+        &self,
+        rank: DeviceId,
+        track: Track,
+        kind: SpanKind,
+        start: f64,
+        end: f64,
+    ) {
+        if self.tracing() {
+            self.world.tracer.record(Span {
+                rank,
+                track,
+                kind,
+                start,
+                end,
+            });
+        }
+    }
+
     /// Runs `f` inside a [`SpanKind::Phase`] span named `name`. Phase spans
     /// nest over the leaf spans `f` records.
     pub fn trace_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -415,6 +684,7 @@ impl DeviceCtx {
     /// becomes visible to the receiver at the sender's post-send clock.
     pub fn send(&self, to: DeviceId, tag: u64, t: Tensor) {
         assert_ne!(to, self.rank, "send to self");
+        self.check_abort();
         let bytes = (t.numel() * 4) as u64;
         let dt = self.world.cluster.p2p_time(self.rank, to, bytes);
         let t_start = self.clock();
@@ -445,6 +715,7 @@ impl DeviceCtx {
     /// arrival time.
     pub fn recv(&self, from: DeviceId, tag: u64) -> Tensor {
         assert_ne!(from, self.rank, "recv from self");
+        self.check_abort();
         let key = (from, self.rank, tag);
         let t_start = self.clock();
         let mut mb = self.world.mailbox.lock();
@@ -465,7 +736,7 @@ impl DeviceCtx {
                     return t;
                 }
             }
-            self.world.mailbox_cv.wait(&mut mb);
+            self.wait_on(&self.world.mailbox_cv, &mut mb);
         }
     }
 
@@ -570,5 +841,60 @@ mod tests {
                 let _ = ctx.group(&[1]);
             }
         });
+    }
+
+    #[test]
+    fn backend_resolution_prefers_explicit_setting() {
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Threads));
+        assert_eq!(world.backend(), WorldBackend::Threads);
+        world.set_backend(Some(WorldBackend::Sched { pool: 3 }));
+        assert_eq!(world.backend(), WorldBackend::Sched { pool: 3 });
+        // pool 0 resolves to the host core count
+        world.set_backend(Some(WorldBackend::Sched { pool: 0 }));
+        let WorldBackend::Sched { pool } = world.backend() else {
+            panic!("expected scheduler backend");
+        };
+        assert!(pool >= 1);
+    }
+
+    #[test]
+    fn single_slot_pool_runs_collectives() {
+        // pool = 1 serializes all ranks; the rendezvous must release the
+        // slot while waiting or this deadlocks
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Sched { pool: 1 }));
+        let sums = world.run_on(4, |ctx| {
+            let g = ctx.world_group(4);
+            let s = g.all_reduce(ctx, Tensor::scalar(ctx.rank() as f32)).item();
+            // p2p under pool = 1: ring neighbor exchange
+            let to = (ctx.rank() + 1) % 4;
+            let from = (ctx.rank() + 3) % 4;
+            let got = ctx.ring_exchange(to, from, 5, Tensor::scalar(s));
+            got.item()
+        });
+        assert_eq!(sums, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn sched_panic_reports_rank_and_message() {
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Sched { pool: 2 }));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            world.run_on(4, |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("rank two exploded");
+                }
+                // peers park in a rendezvous that can never complete; the
+                // abort must unwind them
+                let g = ctx.world_group(4);
+                g.barrier(ctx);
+            });
+        }))
+        .expect_err("run must propagate the panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("device thread panicked"), "{msg}");
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("rank two exploded"), "{msg}");
     }
 }

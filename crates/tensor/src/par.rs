@@ -41,6 +41,13 @@
 //! Nested submissions from inside a pool task hit the same path and run
 //! serially.
 //!
+//! The inline fallback is a policy, not a necessity: with
+//! [`set_contention_wait`]`(true)` (or `COLOSSAL_PAR_CONTENTION=wait`) a
+//! contended submitter blocks for the pool instead — the right trade when
+//! only a handful of rank tasks run at once, as under the `comm` crate's
+//! event-driven world scheduler. Nested submissions always inline
+//! regardless of policy (waiting for a pool you are part of deadlocks).
+//!
 //! # Budget
 //!
 //! The executor budget is [`crate::kernel_threads`] — `set_kernel_threads`
@@ -78,6 +85,46 @@ pub const MAX_WORKERS: usize = 64;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static PAR_CUTOFF: AtomicUsize = AtomicUsize::new(0);
+/// Contended-submitter policy: 0 = unset (consult the env), 1 = inline,
+/// 2 = wait.
+static CONTENTION: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads (always) and on a submitting thread
+    /// while it holds the pool — a nested `run_tasks` from either must
+    /// inline, never wait, or the pool would deadlock on itself.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn env_contention_wait() -> bool {
+    static WAIT: OnceLock<bool> = OnceLock::new();
+    *WAIT.get_or_init(|| {
+        std::env::var("COLOSSAL_PAR_CONTENTION")
+            .is_ok_and(|v| v.trim().eq_ignore_ascii_case("wait"))
+    })
+}
+
+/// Chooses what a submitter does when another thread holds the pool:
+/// `false` (the default) runs its chunks serially inline; `true` blocks for
+/// the pool. Waiting trades submitter latency for worker utilization —
+/// worthwhile when a few big rank tasks contend (the scheduler backend's
+/// small pools), wasteful when dozens do (the legacy thread-per-rank mode,
+/// which is why inline remains the default). Results are bitwise identical
+/// either way.
+pub fn set_contention_wait(on: bool) {
+    CONTENTION.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The effective contended-submitter policy: the last
+/// [`set_contention_wait`] call, else `COLOSSAL_PAR_CONTENTION=wait`, else
+/// inline.
+pub fn contention_wait() -> bool {
+    match CONTENTION.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => env_contention_wait(),
+    }
+}
 
 fn env_forced_off() -> bool {
     static OFF: OnceLock<bool> = OnceLock::new();
@@ -133,6 +180,7 @@ pub fn par_eligible(numel: usize) -> bool {
 static JOBS: AtomicU64 = AtomicU64::new(0);
 static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static CONTENDED_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static CONTENDED_WAITS: AtomicU64 = AtomicU64::new(0);
 /// Busy counter: task units executed by pool workers.
 static TASKS_ON_WORKERS: AtomicU64 = AtomicU64::new(0);
 /// Total task units submitted (pooled + serial); `total - on_workers` is
@@ -150,6 +198,9 @@ pub struct ParStats {
     /// `run_tasks` calls that ran serially because another thread held the
     /// pool (e.g. two rank threads hitting big kernels simultaneously).
     pub contended_fallbacks: u64,
+    /// `run_tasks` calls that blocked for a contended pool instead of
+    /// inlining (the [`set_contention_wait`] policy).
+    pub contended_waits: u64,
     /// Task units executed by pool workers (the busy counter).
     pub tasks_on_workers: u64,
     /// Task units submitted in total (pooled and serial paths).
@@ -174,10 +225,11 @@ impl ParStats {
     /// One-line human-readable summary (rollup-table footer).
     pub fn summary(&self) -> String {
         format!(
-            "jobs={} serial={} contended={} worker_tasks={}/{} ({:.1}% util) workers={}",
+            "jobs={} serial={} contended={} waited={} worker_tasks={}/{} ({:.1}% util) workers={}",
             self.jobs,
             self.serial_fallbacks,
             self.contended_fallbacks,
+            self.contended_waits,
             self.tasks_on_workers,
             self.tasks_total,
             self.util() * 100.0,
@@ -192,6 +244,7 @@ pub fn stats() -> ParStats {
         jobs: JOBS.load(Ordering::Relaxed),
         serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
         contended_fallbacks: CONTENDED_FALLBACKS.load(Ordering::Relaxed),
+        contended_waits: CONTENDED_WAITS.load(Ordering::Relaxed),
         tasks_on_workers: TASKS_ON_WORKERS.load(Ordering::Relaxed),
         tasks_total: TASKS_TOTAL.load(Ordering::Relaxed),
         workers: shared().workers.load(Ordering::Relaxed),
@@ -203,6 +256,7 @@ pub fn reset_stats() {
     JOBS.store(0, Ordering::Relaxed);
     SERIAL_FALLBACKS.store(0, Ordering::Relaxed);
     CONTENDED_FALLBACKS.store(0, Ordering::Relaxed);
+    CONTENDED_WAITS.store(0, Ordering::Relaxed);
     TASKS_ON_WORKERS.store(0, Ordering::Relaxed);
     TASKS_TOTAL.store(0, Ordering::Relaxed);
 }
@@ -274,6 +328,7 @@ fn execute(job: &Job, on_worker: bool) {
 }
 
 fn worker_loop() {
+    IN_POOL.with(|w| w.set(true));
     let sh = shared();
     let mut seen_gen = 0u64;
     loop {
@@ -332,16 +387,37 @@ pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     let _guard = match sh.submit.try_lock() {
         Ok(g) => g,
         Err(TryLockError::WouldBlock) => {
-            CONTENDED_FALLBACKS.fetch_add(1, Ordering::Relaxed);
-            for i in 0..tasks {
-                f(i);
+            // a nested submission (from a pool worker's task, or from the
+            // submitter's own chunks) must inline whatever the policy says:
+            // the pool is wedged until the outer job drains
+            if contention_wait() && !IN_POOL.with(|w| w.get()) {
+                CONTENDED_WAITS.fetch_add(1, Ordering::Relaxed);
+                match sh.submit.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }
+            } else {
+                CONTENDED_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                for i in 0..tasks {
+                    f(i);
+                }
+                return;
             }
-            return;
         }
         // a submitter that re-panics after a poisoned job unwinds with the
         // guard held; the () payload carries no state, so just keep going
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
     };
+    // mark this thread pooled while it owns the submit lock (reset on every
+    // exit path, including the poisoned re-panic below)
+    struct PoolMark;
+    impl Drop for PoolMark {
+        fn drop(&mut self) {
+            IN_POOL.with(|w| w.set(false));
+        }
+    }
+    IN_POOL.with(|w| w.set(true));
+    let _mark = PoolMark;
     ensure_workers((budget - 1).min(tasks - 1));
     // SAFETY: `f` is only ever called between the job publication below and
     // the `pending == 0` wait before this function returns; the submitter
@@ -580,6 +656,50 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as f32);
         }
+    }
+
+    #[test]
+    fn contended_wait_mode_completes_both_submitters() {
+        set_contention_wait(true);
+        let a: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let b: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                run_tasks(a.len(), &|i| {
+                    a[i].fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                });
+            });
+            s.spawn(|| {
+                run_tasks(b.len(), &|i| {
+                    b[i].fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                });
+            });
+        });
+        set_contention_wait(false);
+        assert!(a.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(b.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_submission_inlines_even_in_wait_mode() {
+        set_contention_wait(true);
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        let inner: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        // a task that submits again must inline (IN_POOL guard), not block
+        // for the pool it is itself part of — this would deadlock otherwise
+        run_tasks(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                run_tasks(inner.len(), &|j| {
+                    inner[j].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        set_contention_wait(false);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(inner.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

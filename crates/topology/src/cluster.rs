@@ -11,19 +11,30 @@ use serde::{Deserialize, Serialize};
 ///    NVLink bridges between adjacent pairs);
 /// 2. otherwise, the node-local fallback (PCIe) when `a` and `b` share a
 ///    node;
-/// 3. otherwise, the cross-node interconnect (InfiniBand / Aries / ...).
+/// 3. otherwise, the cross-node interconnect (InfiniBand / Aries / ...)
+///    when `a` and `b` share a pod (or no pod tier is configured);
+/// 4. otherwise, the cross-pod uplink of the fat-tree tier (see
+///    [`Cluster::set_pods`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cluster {
     name: String,
     gpus: Vec<GpuSpec>,
     node_of: Vec<usize>,
     host: HostSpec,
-    /// Sparse explicit links keyed by unordered pair (a < b).
+    /// Sparse explicit links keyed by unordered pair (a < b), kept sorted
+    /// by key for binary-search resolution.
     explicit: Vec<((DeviceId, DeviceId), Link)>,
     intra_node_fallback: Link,
     cross_node: Link,
     /// GPU <-> host-DRAM channel (offload path).
     host_link: Link,
+    /// Pod index per node (fat-tree tier). Empty = single flat pod; older
+    /// serialized clusters deserialize to that.
+    #[serde(default)]
+    pod_of_node: Vec<usize>,
+    /// Link for pairs in different pods; `None` falls back to `cross_node`.
+    #[serde(default)]
+    cross_pod: Option<Link>,
 }
 
 impl Cluster {
@@ -47,6 +58,8 @@ impl Cluster {
             intra_node_fallback: Link::pcie(),
             cross_node,
             host_link: Link::pcie(),
+            pod_of_node: Vec::new(),
+            cross_pod: None,
         }
     }
 
@@ -93,10 +106,9 @@ impl Cluster {
             "device out of range"
         );
         let key = (a.min(b), a.max(b));
-        if let Some(entry) = self.explicit.iter_mut().find(|(k, _)| *k == key) {
-            entry.1 = link;
-        } else {
-            self.explicit.push((key, link));
+        match self.explicit.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.explicit[i].1 = link,
+            Err(i) => self.explicit.insert(i, (key, link)),
         }
     }
 
@@ -122,17 +134,40 @@ impl Cluster {
         self.host_link = link;
     }
 
+    /// Groups nodes into pods of `nodes_per_pod` consecutive nodes and sets
+    /// the cross-pod uplink (the thin top tier of a fat tree). Traffic
+    /// between nodes of one pod keeps using the `cross_node` link; only
+    /// pairs crossing a pod boundary pay `cross_pod`. This models
+    /// 512–4096-GPU clusters without materializing any O(n²) link table.
+    pub fn set_pods(&mut self, nodes_per_pod: usize, cross_pod: Link) {
+        assert!(nodes_per_pod > 0, "empty pod");
+        self.pod_of_node = (0..self.n_nodes()).map(|n| n / nodes_per_pod).collect();
+        self.cross_pod = Some(cross_pod);
+    }
+
+    /// Pod index hosting device `d` (0 when no pod tier is configured).
+    pub fn pod(&self, d: DeviceId) -> usize {
+        self.pod_of_node.get(self.node_of[d]).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pods (1 when no pod tier is configured).
+    pub fn n_pods(&self) -> usize {
+        self.pod_of_node.iter().max().map_or(1, |&m| m + 1)
+    }
+
     /// The link used for traffic between devices `a` and `b`.
     pub fn link(&self, a: DeviceId, b: DeviceId) -> Link {
         assert!(a != b, "link() between a device and itself");
         let key = (a.min(b), a.max(b));
-        if let Some((_, l)) = self.explicit.iter().find(|(k, _)| *k == key) {
-            return *l;
+        if let Ok(i) = self.explicit.binary_search_by_key(&key, |&(k, _)| k) {
+            return self.explicit[i].1;
         }
         if self.node_of[a] == self.node_of[b] {
             self.intra_node_fallback
-        } else {
+        } else if self.pod(a) == self.pod(b) {
             self.cross_node
+        } else {
+            self.cross_pod.unwrap_or(self.cross_node)
         }
     }
 
@@ -232,6 +267,50 @@ mod tests {
         assert_eq!(
             c.ring_bottleneck(&[2, 3, 4, 5]).kind,
             LinkKind::InfiniBandHdr
+        );
+    }
+
+    #[test]
+    fn pod_tier_resolves_after_node_tier() {
+        let mut c = Cluster::homogeneous(
+            "pods",
+            8,
+            2,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        // no pod tier yet: everything cross-node is IB
+        assert_eq!(c.link(0, 15).kind, LinkKind::InfiniBandHdr);
+        assert_eq!(c.n_pods(), 1);
+        c.set_pods(4, Link::aries());
+        assert_eq!(c.n_pods(), 2);
+        assert_eq!(c.pod(0), 0);
+        assert_eq!(c.pod(7), 0, "device 7 is node 3, pod 0");
+        assert_eq!(c.pod(8), 1, "device 8 is node 4, pod 1");
+        // same node: PCIe fallback; same pod: IB; cross pod: Aries uplink
+        assert_eq!(c.link(0, 1).kind, LinkKind::Pcie);
+        assert_eq!(c.link(0, 7).kind, LinkKind::InfiniBandHdr);
+        assert_eq!(c.link(0, 8).kind, LinkKind::Aries);
+        // explicit links still win over every tier
+        c.add_link(0, 8, Link::nvlink());
+        assert_eq!(c.link(8, 0).kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn explicit_table_stays_sorted_under_any_insert_order() {
+        let mut c = two_node_cluster();
+        c.add_link(5, 6, Link::nvlink());
+        c.add_link(0, 1, Link::nvlink());
+        c.add_link(3, 2, Link::aries());
+        c.add_link(2, 3, Link::nvlink()); // overwrite, not duplicate
+        assert_eq!(c.link(2, 3).kind, LinkKind::NvLink);
+        assert_eq!(c.link(0, 1).kind, LinkKind::NvLink);
+        assert_eq!(c.link(6, 5).kind, LinkKind::NvLink);
+        assert_eq!(
+            c.link(0, 2).kind,
+            LinkKind::Pcie,
+            "unlisted pair falls back"
         );
     }
 

@@ -64,6 +64,48 @@ pub fn system_iv() -> Cluster {
     )
 }
 
+/// A synthetic three-tier fat-tree cluster: `pods * nodes_per_pod` nodes of
+/// 8x A100-80GB each, NVLink inside a node (as a fallback — no O(n²) link
+/// table is materialized), InfiniBand HDR between nodes of a pod, and a
+/// 2:1-oversubscribed, higher-latency uplink between pods. The shape of the
+/// large production clusters the paper's scaling discussion targets.
+pub fn fat_tree(name: impl Into<String>, pods: usize, nodes_per_pod: usize) -> Cluster {
+    let mut c = Cluster::homogeneous(
+        name,
+        pods * nodes_per_pod,
+        8,
+        GpuSpec::a100(80),
+        HostSpec::dgx(),
+        Link::infiniband_hdr(),
+    );
+    c.set_intra_node_fallback(Link::nvlink());
+    let ib = Link::infiniband_hdr();
+    c.set_pods(
+        nodes_per_pod,
+        Link {
+            kind: ib.kind,
+            bandwidth: ib.bandwidth / 2.0, // 2:1 oversubscription at the spine
+            latency: ib.latency * 3.0,     // two extra switch hops
+        },
+    );
+    c
+}
+
+/// 512-GPU fat tree: 4 pods x 16 nodes x 8 GPUs.
+pub fn fat_tree_512() -> Cluster {
+    fat_tree("FatTree-512", 4, 16)
+}
+
+/// 1024-GPU fat tree: 8 pods x 16 nodes x 8 GPUs.
+pub fn fat_tree_1024() -> Cluster {
+    fat_tree("FatTree-1024", 8, 16)
+}
+
+/// 4096-GPU fat tree: 16 pods x 32 nodes x 8 GPUs.
+pub fn fat_tree_4096() -> Cluster {
+    fat_tree("FatTree-4096", 16, 32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +152,27 @@ mod tests {
         let c = system_iv();
         assert_eq!(c.link(0, 1).kind, LinkKind::Aries);
         assert_eq!(c.gpu(0).name, "P100-16GB");
+    }
+
+    #[test]
+    fn fat_tree_shapes_and_tiers() {
+        let c = fat_tree_512();
+        assert_eq!(c.n_devices(), 512);
+        assert_eq!(c.n_nodes(), 64);
+        assert_eq!(c.n_pods(), 4);
+        // same node: NVLink fallback (no quadratic explicit table)
+        assert_eq!(c.link(0, 7).kind, LinkKind::NvLink);
+        // same pod, different node: full-rate IB
+        let ib = Link::infiniband_hdr();
+        assert_eq!(c.link(0, 8).kind, LinkKind::InfiniBandHdr);
+        assert_eq!(c.link(0, 8).bandwidth, ib.bandwidth);
+        // cross-pod: half bandwidth, triple latency
+        let uplink = c.link(0, 511);
+        assert_eq!(uplink.bandwidth, ib.bandwidth / 2.0);
+        assert_eq!(uplink.latency, ib.latency * 3.0);
+        assert_eq!(fat_tree_1024().n_devices(), 1024);
+        assert_eq!(fat_tree_4096().n_devices(), 4096);
+        assert_eq!(fat_tree_4096().n_pods(), 16);
     }
 
     #[test]
