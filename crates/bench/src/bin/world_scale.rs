@@ -1,14 +1,23 @@
 //! Scaling benchmark of the event-driven rank scheduler: one hybrid
-//! DP x TP x PP training step at 64 -> 1024 simulated ranks, all multiplexed
+//! DP x TP x PP training step at 64 -> 4096 simulated ranks, all multiplexed
 //! onto the same fixed worker pool (one running slot per host core).
 //!
 //! The point being measured is the *world backend*, not the arithmetic:
-//! under the legacy thread-per-rank backend a 1024-rank world needs 1024
+//! under the legacy thread-per-rank backend a 4096-rank world needs 4096
 //! simultaneously runnable OS threads, while the scheduler parks every rank
 //! at its next rendezvous / p2p / clock-advance yield point and only keeps
 //! `pool` of them running — host cost stays bounded by the pool, not the
-//! world size. Wall time per scale is reported to show the growth stays
-//! roughly linear in total rank-steps.
+//! world size.
+//!
+//! Two derived columns make the scaling claim checkable:
+//!
+//! * **per-rank-step time** (`wall / (ranks * steps)`) must stay roughly
+//!   flat from 64 to 4096 ranks. Before the keyed-condvar wakeup
+//!   discipline, every p2p send `notify_all`ed the world-wide mailbox
+//!   condvar, waking O(world) parked receivers per message — per-rank cost
+//!   grew superlinearly (64 ranks: ~0.3 ms; 1024 ranks: ~5.5 ms).
+//! * **wakes/msg** (`World::wake_stats`) must stay ~1 at every size: one
+//!   delivery wakes one receiver. O(world) here means the herd is back.
 //!
 //! At 64 ranks (a size both backends can run comfortably) the same workload
 //! is re-run under `COLOSSAL_WORLD=threads` semantics and the per-rank
@@ -19,12 +28,14 @@
 //!
 //! `--json` prints one machine-readable object (used by the CI smoke):
 //! `{"completed": .., "ranks_max": .., "backend_match_64": ..,
-//!   "wall_ms_max": .., "pool": ..}`.
+//!   "wall_ms_max": .., "pool": .., "wakeups_per_msg": ..,
+//!   "per_rank_step_ms_64": .., "per_rank_step_ms_max": ..,
+//!   "per_rank_step_ratio": ..}`.
 
 use colossalai_bench::print_table;
 use colossalai_comm::workload::{run_hybrid, HybridSpec};
 use colossalai_comm::{World, WorldBackend};
-use colossalai_topology::systems::{fat_tree_1024, fat_tree_512};
+use colossalai_topology::systems::{fat_tree_1024, fat_tree_4096, fat_tree_512};
 use colossalai_topology::Cluster;
 use std::time::Instant;
 
@@ -32,7 +43,15 @@ const ELEMS: usize = 1024;
 const STEPS: usize = 2;
 
 /// (dp, tp, pp) shapes per scale; tp stays within the 8-GPU NVLink node.
-const SCALES: &[(usize, usize, usize)] = &[(4, 4, 4), (4, 8, 4), (4, 8, 8), (8, 8, 8), (16, 8, 8)];
+const SCALES: &[(usize, usize, usize)] = &[
+    (4, 4, 4),
+    (4, 8, 4),
+    (4, 8, 8),
+    (8, 8, 8),
+    (16, 8, 8),
+    (16, 8, 16),
+    (32, 8, 16),
+];
 
 fn spec_for(dp: usize, tp: usize, pp: usize) -> HybridSpec {
     HybridSpec {
@@ -47,12 +66,14 @@ fn spec_for(dp: usize, tp: usize, pp: usize) -> HybridSpec {
 fn cluster_for(ranks: usize) -> Cluster {
     if ranks <= 512 {
         fat_tree_512()
-    } else {
+    } else if ranks <= 1024 {
         fat_tree_1024()
+    } else {
+        fat_tree_4096()
     }
 }
 
-/// Runs `spec` under `backend` and returns (losses, wall seconds).
+/// Runs `spec` under `backend` and returns (losses, world, wall seconds).
 fn run_once(spec: &HybridSpec, backend: WorldBackend, traced: bool) -> (Vec<Vec<f32>>, World, f64) {
     let world = World::new(cluster_for(spec.ranks()));
     world.set_backend(Some(backend));
@@ -67,9 +88,16 @@ fn main() {
     let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
     let sched = WorldBackend::Sched { pool: 0 };
 
+    // warm up allocators/pools so the 64-rank reference row is not billed
+    // for one-time process setup
+    let _ = run_once(&spec_for(4, 4, 4), sched, false);
+
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut ranks_max = 0usize;
     let mut wall_ms_max = 0.0f64;
+    let mut per_rank_step_ms_64 = 0.0f64;
+    let mut per_rank_step_ms_max = 0.0f64;
+    let mut wakeups_per_msg_worst = 0.0f64;
     let mut completed = true;
     for &(dp, tp, pp) in SCALES {
         let spec = spec_for(dp, tp, pp);
@@ -79,13 +107,22 @@ fn main() {
         completed &= finite && losses.len() == ranks;
         let checksum: f64 = losses.iter().flatten().map(|&l| l as f64).sum();
         let stats = world.stats();
+        let wakes = world.wake_stats();
+        let per_rank_step_ms = dt * 1e3 / (ranks * STEPS) as f64;
+        if ranks_max == 0 {
+            per_rank_step_ms_64 = per_rank_step_ms;
+        }
         ranks_max = ranks_max.max(ranks);
         wall_ms_max = dt * 1e3;
+        per_rank_step_ms_max = per_rank_step_ms;
+        wakeups_per_msg_worst = wakeups_per_msg_worst.max(wakes.wakeups_per_msg());
         rows.push(vec![
             format!("{ranks}"),
             format!("{dp}x{tp}x{pp}"),
             world.cluster().name().to_string(),
             format!("{:.0}", dt * 1e3),
+            format!("{:.3}", per_rank_step_ms),
+            format!("{:.2}", wakes.wakeups_per_msg()),
             format!("{}", stats.ops),
             format!("{checksum:.6}"),
         ]);
@@ -101,11 +138,21 @@ fn main() {
         && w_sched.stats() == w_threads.stats()
         && w_sched.trace() == w_threads.trace();
 
+    let per_rank_step_ratio = if per_rank_step_ms_64 > 0.0 {
+        per_rank_step_ms_max / per_rank_step_ms_64
+    } else {
+        f64::INFINITY
+    };
+
     if std::env::args().any(|a| a == "--json") {
         println!(
             "{{\"completed\": {completed}, \"ranks_max\": {ranks_max}, \
              \"backend_match_64\": {backend_match}, \
-             \"wall_ms_max\": {wall_ms_max:.1}, \"pool\": {pool}}}"
+             \"wall_ms_max\": {wall_ms_max:.1}, \"pool\": {pool}, \
+             \"wakeups_per_msg\": {wakeups_per_msg_worst:.3}, \
+             \"per_rank_step_ms_64\": {per_rank_step_ms_64:.4}, \
+             \"per_rank_step_ms_max\": {per_rank_step_ms_max:.4}, \
+             \"per_rank_step_ratio\": {per_rank_step_ratio:.3}}}"
         );
         return;
     }
@@ -120,6 +167,8 @@ fn main() {
             "dp x tp x pp",
             "cluster",
             "wall ms",
+            "ms/rank-step",
+            "wakes/msg",
             "coll ops",
             "loss checksum",
         ],
@@ -132,6 +181,10 @@ fn main() {
         } else {
             "MISMATCH"
         }
+    );
+    println!(
+        "per-rank-step growth 64 -> {ranks_max} ranks: {per_rank_step_ms_64:.3} ms -> \
+         {per_rank_step_ms_max:.3} ms ({per_rank_step_ratio:.2}x)"
     );
 
     // The compacted rollup of the largest run: at >= 64 ranks per-rank rows

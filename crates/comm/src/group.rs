@@ -23,7 +23,8 @@ pub enum Wire {
 }
 
 impl Wire {
-    fn bytes(self) -> u64 {
+    /// Bytes per element at this wire width.
+    pub fn bytes(self) -> u64 {
         match self {
             Wire::F32 => 4,
             Wire::F16 => 2,
@@ -112,10 +113,21 @@ struct SlotState {
 }
 
 /// Shared state of one process group (all member handles point here).
+///
+/// The rendezvous has two distinct wait reasons, each with its own condvar
+/// so a notification never wakes ranks parked for the *other* reason:
+/// Collect-phase waiters park on `cv_publish` (woken once, by the last
+/// arrival), while next-op entrants draining a still-Distribute slot park
+/// on `cv_drain` (woken once, by the last picker). With a single shared
+/// condvar every publish re-woke the drain waiters (and vice versa), and
+/// each spurious wake costs a full scheduler readmission cycle.
 pub(crate) struct GroupShared {
     members: Vec<DeviceId>,
     slot: Mutex<SlotState>,
-    cv: Condvar,
+    /// Woken by the last arrival when outputs are published.
+    cv_publish: Condvar,
+    /// Woken by the last picker when the slot resets for the next op.
+    cv_drain: Condvar,
 }
 
 impl GroupShared {
@@ -126,24 +138,29 @@ impl GroupShared {
             slot: Mutex::new(SlotState {
                 phase: Phase::Collect,
                 inputs: vec![None; p],
-                outputs: vec![None; p],
+                // Empty, like after every last-picker reset: the last
+                // arrival replaces the whole vector when publishing, and a
+                // fresh Collect slot must hold no stale output storage.
+                outputs: Vec::new(),
                 arrived: 0,
                 picked: 0,
                 t_max: 0.0,
                 t_done: 0.0,
                 op: None,
             }),
-            cv: Condvar::new(),
+            cv_publish: Condvar::new(),
+            cv_drain: Condvar::new(),
         }
     }
 
-    /// Wakes every rank parked in this group's rendezvous so it can observe
-    /// the run's abort flag (see `WorldInner::abort_wake`). Locking the slot
-    /// before notifying closes the race against a rank between its abort
-    /// check and its wait.
+    /// Wakes every rank parked in this group's rendezvous (either condvar)
+    /// so it can observe the run's abort flag (see
+    /// `WorldInner::abort_wake`). Locking the slot before notifying closes
+    /// the race against a rank between its abort check and its wait.
     pub(crate) fn abort_wake(&self) {
         drop(self.slot.lock());
-        self.cv.notify_all();
+        self.cv_publish.notify_all();
+        self.cv_drain.notify_all();
     }
 }
 
@@ -235,7 +252,21 @@ impl Group {
         let mut st = shared.slot.lock();
         // wait for the previous op to fully drain
         while st.phase == Phase::Distribute {
-            ctx.wait_on(&shared.cv, &mut st);
+            ctx.wait_on(&shared.cv_drain, &mut st);
+            ctx.world.count_group_wake();
+        }
+        if st.arrived == 0 {
+            // first arrival of an op: the last picker's reset (or `new`)
+            // must have left no residue from the previous op
+            debug_assert!(
+                st.inputs.iter().all(Option::is_none),
+                "stale inputs entering Collect"
+            );
+            debug_assert!(st.outputs.is_empty(), "stale outputs entering Collect");
+            debug_assert_eq!(st.picked, 0, "stale pick count entering Collect");
+            debug_assert_eq!(st.t_max, 0.0, "stale t_max entering Collect");
+            debug_assert_eq!(st.t_done, 0.0, "stale t_done entering Collect");
+            debug_assert!(st.op.is_none(), "stale op metadata entering Collect");
         }
         assert!(
             st.inputs[self.my_index].is_none(),
@@ -263,10 +294,13 @@ impl Group {
             st.op = Some((done.kind, bytes));
             ctx.record_stats(done.kind, done.elements, bytes);
             self.trace_group_phases(ctx, &done, bytes, st.t_max, st.t_done);
-            shared.cv.notify_all();
+            // wakes only the p-1 Collect waiters — ranks already draining
+            // toward the *next* op sit on cv_drain and stay parked
+            shared.cv_publish.notify_all();
         } else {
             while st.phase == Phase::Collect {
-                ctx.wait_on(&shared.cv, &mut st);
+                ctx.wait_on(&shared.cv_publish, &mut st);
+                ctx.world.count_group_wake();
             }
         }
         let out = st.outputs[self.my_index]
@@ -276,13 +310,18 @@ impl Group {
         let (kind, bytes) = st.op.expect("op metadata published by last arrival");
         st.picked += 1;
         if st.picked == p {
-            // last picker resets the slot for the next op
+            // last picker resets the slot *fully* for the next op — every
+            // field the first arrival's clean-slot assertion checks,
+            // including the output storage (a fresh Vec, so a huge op's
+            // capacity is not pinned for the group's lifetime) and t_done
             st.phase = Phase::Collect;
             st.arrived = 0;
             st.picked = 0;
             st.t_max = 0.0;
+            st.t_done = 0.0;
+            st.outputs = Vec::new();
             st.op = None;
-            shared.cv.notify_all();
+            shared.cv_drain.notify_all();
         }
         drop(st);
         self.advance_stream(ctx, stream, t_done);

@@ -27,4 +27,4 @@ pub use group::{Group, Wire};
 pub use stats::{CommStats, OpKind};
 pub use trace::{RankRollup, Span, SpanKind, Track};
 pub use workload::HybridSpec;
-pub use world::{DeviceCtx, World, WorldBackend};
+pub use world::{DeviceCtx, WakeStats, World, WorldBackend};

@@ -17,6 +17,28 @@
 //! behind in simulated time runs next, exactly like a discrete-event
 //! simulator's event loop.
 //!
+//! # Admission batching
+//!
+//! Re-queueing a woken rank does **not** take the central state lock
+//! directly. [`Scheduler::enqueue_ready`] pushes the `(vtime, rank)` key
+//! into a small `pending` buffer and only drains it into the ready heap
+//! when the state lock is uncontended; every other state-lock acquisition
+//! drains the buffer first. When a rendezvous release (or an abort) wakes
+//! a burst of G ranks at once, one of them — whichever wins the
+//! uncontended `try_lock` — re-queues the whole burst under a single lock
+//! acquisition while the rest observe their `queued` flag clear and go
+//! straight to their grant slot. Without this, G woken ranks serialized
+//! through G heap-push lock acquisitions per collective.
+//!
+//! Grant parking is likewise off the central lock: each rank waits on its
+//! own [`GrantSlot`] (a leaf mutex + condvar), so granting a slot touches
+//! only the chosen rank's slot, never a shared wait queue.
+//!
+//! Lock order: `state` → `pending`, `state` → `GrantSlot::m`. The slot
+//! and pending mutexes are leaves; no scheduler path acquires resource
+//! (mailbox/group) locks, so `begin_block` stays safe to call with a
+//! resource lock held.
+//!
 //! # Determinism
 //!
 //! Scheduling never touches data: collectives reduce in canonical rank
@@ -30,7 +52,7 @@
 //! # Panic propagation
 //!
 //! A panicking rank aborts the whole run: the scheduler raises the abort
-//! flag, wakes every parked task (admission queue, mailbox, group
+//! flag, wakes every parked task (grant slots, mailbox, group
 //! rendezvous), and peers unwind with a silent [`AbortRun`] marker
 //! (re-raised via `resume_unwind`, which skips the panic hook). `run_on`
 //! then re-panics with the original rank's message under the existing
@@ -61,22 +83,40 @@ struct SchedState {
     running: usize,
     /// Ready tasks, min-first by `(clock bits, rank)`.
     ready: BinaryHeap<Reverse<(u64, usize)>>,
-    /// `granted[r]` — rank `r` holds a running slot.
-    granted: Vec<bool>,
+}
+
+/// One rank's private admission parking spot. `m` guards nothing but the
+/// wait itself; the actual grant is the rank's `granted` atomic, checked
+/// under `m` so the set-flag → lock → notify sequence in
+/// [`Scheduler::grant_locked`] cannot lose a wakeup.
+struct GrantSlot {
+    m: Mutex<()>,
+    cv: Condvar,
 }
 
 /// Central scheduler of one `World::run_on` call. Shared by every rank's
 /// [`crate::DeviceCtx`]; dropped when the run completes.
 pub(crate) struct Scheduler {
     state: Mutex<SchedState>,
-    /// One admission condvar per rank (all associated with `state`), so
-    /// granting a slot wakes exactly the chosen task.
-    task_cvs: Vec<Condvar>,
+    /// Re-queue buffer: `(clock bits, rank)` keys pushed by
+    /// [`Scheduler::enqueue_ready`], drained into `ready` by the next
+    /// state-lock holder.
+    pending: Mutex<Vec<(u64, usize)>>,
+    /// `queued[r]` — rank `r` has an entry in `pending` not yet drained.
+    /// Set under the pending lock, cleared by the drainer; a pusher that
+    /// sees its flag clear knows a peer re-queued it and skips the state
+    /// lock entirely.
+    queued: Vec<AtomicBool>,
+    /// `granted[r]` — rank `r` holds a running slot.
+    granted: Vec<AtomicBool>,
+    /// Per-rank admission parking; granting wakes exactly the chosen task.
+    slots: Vec<GrantSlot>,
     /// Raised once any rank panics; every wait loop checks it.
     pub(crate) abort: AtomicBool,
     /// Clock bits of the earliest ready task ([`NO_READY`] when the queue
     /// is empty): the lock-free gate that keeps [`Scheduler::maybe_yield`]
-    /// to a single relaxed load on the hot path.
+    /// to a single relaxed load on the hot path. `enqueue_ready` lowers it
+    /// eagerly (before the drain) so the gate stays conservative.
     min_ready: AtomicU64,
 }
 
@@ -93,9 +133,16 @@ impl Scheduler {
                 pool: pool.max(1),
                 running: 0,
                 ready,
-                granted: vec![false; n],
             }),
-            task_cvs: (0..n).map(|_| Condvar::new()).collect(),
+            pending: Mutex::new(Vec::new()),
+            queued: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            granted: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            slots: (0..n)
+                .map(|_| GrantSlot {
+                    m: Mutex::new(()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
             abort: AtomicBool::new(false),
             min_ready: AtomicU64::new(0),
         };
@@ -104,6 +151,30 @@ impl Scheduler {
             sched.admit_locked(&mut st);
         }
         Arc::new(sched)
+    }
+
+    /// Acquires the state lock and drains any pending re-queues first, so
+    /// every holder observes a complete ready heap.
+    fn lock_state(&self) -> parking_lot::MutexGuard<'_, SchedState> {
+        let mut st = self.state.lock();
+        self.drain_pending_locked(&mut st);
+        st
+    }
+
+    /// Moves every buffered `(vtime, rank)` key into the ready heap and
+    /// clears the owners' `queued` flags. Called under the state lock.
+    fn drain_pending_locked(&self, st: &mut SchedState) {
+        let batch = {
+            let mut p = self.pending.lock();
+            if p.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *p)
+        };
+        for (key, rank) in batch {
+            st.ready.push(Reverse((key, rank)));
+            self.queued[rank].store(false, Ordering::Release);
+        }
     }
 
     /// Grants free slots to the earliest ready tasks and refreshes the
@@ -115,34 +186,82 @@ impl Scheduler {
                 break;
             };
             st.running += 1;
-            st.granted[rank] = true;
-            self.task_cvs[rank].notify_one();
+            self.grant_locked(rank);
         }
         let min = st.ready.peek().map_or(NO_READY, |Reverse((k, _))| *k);
         self.min_ready.store(min, Ordering::Relaxed);
+    }
+
+    /// Hands `rank` a slot and wakes it: flag first, then lock-and-drop its
+    /// grant mutex, then notify. The parker re-checks the flag under that
+    /// mutex, so the wakeup cannot be lost whether it is already waiting or
+    /// still on its way to the slot.
+    fn grant_locked(&self, rank: usize) {
+        self.granted[rank].store(true, Ordering::Release);
+        drop(self.slots[rank].m.lock());
+        self.slots[rank].cv.notify_one();
+    }
+
+    /// Parks `rank` on its grant slot until it holds a running slot.
+    /// Returns without a slot when the run is aborting; the caller must
+    /// check the abort flag.
+    fn wait_granted(&self, rank: usize) {
+        let mut g = self.slots[rank].m.lock();
+        while !self.granted[rank].load(Ordering::Acquire) {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            self.slots[rank].cv.wait(&mut g);
+        }
+    }
+
+    /// Marks `rank` ready at `vtime` without insisting on the state lock:
+    /// the key goes into the pending buffer, and the rank only drains it
+    /// itself if the state lock is free. Otherwise the current holder (or
+    /// the next acquirer) drains the whole buffer in one acquisition —
+    /// that's the admission batch. Returns once the entry is in the ready
+    /// heap (flag cleared) or the run is aborting.
+    fn enqueue_ready(&self, rank: usize, vtime: f64) {
+        let key = vtime.to_bits();
+        {
+            let mut p = self.pending.lock();
+            p.push((key, rank));
+            self.queued[rank].store(true, Ordering::Release);
+        }
+        self.min_ready.fetch_min(key, Ordering::Relaxed);
+        // Either a state-lock holder drains us, or we acquire it ourselves
+        // once free. Bounded: every acquisition drains the whole buffer.
+        while self.queued[rank].load(Ordering::Acquire) {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(mut st) = self.state.try_lock() {
+                self.drain_pending_locked(&mut st);
+                self.admit_locked(&mut st);
+                return;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Parks until `rank` holds a running slot (initial admission). Returns
     /// without a slot when the run is aborting; the caller must check the
     /// abort flag.
     pub(crate) fn wait_admitted(&self, rank: usize) {
-        let mut st = self.state.lock();
-        while !st.granted[rank] {
-            if self.abort.load(Ordering::Relaxed) {
-                return;
-            }
-            self.task_cvs[rank].wait(&mut st);
-        }
+        self.wait_granted(rank);
     }
 
     /// Running → blocked: releases the slot before the caller parks on a
     /// resource condvar (rendezvous, mailbox), letting the next ready task
-    /// run. Safe to call with the resource lock held: the scheduler lock is
-    /// a leaf — no scheduler path acquires resource locks.
+    /// run. Safe to call with the resource lock held: the scheduler locks
+    /// are leaves — no scheduler path acquires resource locks.
     pub(crate) fn begin_block(&self, rank: usize) {
-        let mut st = self.state.lock();
-        debug_assert!(st.granted[rank], "begin_block without a slot");
-        st.granted[rank] = false;
+        let mut st = self.lock_state();
+        debug_assert!(
+            self.granted[rank].load(Ordering::Relaxed),
+            "begin_block without a slot"
+        );
+        self.granted[rank].store(false, Ordering::Release);
         st.running -= 1;
         self.admit_locked(&mut st);
     }
@@ -151,15 +270,8 @@ impl Scheduler {
     /// with every resource lock released (the caller uses
     /// `MutexGuard::unlocked`). Returns slot-less when aborting.
     pub(crate) fn end_block(&self, rank: usize, vtime: f64) {
-        let mut st = self.state.lock();
-        st.ready.push(Reverse((vtime.to_bits(), rank)));
-        self.admit_locked(&mut st);
-        while !st.granted[rank] {
-            if self.abort.load(Ordering::Relaxed) {
-                return;
-            }
-            self.task_cvs[rank].wait(&mut st);
-        }
+        self.enqueue_ready(rank, vtime);
+        self.wait_granted(rank);
     }
 
     /// Cooperative yield at a clock-advance point: if a ready task waits at
@@ -176,44 +288,43 @@ impl Scheduler {
     #[cold]
     fn yield_slot(&self, rank: usize, vtime: f64) {
         let key = (vtime.to_bits(), rank);
-        let mut st = self.state.lock();
-        // the gate is racy by design; recheck under the lock
-        if !st.granted[rank] || st.ready.peek().is_none_or(|Reverse(k)| *k >= key) {
-            return;
-        }
-        st.granted[rank] = false;
-        st.running -= 1;
-        st.ready.push(Reverse(key));
-        self.admit_locked(&mut st);
-        while !st.granted[rank] {
-            if self.abort.load(Ordering::Relaxed) {
+        {
+            let mut st = self.lock_state();
+            // the gate is racy by design; recheck under the lock
+            if !self.granted[rank].load(Ordering::Relaxed)
+                || st.ready.peek().is_none_or(|Reverse(k)| *k >= key)
+            {
                 return;
             }
-            self.task_cvs[rank].wait(&mut st);
+            self.granted[rank].store(false, Ordering::Release);
+            st.running -= 1;
+            st.ready.push(Reverse(key));
+            self.admit_locked(&mut st);
         }
+        self.wait_granted(rank);
     }
 
     /// Releases `rank`'s slot when its closure returns (or unwinds) and
     /// admits the next ready task. Idempotent for slot-less tasks (aborted
     /// before admission).
     pub(crate) fn task_done(&self, rank: usize) {
-        let mut st = self.state.lock();
-        if st.granted[rank] {
-            st.granted[rank] = false;
+        let mut st = self.lock_state();
+        if self.granted[rank].swap(false, Ordering::AcqRel) {
             st.running -= 1;
         }
         self.admit_locked(&mut st);
     }
 
-    /// Raises the abort flag and wakes every task parked on an admission
-    /// condvar. Resource condvars (mailbox, groups) are woken separately by
-    /// `WorldInner::abort_wake`. Holding the state lock while notifying
-    /// closes the check-then-wait race in the admission loops.
+    /// Raises the abort flag and wakes every task parked on a grant slot.
+    /// Resource condvars (mailbox, groups) are woken separately by
+    /// `WorldInner::abort_wake`. Locking each slot mutex before notifying
+    /// closes the check-then-wait race in [`Scheduler::wait_granted`];
+    /// spinners in [`Scheduler::enqueue_ready`] exit on the flag alone.
     pub(crate) fn abort_all(&self) {
         self.abort.store(true, Ordering::SeqCst);
-        let _st = self.state.lock();
-        for cv in &self.task_cvs {
-            cv.notify_all();
+        for slot in &self.slots {
+            drop(slot.m.lock());
+            slot.cv.notify_all();
         }
     }
 }
@@ -222,24 +333,28 @@ impl Scheduler {
 mod tests {
     use super::*;
 
+    fn granted_ranks(sched: &Scheduler) -> Vec<usize> {
+        (0..sched.granted.len())
+            .filter(|&r| sched.granted[r].load(Ordering::Relaxed))
+            .collect()
+    }
+
     #[test]
     fn pool_bounds_concurrent_slots() {
         let sched = Scheduler::new(8, 3);
-        let st = sched.state.lock();
-        assert_eq!(st.running, 3);
-        assert_eq!(st.granted.iter().filter(|&&g| g).count(), 3);
+        assert_eq!(sched.state.lock().running, 3);
         // earliest ranks first: keys are (0, rank)
-        assert!(st.granted[0] && st.granted[1] && st.granted[2]);
+        assert_eq!(granted_ranks(&sched), vec![0, 1, 2]);
     }
 
     #[test]
     fn block_admits_next_ready_task() {
         let sched = Scheduler::new(4, 1);
-        assert!(sched.state.lock().granted[0]);
+        assert_eq!(granted_ranks(&sched), vec![0]);
         sched.begin_block(0);
-        assert!(sched.state.lock().granted[1], "slot moves to next rank");
+        assert_eq!(granted_ranks(&sched), vec![1], "slot moves to next rank");
         sched.task_done(1);
-        assert!(sched.state.lock().granted[2]);
+        assert_eq!(granted_ranks(&sched), vec![2]);
     }
 
     #[test]
@@ -248,16 +363,12 @@ mod tests {
         // rank 0 runs; 1 and 2 wait at t=0. Block 0, then requeue it at a
         // later time: ranks 1 and 2 must both run before 0 gets a slot.
         sched.begin_block(0);
-        assert!(sched.state.lock().granted[1]);
-        {
-            let mut st = sched.state.lock();
-            st.ready.push(Reverse((1.0f64.to_bits(), 0)));
-            sched.admit_locked(&mut st);
-        }
+        assert_eq!(granted_ranks(&sched), vec![1]);
+        sched.enqueue_ready(0, 1.0);
         sched.task_done(1);
-        assert!(sched.state.lock().granted[2], "t=0 beats t=1");
+        assert_eq!(granted_ranks(&sched), vec![2], "t=0 beats t=1");
         sched.task_done(2);
-        assert!(sched.state.lock().granted[0]);
+        assert_eq!(granted_ranks(&sched), vec![0]);
     }
 
     #[test]
@@ -265,12 +376,8 @@ mod tests {
         let sched = Scheduler::new(2, 2);
         assert_eq!(sched.min_ready.load(Ordering::Relaxed), NO_READY);
         sched.begin_block(0);
-        {
-            let mut st = sched.state.lock();
-            st.pool = 1; // shrink so rank 0 queues instead of readmitting
-            st.ready.push(Reverse((2.5f64.to_bits(), 0)));
-            sched.admit_locked(&mut st);
-        }
+        sched.state.lock().pool = 1; // shrink so rank 0 queues, not readmits
+        sched.enqueue_ready(0, 2.5);
         assert_eq!(sched.min_ready.load(Ordering::Relaxed), 2.5f64.to_bits());
     }
 
@@ -282,5 +389,32 @@ mod tests {
         sched.abort_all();
         h.join().unwrap(); // returns (slot-less) instead of hanging
         assert!(sched.abort.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn burst_requeue_drains_in_one_acquisition() {
+        let sched = Scheduler::new(5, 1);
+        sched.state.lock().ready.clear(); // ranks 1..5 no longer pre-queued
+        let guard = sched.state.lock(); // pin the state lock: pushers must buffer
+        let handles: Vec<_> = (1..5)
+            .map(|r| {
+                let s = Arc::clone(&sched);
+                std::thread::spawn(move || s.enqueue_ready(r, 1.0))
+            })
+            .collect();
+        while sched.pending.lock().len() < 4 {
+            std::thread::yield_now();
+        }
+        // all four buffered while the lock was held; none could drain yet
+        assert!((1..5).all(|r| sched.queued[r].load(Ordering::Relaxed)));
+        drop(guard);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // whichever pusher won the lock drained the whole burst at once
+        assert!(sched.pending.lock().is_empty());
+        assert!((1..5).all(|r| !sched.queued[r].load(Ordering::Relaxed)));
+        // pool=1 and rank 0 still holds the slot, so all four sit ready
+        assert_eq!(sched.state.lock().ready.len(), 4);
     }
 }

@@ -3,11 +3,11 @@
 //! event-driven rank scheduler (default) and the legacy thread-per-rank
 //! mode.
 
-use crate::group::{Group, GroupShared};
+use crate::group::{Group, GroupShared, Wire};
 use crate::sched::{AbortRun, Scheduler};
 use crate::stats::CommStats;
 use crate::trace::{self, RankRollup, Span, SpanKind, Tracer, Track};
-use colossalai_tensor::Tensor;
+use colossalai_tensor::{envknob, Tensor};
 use colossalai_topology::{AllReduceAlgo, Cluster, DeviceId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -15,9 +15,77 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-/// Point-to-point mailboxes keyed by (from, to, tag); each message carries
-/// its virtual arrival time.
-type Mailbox = HashMap<(DeviceId, DeviceId, u64), VecDeque<(Tensor, f64)>>;
+/// One point-to-point mailbox: the FIFO for a single `(from, to, tag)` key
+/// plus that key's *own* wakeup condvar.
+///
+/// The per-key condvar is the core of the wakeup discipline: a delivery
+/// notifies only the receiver parked on this exact key, so a message in a
+/// 4096-rank world wakes one task — not every parked receiver world-wide
+/// (the old single `mailbox_cv` + `notify_all` herd made every message
+/// cost O(parked ranks) scheduler readmissions).
+#[derive(Default)]
+struct MailSlot {
+    /// Messages in flight: payload, virtual arrival time, wire bytes (as
+    /// charged by the sender — the receiver traces the same width).
+    queue: VecDeque<(Tensor, f64, u64)>,
+    /// A receiver is parked on `cv` right now (set/cleared under the
+    /// mailbox lock). Lets the sender skip the notify entirely when nobody
+    /// is parked, and lets `abort_wake` find every occupied slot.
+    waiting: bool,
+    /// Keyed wakeup target. `Arc` so a receiver can clone it and park via
+    /// [`DeviceCtx::wait_on`] after releasing its borrow of the map entry.
+    cv: Arc<Condvar>,
+}
+
+/// Point-to-point mailboxes keyed by (from, to, tag).
+type Mailbox = HashMap<(DeviceId, DeviceId, u64), MailSlot>;
+
+/// Wakeup-discipline observability counters (see [`WakeStats`]).
+///
+/// These measure *host* scheduling behavior — how many times tasks came
+/// off a condvar — and are deliberately **not** part of [`CommStats`]:
+/// wake counts may vary across backends, pool sizes and runs (spurious
+/// wakeups, abort races), so they must never enter the bitwise parity
+/// surface that `tests/world_backend_parity.rs` compares.
+#[derive(Default)]
+struct WakeCounters {
+    /// Point-to-point messages delivered into a mailbox.
+    p2p_msgs: AtomicU64,
+    /// Times a receiver came off a mailbox condvar wait.
+    p2p_wakes: AtomicU64,
+    /// Times a task came off a group-rendezvous condvar wait.
+    group_wakes: AtomicU64,
+}
+
+/// Snapshot of the world's wakeup counters ([`World::wake_stats`]).
+///
+/// With keyed per-`(from, to, tag)` mailbox condvars, one delivery wakes at
+/// most one receiver, so `p2p_wakes / p2p_msgs` stays ~1 at any world size
+/// — that ratio is the regression guard for the O(world) `notify_all` herd
+/// this design replaced. Host-timing-dependent; excluded from the
+/// deterministic [`CommStats`] parity surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WakeStats {
+    /// Point-to-point messages delivered.
+    pub p2p_msgs: u64,
+    /// Mailbox condvar wakeups observed by receivers.
+    pub p2p_wakes: u64,
+    /// Group-rendezvous condvar wakeups observed by members.
+    pub group_wakes: u64,
+}
+
+impl WakeStats {
+    /// Mailbox wakeups per delivered message (0 when no messages flowed).
+    /// ~1 under the keyed-condvar discipline; O(world) under a broadcast
+    /// herd.
+    pub fn wakeups_per_msg(&self) -> f64 {
+        if self.p2p_msgs == 0 {
+            0.0
+        } else {
+            self.p2p_wakes as f64 / self.p2p_msgs as f64
+        }
+    }
+}
 
 /// How [`World::run_on`] executes its rank closures.
 ///
@@ -45,21 +113,33 @@ fn host_cores() -> usize {
 }
 
 /// Backend requested by `COLOSSAL_WORLD` / `COLOSSAL_WORLD_POOL` (read
-/// once): `threads` for the legacy mode, anything else (including unset)
-/// for the scheduler.
+/// once): `threads` for the legacy mode, `sched` (or unset) for the
+/// scheduler. Any other value warns once and falls back to the scheduler.
 fn env_backend() -> WorldBackend {
     static BACKEND: OnceLock<WorldBackend> = OnceLock::new();
     *BACKEND.get_or_init(|| {
-        let threads =
-            std::env::var("COLOSSAL_WORLD").is_ok_and(|v| v.trim().eq_ignore_ascii_case("threads"));
+        let threads = match std::env::var("COLOSSAL_WORLD") {
+            Err(_) => false,
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "threads" => true,
+                "sched" => false,
+                other => {
+                    envknob::warn_invalid(
+                        "COLOSSAL_WORLD",
+                        other,
+                        "\"sched\" or \"threads\"",
+                        "sched",
+                    );
+                    false
+                }
+            },
+        };
         if threads {
             WorldBackend::Threads
         } else {
-            let pool = std::env::var("COLOSSAL_WORLD_POOL")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .unwrap_or(0);
-            WorldBackend::Sched { pool }
+            WorldBackend::Sched {
+                pool: envknob::env_usize("COLOSSAL_WORLD_POOL", 0),
+            }
         }
     })
 }
@@ -67,14 +147,23 @@ fn env_backend() -> WorldBackend {
 /// Per-rank stack size under the scheduler: `COLOSSAL_WORLD_STACK` bytes,
 /// else 1 MiB — enough for the simulated workloads while keeping a
 /// 4096-rank world around 4 GiB of (mostly uncommitted) reservations.
+/// A malformed or zero value warns once and keeps the default.
 fn rank_stack_bytes() -> usize {
     static STACK: OnceLock<usize> = OnceLock::new();
     *STACK.get_or_init(|| {
-        std::env::var("COLOSSAL_WORLD_STACK")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&s| s > 0)
-            .unwrap_or(1 << 20)
+        const DEFAULT: usize = 1 << 20;
+        let v = envknob::env_usize("COLOSSAL_WORLD_STACK", DEFAULT);
+        if v == 0 {
+            envknob::warn_invalid(
+                "COLOSSAL_WORLD_STACK",
+                "0",
+                "a stack size in bytes >= 1",
+                &DEFAULT.to_string(),
+            );
+            DEFAULT
+        } else {
+            v
+        }
     })
 }
 
@@ -88,23 +177,39 @@ pub(crate) struct WorldInner {
     forced_algo: Mutex<Option<AllReduceAlgo>>,
     groups: Mutex<HashMap<Vec<DeviceId>, Arc<GroupShared>>>,
     mailbox: Mutex<Mailbox>,
-    mailbox_cv: Condvar,
+    /// Wakeup observability (never part of the parity surface).
+    wakes: WakeCounters,
     /// Programmatic backend override (wins over the environment).
     backend: Mutex<Option<WorldBackend>>,
 }
 
 impl WorldInner {
-    /// Wakes every task parked on a resource condvar (mailbox waits, group
-    /// rendezvous) so they can observe the abort flag and unwind. Locking
-    /// each resource mutex before notifying closes the race against a task
-    /// between its abort check and its wait.
+    /// Wakes every task parked on a resource condvar (keyed mailbox slots,
+    /// group rendezvous) so they can observe the abort flag and unwind.
+    ///
+    /// The condvar table is keyed, so abort must *iterate* it: every slot's
+    /// cv is collected under the mailbox lock (serializing against a
+    /// receiver between its abort check and its wait — the receiver holds
+    /// the mailbox lock from check to park) and notified after. Any
+    /// receiver that parks later necessarily entered `wait_on` after the
+    /// abort flag rose and unwinds on its pre-wait check instead.
     fn abort_wake(&self) {
-        drop(self.mailbox.lock());
-        self.mailbox_cv.notify_all();
+        let cvs: Vec<Arc<Condvar>> = {
+            let mb = self.mailbox.lock();
+            mb.values().map(|slot| Arc::clone(&slot.cv)).collect()
+        };
+        for cv in cvs {
+            cv.notify_all();
+        }
         let groups: Vec<Arc<GroupShared>> = self.groups.lock().values().cloned().collect();
         for g in groups {
             g.abort_wake();
         }
+    }
+
+    /// Count one observed wakeup from a group-rendezvous condvar.
+    pub(crate) fn count_group_wake(&self) {
+        self.wakes.group_wakes.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -144,7 +249,7 @@ impl World {
                 forced_algo: Mutex::new(None),
                 groups: Mutex::new(HashMap::new()),
                 mailbox: Mutex::new(HashMap::new()),
-                mailbox_cv: Condvar::new(),
+                wakes: WakeCounters::default(),
                 backend: Mutex::new(None),
             }),
         }
@@ -303,6 +408,25 @@ impl World {
     /// Clears accumulated statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
         *self.inner.stats.lock() = CommStats::default();
+    }
+
+    /// Snapshot of the wakeup-discipline counters: messages delivered and
+    /// condvar wakeups observed. `wakeups_per_msg()` ~1 proves keyed
+    /// per-`(from, to, tag)` wakeups; O(world) means the herd is back.
+    /// Host-timing-dependent — never compared for backend parity.
+    pub fn wake_stats(&self) -> WakeStats {
+        WakeStats {
+            p2p_msgs: self.inner.wakes.p2p_msgs.load(Ordering::Relaxed),
+            p2p_wakes: self.inner.wakes.p2p_wakes.load(Ordering::Relaxed),
+            group_wakes: self.inner.wakes.group_wakes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears the wakeup counters (e.g. after a warm-up phase).
+    pub fn reset_wake_stats(&self) {
+        self.inner.wakes.p2p_msgs.store(0, Ordering::Relaxed);
+        self.inner.wakes.p2p_wakes.store(0, Ordering::Relaxed);
+        self.inner.wakes.group_wakes.store(0, Ordering::Relaxed);
     }
 
     /// Pins the all-reduce schedule for every group in this world, or
@@ -679,13 +803,26 @@ impl DeviceCtx {
 
     // ---- point-to-point -------------------------------------------------
 
-    /// Sends `t` to device `to` under `tag`. Synchronous-send model: the
-    /// sender's clock advances by the full transfer time and the message
-    /// becomes visible to the receiver at the sender's post-send clock.
+    /// Sends `t` to device `to` under `tag` at FP32 wire width.
+    /// Synchronous-send model: the sender's clock advances by the full
+    /// transfer time and the message becomes visible to the receiver at the
+    /// sender's post-send clock.
     pub fn send(&self, to: DeviceId, tag: u64, t: Tensor) {
+        self.send_wire(to, tag, t, Wire::F32);
+    }
+
+    /// FP16-wire variant of [`DeviceCtx::send`]: charges 2 bytes/element on
+    /// the link (mixed-precision activation/gradient traffic between
+    /// pipeline stages). The payload tensor is unchanged — only the billed
+    /// width differs.
+    pub fn send_half(&self, to: DeviceId, tag: u64, t: Tensor) {
+        self.send_wire(to, tag, t, Wire::F16);
+    }
+
+    fn send_wire(&self, to: DeviceId, tag: u64, t: Tensor, wire: Wire) {
         assert_ne!(to, self.rank, "send to self");
         self.check_abort();
-        let bytes = (t.numel() * 4) as u64;
+        let bytes = t.numel() as u64 * wire.bytes();
         let dt = self.world.cluster.p2p_time(self.rank, to, bytes);
         let t_start = self.clock();
         self.advance(dt);
@@ -699,20 +836,25 @@ impl DeviceCtx {
             t_start,
         );
         let arrival = self.clock();
-        {
-            let mut stats = self.world.stats.lock();
-            stats.record(crate::stats::OpKind::SendRecv, t.numel() as u64, bytes);
-        }
+        self.record_stats(crate::stats::OpKind::SendRecv, t.numel() as u64, bytes);
         let mut mb = self.world.mailbox.lock();
-        mb.entry((self.rank, to, tag))
-            .or_default()
-            .push_back((t, arrival));
-        self.world.mailbox_cv.notify_all();
+        let slot = mb.entry((self.rank, to, tag)).or_default();
+        slot.queue.push_back((t, arrival, bytes));
+        self.world.wakes.p2p_msgs.fetch_add(1, Ordering::Relaxed);
+        // Keyed wakeup: only the receiver parked on this exact (from, to,
+        // tag) is notified — and only if one is actually parked. `waiting`
+        // is read under the mailbox lock, so a receiver that has not parked
+        // yet will instead find the message when it checks the queue.
+        if slot.waiting {
+            let cv = Arc::clone(&slot.cv);
+            drop(mb);
+            cv.notify_one();
+        }
     }
 
     /// Receives the next message from `from` under `tag`, blocking until it
     /// arrives. The receiver's clock advances to at least the message's
-    /// arrival time.
+    /// arrival time; the traced byte count is the width the sender charged.
     pub fn recv(&self, from: DeviceId, tag: u64) -> Tensor {
         assert_ne!(from, self.rank, "recv from self");
         self.check_abort();
@@ -720,23 +862,26 @@ impl DeviceCtx {
         let t_start = self.clock();
         let mut mb = self.world.mailbox.lock();
         loop {
-            if let Some(queue) = mb.get_mut(&key) {
-                if let Some((t, arrival)) = queue.pop_front() {
-                    drop(mb);
-                    self.advance_to(arrival);
-                    self.trace_span(
-                        SpanKind::P2p {
-                            peer: from,
-                            tag,
-                            bytes: (t.numel() * 4) as u64,
-                            is_send: false,
-                        },
-                        t_start,
-                    );
-                    return t;
-                }
+            let slot = mb.entry(key).or_default();
+            if let Some((t, arrival, bytes)) = slot.queue.pop_front() {
+                slot.waiting = false;
+                drop(mb);
+                self.advance_to(arrival);
+                self.trace_span(
+                    SpanKind::P2p {
+                        peer: from,
+                        tag,
+                        bytes,
+                        is_send: false,
+                    },
+                    t_start,
+                );
+                return t;
             }
-            self.wait_on(&self.world.mailbox_cv, &mut mb);
+            slot.waiting = true;
+            let cv = Arc::clone(&slot.cv);
+            self.wait_on(&cv, &mut mb);
+            self.world.wakes.p2p_wakes.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -745,6 +890,12 @@ impl DeviceCtx {
     /// (the p2p links are modeled as full duplex).
     pub fn ring_exchange(&self, to: DeviceId, from: DeviceId, tag: u64, t: Tensor) -> Tensor {
         self.send(to, tag, t);
+        self.recv(from, tag)
+    }
+
+    /// FP16-wire variant of [`DeviceCtx::ring_exchange`].
+    pub fn ring_exchange_half(&self, to: DeviceId, from: DeviceId, tag: u64, t: Tensor) -> Tensor {
+        self.send_half(to, tag, t);
         self.recv(from, tag)
     }
 }
@@ -812,6 +963,32 @@ mod tests {
                 assert_eq!(ctx.recv(0, 7).item(), 2.0);
             }
         });
+    }
+
+    #[test]
+    fn p2p_bills_wire_width() {
+        // send charges 4 bytes/element, send_half 2 — in link time, stats
+        // bytes and the wakeup-count denominator alike
+        let world = World::new(system_i());
+        let clocks = world.run_on(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, Tensor::from_vec([4], vec![1.0; 4]));
+                let t_full = ctx.clock();
+                ctx.send_half(1, 1, Tensor::from_vec([4], vec![1.0; 4]));
+                (t_full, ctx.clock() - t_full)
+            } else {
+                assert_eq!(ctx.recv(0, 0).numel(), 4);
+                assert_eq!(ctx.recv(0, 1).numel(), 4);
+                (0.0, 0.0)
+            }
+        });
+        let sys = system_i();
+        assert!((clocks[0].0 - sys.p2p_time(0, 1, 16)).abs() < 1e-12);
+        assert!((clocks[0].1 - sys.p2p_time(0, 1, 8)).abs() < 1e-12);
+        let stats = world.stats();
+        assert_eq!(stats.bytes, 16 + 8, "stats charge wire bytes, not numel*4");
+        assert_eq!(stats.elements_of(crate::stats::OpKind::SendRecv), 8);
+        assert_eq!(world.wake_stats().p2p_msgs, 2);
     }
 
     #[test]

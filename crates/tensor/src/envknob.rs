@@ -1,0 +1,79 @@
+//! Shared parsing for `COLOSSAL_*` environment knobs.
+//!
+//! Every knob follows one contract: unset means the documented default, a
+//! well-formed value wins, and a malformed value falls back to the default
+//! with a **one-time stderr warning** naming the variable, the rejected
+//! value and the fallback — a typo in a knob must never silently change
+//! behavior. All crates in the workspace route their knob parsing through
+//! this module so the warning format stays uniform.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// Warns (once per variable per process) that `var` carried an
+/// unusable value and which fallback takes effect.
+///
+/// Format: `colossal: ignoring invalid VAR="value" (expected ...); using
+/// fallback`. Repeated resolutions of the same variable stay silent so a
+/// knob read in a hot path cannot spam stderr.
+pub fn warn_invalid(var: &str, value: &str, expected: &str, fallback: &str) {
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if warned.insert(var.to_string()) {
+        eprintln!(
+            "colossal: ignoring invalid {var}={value:?} (expected {expected}); using {fallback}"
+        );
+    }
+}
+
+/// Reads `var` as a `usize`: unset yields `default`, a parsable value wins,
+/// and a malformed value yields `default` after a one-time [`warn_invalid`].
+/// Range restrictions beyond "non-negative integer" (e.g. rejecting 0) are
+/// the caller's job — warn through [`warn_invalid`] there too.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                warn_invalid(
+                    var,
+                    raw.trim(),
+                    "a non-negative integer",
+                    &default.to_string(),
+                );
+                default
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; each uses a distinct variable
+    // name so parallel test threads cannot interfere.
+
+    #[test]
+    fn unset_yields_default_silently() {
+        assert_eq!(env_usize("COLOSSAL_TEST_UNSET_KNOB", 7), 7);
+    }
+
+    #[test]
+    fn valid_value_wins() {
+        std::env::set_var("COLOSSAL_TEST_VALID_KNOB", " 42 ");
+        assert_eq!(env_usize("COLOSSAL_TEST_VALID_KNOB", 7), 42);
+    }
+
+    #[test]
+    fn malformed_value_falls_back() {
+        std::env::set_var("COLOSSAL_TEST_BAD_KNOB", "banana");
+        assert_eq!(env_usize("COLOSSAL_TEST_BAD_KNOB", 7), 7);
+        // second resolution must stay silent (and still fall back)
+        assert_eq!(env_usize("COLOSSAL_TEST_BAD_KNOB", 9), 9);
+    }
+}

@@ -77,12 +77,13 @@ pub(crate) fn resolve_cached(cell: &AtomicUsize, env: &str, default: usize) -> u
     if v != 0 {
         return v;
     }
-    let resolved = std::env::var(env)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(default)
-        .max(1);
+    let parsed = crate::envknob::env_usize(env, default);
+    let resolved = if parsed == 0 {
+        crate::envknob::warn_invalid(env, "0", "an integer >= 1", &default.max(1).to_string());
+        default.max(1)
+    } else {
+        parsed
+    };
     cell.store(resolved, Ordering::Relaxed);
     resolved
 }

@@ -22,6 +22,7 @@
 //!   (see [`par`]) whose partitions depend only on `(len, budget)` — results
 //!   are bitwise-identical to serial at any thread count.
 
+pub mod envknob;
 pub mod f16;
 pub mod init;
 pub mod kernel;

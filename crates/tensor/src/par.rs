@@ -98,9 +98,21 @@ thread_local! {
 
 fn env_contention_wait() -> bool {
     static WAIT: OnceLock<bool> = OnceLock::new();
-    *WAIT.get_or_init(|| {
-        std::env::var("COLOSSAL_PAR_CONTENTION")
-            .is_ok_and(|v| v.trim().eq_ignore_ascii_case("wait"))
+    *WAIT.get_or_init(|| match std::env::var("COLOSSAL_PAR_CONTENTION") {
+        Err(_) => false,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "wait" => true,
+            "inline" => false,
+            other => {
+                crate::envknob::warn_invalid(
+                    "COLOSSAL_PAR_CONTENTION",
+                    other,
+                    "\"wait\" or \"inline\"",
+                    "inline",
+                );
+                false
+            }
+        },
     })
 }
 
@@ -128,11 +140,16 @@ pub fn contention_wait() -> bool {
 
 fn env_forced_off() -> bool {
     static OFF: OnceLock<bool> = OnceLock::new();
-    *OFF.get_or_init(|| {
-        std::env::var("COLOSSAL_PAR").is_ok_and(|v| {
-            let v = v.trim().to_ascii_lowercase();
-            v == "off" || v == "0" || v == "false"
-        })
+    *OFF.get_or_init(|| match std::env::var("COLOSSAL_PAR") {
+        Err(_) => false,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => true,
+            "on" | "1" | "true" => false,
+            other => {
+                crate::envknob::warn_invalid("COLOSSAL_PAR", other, "on/off", "on");
+                false
+            }
+        },
     })
 }
 

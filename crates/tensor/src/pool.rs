@@ -62,13 +62,16 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 /// escape hatch overrides any runtime [`set_pool_enabled`] call.
 fn env_forced_off() -> bool {
     static OFF: OnceLock<bool> = OnceLock::new();
-    *OFF.get_or_init(|| {
-        std::env::var("COLOSSAL_POOL")
-            .map(|v| {
-                let v = v.trim().to_ascii_lowercase();
-                v == "off" || v == "0" || v == "false"
-            })
-            .unwrap_or(false)
+    *OFF.get_or_init(|| match std::env::var("COLOSSAL_POOL") {
+        Err(_) => false,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => true,
+            "on" | "1" | "true" => false,
+            other => {
+                crate::envknob::warn_invalid("COLOSSAL_POOL", other, "on/off", "on");
+                false
+            }
+        },
     })
 }
 

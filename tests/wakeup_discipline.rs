@@ -1,0 +1,118 @@
+//! Wakeup-discipline contract of the point-to-point mailbox and the abort
+//! path.
+//!
+//! The mailbox condvars are keyed per `(from, to, tag)`: delivering one
+//! message wakes at most the one receiver parked on that exact key. The
+//! regression these tests guard against is the O(world) herd — a single
+//! world-wide condvar whose `notify_all` on every send woke *every* parked
+//! receiver, costing a full scheduler readmission cycle per rank per
+//! message and making 1024-rank worlds superlinearly slower than 64-rank
+//! ones.
+//!
+//! The counters come from [`World::wake_stats`], which counts wakeups on
+//! the waiter side (each return from a condvar wait) — deliberately
+//! outside the bitwise [`CommStats`] parity surface, since wake counts are
+//! host-timing-dependent.
+
+use colossalai_comm::{World, WorldBackend};
+use colossalai_tensor::Tensor;
+use colossalai_topology::systems::fat_tree_512;
+
+const N: usize = 64;
+
+/// All-pairs p2p storm: every rank sends one message to every peer (tag =
+/// sender), then drains its inbox in rotated order so most receives park
+/// before their message arrives. Returns the world for stats inspection.
+fn run_storm(backend: WorldBackend) -> World {
+    let world = World::new(fat_tree_512());
+    world.set_backend(Some(backend));
+    world.run_on(N, |ctx| {
+        let me = ctx.rank();
+        for d in 1..N {
+            let to = (me + d) % N;
+            ctx.send(to, me as u64, Tensor::scalar(me as f32));
+        }
+        // rotated drain: receiver `me` asks for peer (me+1) first, which
+        // forces parking whenever that peer has not reached `me` yet
+        for d in 1..N {
+            let from = (me + d) % N;
+            let got = ctx.recv(from, from as u64);
+            assert_eq!(got.item(), from as f32);
+        }
+    });
+    world
+}
+
+/// One delivery wakes (at most) one receiver: across an all-pairs storm of
+/// `N*(N-1)` messages, total mailbox wakeups stay within one spurious wake
+/// per rank of the message count. Under the old broadcast herd this count
+/// was O(N) per message (~hundreds of thousands here).
+#[test]
+fn storm_wakes_one_receiver_per_message_sched() {
+    let world = run_storm(WorldBackend::Sched { pool: 4 });
+    let w = world.wake_stats();
+    let msgs = (N * (N - 1)) as u64;
+    assert_eq!(w.p2p_msgs, msgs);
+    assert!(
+        w.p2p_wakes <= msgs + N as u64,
+        "keyed condvars must wake ~1 receiver per message: {} wakes for {} msgs",
+        w.p2p_wakes,
+        msgs
+    );
+    assert!(
+        w.wakeups_per_msg() <= 2.0,
+        "wakeups_per_msg {} — the O(world) herd is back",
+        w.wakeups_per_msg()
+    );
+}
+
+/// The same bound holds under the legacy thread-per-rank backend: keyed
+/// wakeups are a mailbox property, not a scheduler property.
+#[test]
+fn storm_wakes_one_receiver_per_message_threads() {
+    let world = run_storm(WorldBackend::Threads);
+    let w = world.wake_stats();
+    let msgs = (N * (N - 1)) as u64;
+    assert_eq!(w.p2p_msgs, msgs);
+    assert!(
+        w.p2p_wakes <= msgs + N as u64,
+        "{} wakes for {} msgs",
+        w.p2p_wakes,
+        msgs
+    );
+}
+
+/// A panicking rank must reach peers parked on *keyed* mailbox condvars:
+/// with per-key wakeup targets, the abort path has to iterate the condvar
+/// table — a single stray notify_all no longer exists to bail everyone
+/// out. Peers park in a `recv` whose message never arrives; the run must
+/// still unwind them and report the original panic.
+#[test]
+fn abort_reaches_ranks_parked_on_keyed_condvars() {
+    let world = World::new(fat_tree_512());
+    world.set_backend(Some(WorldBackend::Sched { pool: 2 }));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        world.run_on(8, |ctx| {
+            if ctx.rank() == 0 {
+                // collect one message per peer so every peer has entered
+                // the protocol, then die before answering
+                for from in 1..8 {
+                    let _ = ctx.recv(from, 7);
+                }
+                panic!("rank zero gave up");
+            }
+            ctx.send(0, 7, Tensor::scalar(ctx.rank() as f32));
+            // parks forever on key (0, rank, 99): only the abort wake can
+            // release it
+            let _ = ctx.recv(0, 99);
+        });
+    }))
+    .expect_err("run must propagate the panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".into());
+    assert!(msg.contains("device thread panicked"), "{msg}");
+    assert!(msg.contains("rank 0"), "{msg}");
+    assert!(msg.contains("rank zero gave up"), "{msg}");
+}
