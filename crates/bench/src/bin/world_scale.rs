@@ -1,56 +1,70 @@
-//! Scaling benchmark of the event-driven rank scheduler: one hybrid
-//! DP x TP x PP training step at 64 -> 4096 simulated ranks, all multiplexed
-//! onto the same fixed worker pool (one running slot per host core).
+//! Scaling benchmark of the stackless world backend: one hybrid
+//! DP x TP x PP training step at 64 -> 16384 simulated ranks, every rank a
+//! resumable [`HybridTask`] state machine multiplexed onto a fixed worker
+//! pool (one running slot per host core).
 //!
 //! The point being measured is the *world backend*, not the arithmetic:
-//! under the legacy thread-per-rank backend a 4096-rank world needs 4096
-//! simultaneously runnable OS threads, while the scheduler parks every rank
-//! at its next rendezvous / p2p / clock-advance yield point and only keeps
-//! `pool` of them running — host cost stays bounded by the pool, not the
-//! world size.
+//! under the legacy thread-per-rank backend a 16384-rank world needs 16384
+//! OS threads (stacks + futexes the kernel pays for even while parked —
+//! EXPERIMENTS.md measured them as the residual scaling term at 4096
+//! ranks), and even the event-driven scheduler still parks one OS thread
+//! per rank. The stackless executor keeps rank state on the heap: peak
+//! live OS threads equal the pool size at *any* world size.
 //!
-//! Two derived columns make the scaling claim checkable:
+//! Three derived columns make the scaling claim checkable:
 //!
 //! * **per-rank-step time** (`wall / (ranks * steps)`) must stay roughly
-//!   flat from 64 to 4096 ranks. Before the keyed-condvar wakeup
-//!   discipline, every p2p send `notify_all`ed the world-wide mailbox
-//!   condvar, waking O(world) parked receivers per message — per-rank cost
-//!   grew superlinearly (64 ranks: ~0.3 ms; 1024 ranks: ~5.5 ms).
+//!   flat from 64 to 16384 ranks (CI gates the ratio at <= 1.5x).
 //! * **wakes/msg** (`World::wake_stats`) must stay ~1 at every size: one
-//!   delivery wakes one receiver. O(world) here means the herd is back.
+//!   delivery wakes one parked task. O(world) here means the thundering
+//!   herd is back.
+//! * **peak thr** (`World::thread_stats`) must equal the pool, not the
+//!   world size — the tentpole claim, gated at `pool + 4` in CI.
 //!
-//! At 64 ranks (a size both backends can run comfortably) the same workload
-//! is re-run under `COLOSSAL_WORLD=threads` semantics and the per-rank
-//! losses, traffic stats and trace span sequences are compared bitwise —
-//! the backend-parity contract of `tests/world_backend_parity.rs`, here
-//! checked inside the shipped artifact. The largest scale also prints the
-//! compacted min/med/max trace rollup (per-rank rows elide at >= 64 ranks).
+//! At 64 ranks (a size where spawning one OS thread per rank is still
+//! cheap) the same workload is re-run under all three backends — threads,
+//! scheduler, stackless — and the per-rank losses, traffic stats and trace
+//! span sequences are compared bitwise: the backend-parity contract of
+//! `tests/world_backend_parity.rs`, here checked inside the shipped
+//! artifact. The largest scale also prints the compacted min/med/max trace
+//! rollup (per-rank rows elide at >= 64 ranks).
 //!
 //! `--json` prints one machine-readable object (used by the CI smoke):
 //! `{"completed": .., "ranks_max": .., "backend_match_64": ..,
-//!   "wall_ms_max": .., "pool": .., "wakeups_per_msg": ..,
-//!   "per_rank_step_ms_64": .., "per_rank_step_ms_max": ..,
-//!   "per_rank_step_ratio": ..}`.
+//!   "wall_ms_max": .., "pool": .., "peak_threads": ..,
+//!   "wakeups_per_msg": .., "per_rank_step_ms_64": ..,
+//!   "per_rank_step_ms_max": .., "per_rank_step_ratio": ..}`.
 
 use colossalai_bench::print_table;
-use colossalai_comm::workload::{run_hybrid, HybridSpec};
+use colossalai_comm::workload::{run_hybrid, HybridSpec, HybridTask};
 use colossalai_comm::{World, WorldBackend};
-use colossalai_topology::systems::{fat_tree_1024, fat_tree_4096, fat_tree_512};
+use colossalai_topology::systems::{
+    fat_tree_1024, fat_tree_16384, fat_tree_4096, fat_tree_512, fat_tree_8192,
+};
 use colossalai_topology::Cluster;
 use std::time::Instant;
 
-const ELEMS: usize = 1024;
+const ELEMS: usize = 256;
 const STEPS: usize = 2;
+/// Passes over the whole scale sweep; each row's wall is the best across
+/// passes. Interleaving the passes (rather than repeating each row
+/// back-to-back) matters on shared hosts: slow drift in machine speed then
+/// hits the 64-rank baseline and the 16384-rank row alike instead of
+/// biasing their ratio. The baseline finishes in ~1 ms, so its single
+/// samples are scheduler-noise; the min over passes is the estimator.
+const REPS: usize = 5;
 
 /// (dp, tp, pp) shapes per scale; tp stays within the 8-GPU NVLink node.
 const SCALES: &[(usize, usize, usize)] = &[
-    (4, 4, 4),
+    (2, 8, 4),
     (4, 8, 4),
     (4, 8, 8),
     (8, 8, 8),
     (16, 8, 8),
     (16, 8, 16),
     (32, 8, 16),
+    (32, 8, 32),
+    (32, 8, 64),
 ];
 
 fn spec_for(dp: usize, tp: usize, pp: usize) -> HybridSpec {
@@ -68,29 +82,44 @@ fn cluster_for(ranks: usize) -> Cluster {
         fat_tree_512()
     } else if ranks <= 1024 {
         fat_tree_1024()
-    } else {
+    } else if ranks <= 4096 {
         fat_tree_4096()
+    } else if ranks <= 8192 {
+        fat_tree_8192()
+    } else {
+        fat_tree_16384()
     }
 }
 
+/// One measured run: per-rank per-step losses, the world (for its stats
+/// gauges), and wall seconds.
+type Sample = (Vec<Vec<f32>>, World, f64);
+
 /// Runs `spec` under `backend` and returns (losses, world, wall seconds).
-fn run_once(spec: &HybridSpec, backend: WorldBackend, traced: bool) -> (Vec<Vec<f32>>, World, f64) {
+/// The stackless backend is driven through `run_tasks` (no per-rank
+/// closure stack at all); the thread-backed backends through `run_on`.
+fn run_once(spec: &HybridSpec, backend: WorldBackend, traced: bool) -> Sample {
     let world = World::new(cluster_for(spec.ranks()));
     world.set_backend(Some(backend));
     world.set_tracing(traced);
+    let spec = *spec;
     let t0 = Instant::now();
-    let losses = world.run_on(spec.ranks(), |ctx| run_hybrid(ctx, spec));
+    let losses = if matches!(backend, WorldBackend::Stackless { .. }) {
+        world.run_tasks(spec.ranks(), move |_rank| HybridTask::new(spec))
+    } else {
+        world.run_on(spec.ranks(), |ctx| run_hybrid(ctx, &spec))
+    };
     let dt = t0.elapsed().as_secs_f64();
     (losses, world, dt)
 }
 
 fn main() {
     let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let sched = WorldBackend::Sched { pool: 0 };
+    let stackless = WorldBackend::Stackless { pool: 0 };
 
     // warm up allocators/pools so the 64-rank reference row is not billed
     // for one-time process setup
-    let _ = run_once(&spec_for(4, 4, 4), sched, false);
+    let _ = run_once(&spec_for(2, 8, 4), stackless, false);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut ranks_max = 0usize;
@@ -98,16 +127,34 @@ fn main() {
     let mut per_rank_step_ms_64 = 0.0f64;
     let mut per_rank_step_ms_max = 0.0f64;
     let mut wakeups_per_msg_worst = 0.0f64;
+    let mut peak_threads_worst = 0u64;
     let mut completed = true;
-    for &(dp, tp, pp) in SCALES {
+    let mut best: Vec<Option<Sample>> = SCALES.iter().map(|_| None).collect();
+    for _ in 0..REPS {
+        for (i, &(dp, tp, pp)) in SCALES.iter().enumerate() {
+            let spec = spec_for(dp, tp, pp);
+            let (l, w, t) = run_once(&spec, stackless, false);
+            match &mut best[i] {
+                None => best[i] = Some((l, w, t)),
+                Some(b) => {
+                    completed &= l == b.0;
+                    if t < b.2 {
+                        *b = (l, w, t);
+                    }
+                }
+            }
+        }
+    }
+    for (i, &(dp, tp, pp)) in SCALES.iter().enumerate() {
         let spec = spec_for(dp, tp, pp);
         let ranks = spec.ranks();
-        let (losses, world, dt) = run_once(&spec, sched, false);
+        let (losses, world, dt) = best[i].take().expect("every scale ran");
         let finite = losses.iter().flatten().all(|l| l.is_finite());
         completed &= finite && losses.len() == ranks;
         let checksum: f64 = losses.iter().flatten().map(|&l| l as f64).sum();
         let stats = world.stats();
         let wakes = world.wake_stats();
+        let threads = world.thread_stats();
         let per_rank_step_ms = dt * 1e3 / (ranks * STEPS) as f64;
         if ranks_max == 0 {
             per_rank_step_ms_64 = per_rank_step_ms;
@@ -116,6 +163,7 @@ fn main() {
         wall_ms_max = dt * 1e3;
         per_rank_step_ms_max = per_rank_step_ms;
         wakeups_per_msg_worst = wakeups_per_msg_worst.max(wakes.wakeups_per_msg());
+        peak_threads_worst = peak_threads_worst.max(threads.peak_live);
         rows.push(vec![
             format!("{ranks}"),
             format!("{dp}x{tp}x{pp}"),
@@ -123,6 +171,7 @@ fn main() {
             format!("{:.0}", dt * 1e3),
             format!("{:.3}", per_rank_step_ms),
             format!("{:.2}", wakes.wakeups_per_msg()),
+            format!("{}", threads.peak_live),
             format!("{}", stats.ops),
             format!("{checksum:.6}"),
         ]);
@@ -130,13 +179,18 @@ fn main() {
 
     // Backend parity at 64 ranks: the largest size where spawning one OS
     // thread per rank *and letting them all run* is still cheap enough to
-    // do twice. Losses, stats and trace spans must match bit for bit.
-    let spec64 = spec_for(4, 4, 4);
-    let (l_sched, w_sched, _) = run_once(&spec64, sched, true);
+    // do three times. Losses, stats and trace spans must match bit for bit
+    // across threads, scheduler and stackless.
+    let spec64 = spec_for(2, 8, 4);
+    let (l_stackless, w_stackless, _) = run_once(&spec64, stackless, true);
+    let (l_sched, w_sched, _) = run_once(&spec64, WorldBackend::Sched { pool: 0 }, true);
     let (l_threads, w_threads, _) = run_once(&spec64, WorldBackend::Threads, true);
-    let backend_match = l_sched == l_threads
-        && w_sched.stats() == w_threads.stats()
-        && w_sched.trace() == w_threads.trace();
+    let backend_match = l_stackless == l_sched
+        && l_stackless == l_threads
+        && w_stackless.stats() == w_sched.stats()
+        && w_stackless.stats() == w_threads.stats()
+        && w_stackless.trace() == w_sched.trace()
+        && w_stackless.trace() == w_threads.trace();
 
     let per_rank_step_ratio = if per_rank_step_ms_64 > 0.0 {
         per_rank_step_ms_max / per_rank_step_ms_64
@@ -149,6 +203,7 @@ fn main() {
             "{{\"completed\": {completed}, \"ranks_max\": {ranks_max}, \
              \"backend_match_64\": {backend_match}, \
              \"wall_ms_max\": {wall_ms_max:.1}, \"pool\": {pool}, \
+             \"peak_threads\": {peak_threads_worst}, \
              \"wakeups_per_msg\": {wakeups_per_msg_worst:.3}, \
              \"per_rank_step_ms_64\": {per_rank_step_ms_64:.4}, \
              \"per_rank_step_ms_max\": {per_rank_step_ms_max:.4}, \
@@ -159,8 +214,8 @@ fn main() {
 
     print_table(
         &format!(
-            "Event-driven world scaling: hybrid DPxTPxPP step, {STEPS} steps x \
-             {ELEMS} elems, scheduler pool = {pool} slots"
+            "Stackless world scaling: hybrid DPxTPxPP step, {STEPS} steps x \
+             {ELEMS} elems, worker pool = {pool} slots"
         ),
         &[
             "ranks",
@@ -169,13 +224,14 @@ fn main() {
             "wall ms",
             "ms/rank-step",
             "wakes/msg",
+            "peak thr",
             "coll ops",
             "loss checksum",
         ],
         &rows,
     );
     println!(
-        "\nbackend parity @ 64 ranks (threads vs scheduler): {}",
+        "\nbackend parity @ 64 ranks (threads vs scheduler vs stackless): {}",
         if backend_match {
             "bitwise identical (losses, stats, trace)"
         } else {
@@ -184,7 +240,8 @@ fn main() {
     );
     println!(
         "per-rank-step growth 64 -> {ranks_max} ranks: {per_rank_step_ms_64:.3} ms -> \
-         {per_rank_step_ms_max:.3} ms ({per_rank_step_ratio:.2}x)"
+         {per_rank_step_ms_max:.3} ms ({per_rank_step_ratio:.2}x), \
+         peak OS threads {peak_threads_worst} (pool = {pool})"
     );
 
     // The compacted rollup of the largest run: at >= 64 ranks per-rank rows
@@ -193,12 +250,12 @@ fn main() {
         let &(dp, tp, pp) = SCALES.last().unwrap();
         spec_for(dp, tp, pp)
     };
-    let (_, w_max, _) = run_once(&spec_max, sched, true);
+    let (_, w_max, _) = run_once(&spec_max, stackless, true);
     println!("\n{}", w_max.rollup_table());
     println!(
-        "Every rank above ran as a resumable task on {pool} worker slots; \
-         peak host threads stay O(pool + blocked ranks' parked stacks) and \
-         results are invariant to the pool size (COLOSSAL_WORLD_POOL) and \
-         to the backend (COLOSSAL_WORLD=threads)."
+        "Every rank above ran as a resumable heap task on {pool} worker \
+         slots; peak OS threads stay O(pool) at any world size and results \
+         are invariant to the pool size (COLOSSAL_WORLD_POOL) and to the \
+         backend (COLOSSAL_WORLD=threads|sched|stackless)."
     );
 }

@@ -6,6 +6,7 @@
 //! rank order, so results are bit-deterministic across runs.
 
 use crate::stats::OpKind;
+use crate::task::{Poll, WakeKey};
 use crate::trace::{group_track_name, SpanKind, Track};
 use crate::world::DeviceCtx;
 use colossalai_tensor::Tensor;
@@ -99,6 +100,239 @@ fn allreduce_plan(
     (cost, 2 * (p - 1) * n, None)
 }
 
+/// What to compute when the last arrival combines the deposited inputs.
+///
+/// A plain value instead of a `FnOnce` closure so a [`CollectiveOp`] is a
+/// small `'static` struct a stackless [`crate::task::RankTask`] can hold
+/// across polls; the combine itself ([`finish_spec`]) runs in the last
+/// arrival's poll, where a `DeviceCtx` (cluster, forced algo) is at hand.
+#[derive(Clone, Copy)]
+enum CollSpec {
+    /// Sum (or elementwise-max) all-reduce.
+    AllReduce {
+        max: bool,
+        wire: Wire,
+    },
+    AllGather {
+        dim: usize,
+        wire: Wire,
+    },
+    ReduceScatter {
+        dim: usize,
+        wire: Wire,
+    },
+    Broadcast {
+        root: usize,
+        wire: Wire,
+    },
+    Scatter {
+        dim: usize,
+        root: usize,
+        wire: Wire,
+    },
+    Gather {
+        dim: usize,
+        root: usize,
+        wire: Wire,
+    },
+    AllToAll {
+        dim: usize,
+        wire: Wire,
+    },
+    ReduceSum {
+        root: usize,
+        wire: Wire,
+    },
+    Barrier,
+}
+
+/// Runs `spec`'s combine over the rank-ordered inputs: per-rank outputs,
+/// modeled cost and traffic accounting. Pure in the inputs plus the
+/// cluster model (and the world's forced-algo pin), so every backend gets
+/// bitwise-identical outputs no matter which rank arrives last.
+fn finish_spec(spec: CollSpec, ctx: &DeviceCtx, members: &[DeviceId], inputs: &[Tensor]) -> Done {
+    let p = members.len();
+    let cluster = ctx.cluster();
+    match spec {
+        CollSpec::AllReduce { max, wire } => {
+            let acc = if max {
+                reduce_max_rank_ordered(inputs)
+            } else {
+                reduce_sum_rank_ordered(inputs)
+            };
+            let n = acc.numel() as u64;
+            // max is associative+commutative, so the hierarchical schedule
+            // applies to it exactly as to sum
+            let algo = ctx
+                .forced_allreduce_algo()
+                .unwrap_or_else(|| cost::select_allreduce_algo(cluster, members, n * wire.bytes()));
+            let (cost, elements, phases) = allreduce_plan(algo, cluster, members, n, wire);
+            Done {
+                outputs: vec![acc; p],
+                cost,
+                kind: OpKind::AllReduce,
+                elements,
+                wire,
+                phases,
+            }
+        }
+        CollSpec::AllGather { dim, wire } => {
+            let contrib = inputs[0].numel() as u64;
+            let full = Tensor::cat(inputs, dim);
+            let cost = cost::allgather_time(cluster, members, contrib * wire.bytes());
+            let elements = (p as u64 - 1) * p as u64 * contrib;
+            Done::new(vec![full; p], cost, OpKind::AllGather, elements, wire)
+        }
+        CollSpec::ReduceScatter { dim, wire } => {
+            let sum = reduce_sum_rank_ordered(inputs);
+            let n = sum.numel() as u64;
+            let outs = sum.chunk(dim, p);
+            let cost = cost::reduce_scatter_time(cluster, members, n * wire.bytes());
+            let elements = (p as u64 - 1) * n;
+            Done::new(outs, cost, OpKind::ReduceScatter, elements, wire)
+        }
+        CollSpec::Broadcast { root, wire } => {
+            let src = inputs[root].clone();
+            let n = src.numel() as u64;
+            let cost = cost::broadcast_time(cluster, members, n * wire.bytes());
+            let elements = (p as u64 - 1) * n;
+            Done::new(vec![src; p], cost, OpKind::Broadcast, elements, wire)
+        }
+        CollSpec::Scatter { dim, root, wire } => {
+            let src = &inputs[root];
+            let n = src.numel() as u64;
+            let outs = src.chunk_ragged(dim, p);
+            // uneven chunks: the largest one gates the pairwise exchange
+            let max_chunk = outs.iter().map(|c| c.numel() as u64).max().unwrap_or(0);
+            let kept = outs[root].numel() as u64;
+            let cost = cost::alltoall_time(cluster, members, max_chunk * wire.bytes());
+            // the root wires out everything except its own chunk
+            let elements = n - kept;
+            Done::new(outs, cost, OpKind::Scatter, elements, wire)
+        }
+        CollSpec::Gather { dim, root, wire } => {
+            // contributions may be ragged: bill what each rank actually sends
+            let max_contrib = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != root)
+                .map(|(_, t)| t.numel() as u64)
+                .max()
+                .unwrap_or(0);
+            let elements: u64 = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != root)
+                .map(|(_, t)| t.numel() as u64)
+                .sum();
+            let full = Tensor::cat(inputs, dim);
+            let outs = (0..p)
+                .map(|r| {
+                    if r == root {
+                        full.clone()
+                    } else {
+                        Tensor::zeros([0])
+                    }
+                })
+                .collect();
+            let cost = cost::alltoall_time(cluster, members, max_contrib * wire.bytes());
+            Done::new(outs, cost, OpKind::Gather, elements, wire)
+        }
+        CollSpec::AllToAll { dim, wire } => {
+            let n = inputs[0].numel() as u64;
+            let per_rank: Vec<Vec<Tensor>> =
+                inputs.iter().map(|t| t.chunk_ragged(dim, p)).collect();
+            // chunk sizes need not divide evenly; the largest chunk gates
+            // each pairwise exchange step
+            let max_chunk = per_rank[0]
+                .iter()
+                .map(|c| c.numel() as u64)
+                .max()
+                .unwrap_or(0);
+            let outs = (0..p)
+                .map(|i| {
+                    let mine: Vec<Tensor> =
+                        per_rank.iter().map(|chunks| chunks[i].clone()).collect();
+                    Tensor::cat(&mine, dim)
+                })
+                .collect();
+            let cost = cost::alltoall_time(cluster, members, max_chunk * wire.bytes());
+            // each rank wires out its tensor minus the chunk it keeps; the
+            // kept chunks across ranks sum to exactly one tensor
+            let elements = (p as u64 - 1) * n;
+            Done::new(outs, cost, OpKind::AllToAll, elements, wire)
+        }
+        CollSpec::ReduceSum { root, wire } => {
+            let sum = reduce_sum_rank_ordered(inputs);
+            let n = sum.numel() as u64;
+            let outs = (0..p)
+                .map(|r| {
+                    if r == root {
+                        sum.clone()
+                    } else {
+                        Tensor::zeros([0])
+                    }
+                })
+                .collect();
+            let cost = cost::broadcast_time(cluster, members, n * wire.bytes());
+            let elements = (p as u64 - 1) * n;
+            Done::new(outs, cost, OpKind::Reduce, elements, wire)
+        }
+        CollSpec::Barrier => {
+            let cost = cost::allreduce_time(cluster, members, Wire::F32.bytes());
+            Done::new(
+                vec![Tensor::zeros([0]); p],
+                cost,
+                OpKind::Barrier,
+                0,
+                Wire::F32,
+            )
+        }
+    }
+}
+
+/// Where a [`CollectiveOp`] is in the rendezvous protocol.
+enum CollStage {
+    /// Not yet deposited (possibly waiting out the previous op's drain).
+    Enter,
+    /// Deposited; waiting for the last arrival to publish the outputs.
+    AwaitPublish,
+}
+
+/// One in-flight collective on this rank: the resumable form of a
+/// rendezvous entry, created by the `Group::start_*` methods and advanced
+/// by [`Group::poll_collective`] until it yields the rank's output.
+///
+/// Holding one of these across polls is what lets a stackless
+/// [`crate::task::RankTask`] park *inside* a collective without owning a
+/// stack; the blocking collectives drive the very same struct in a
+/// poll/wait loop.
+pub struct CollectiveOp {
+    spec: CollSpec,
+    stream: Stream,
+    input: Option<Tensor>,
+    /// This rank's arrival clock, latched on the first poll.
+    t_arrive: Option<f64>,
+    stage: CollStage,
+    /// Set when the previous poll returned `Pending`: the next poll counts
+    /// one observed group wakeup (the stackless analog of coming off a
+    /// rendezvous condvar).
+    parked: bool,
+}
+
+impl CollectiveOp {
+    fn new(spec: CollSpec, stream: Stream, input: Tensor) -> CollectiveOp {
+        CollectiveOp {
+            spec,
+            stream,
+            input: Some(input),
+            t_arrive: None,
+            stage: CollStage::Enter,
+            parked: false,
+        }
+    }
+}
+
 struct SlotState {
     phase: Phase,
     inputs: Vec<Option<Tensor>>,
@@ -110,6 +344,13 @@ struct SlotState {
     /// Kind and wire bytes of the op in flight, published by the last
     /// arrival so every rank can emit its own trace span.
     op: Option<(OpKind, u64)>,
+    /// Global ranks of stackless tasks parked `Pending` for this op's
+    /// publish; drained (and woken through the task waker) by the last
+    /// arrival. Thread-backed waiters park on `cv_publish` instead.
+    parked_publish: Vec<DeviceId>,
+    /// Stackless tasks parked waiting for the previous op's drain; woken
+    /// by the last picker's reset.
+    parked_drain: Vec<DeviceId>,
 }
 
 /// Shared state of one process group (all member handles point here).
@@ -147,9 +388,31 @@ impl GroupShared {
                 t_max: 0.0,
                 t_done: 0.0,
                 op: None,
+                parked_publish: Vec::new(),
+                parked_drain: Vec::new(),
             }),
             cv_publish: Condvar::new(),
             cv_drain: Condvar::new(),
+        }
+    }
+
+    /// Blocking fallback for a [`WakeKey::publish`] key: parks the calling
+    /// thread on `cv_publish` while the slot is still collecting. One wait
+    /// per call — the poll/wait driver loop re-checks by re-polling, like
+    /// a condvar waiter re-checking its predicate.
+    pub(crate) fn block_until_published(&self, ctx: &DeviceCtx) {
+        let mut st = self.slot.lock();
+        if st.phase == Phase::Collect {
+            ctx.wait_on(&self.cv_publish, &mut st);
+        }
+    }
+
+    /// Blocking fallback for a [`WakeKey::drain`] key: parks while the
+    /// previous op is still distributing.
+    pub(crate) fn block_until_drained(&self, ctx: &DeviceCtx) {
+        let mut st = self.slot.lock();
+        if st.phase == Phase::Distribute {
+            ctx.wait_on(&self.cv_drain, &mut st);
         }
     }
 
@@ -199,34 +462,60 @@ impl Group {
         &self.shared.members
     }
 
-    /// Core rendezvous: every rank deposits `input`; the last arrival runs
-    /// `finish` (producing one output per rank, the op's virtual cost, the
-    /// op kind and its element-hop count); every rank leaves with its output
-    /// and the charged stream's clock advanced to `max(arrival clocks) +
-    /// cost`. On [`Stream::Main`] the arrival clock is the main clock; on
+    /// Advances an in-flight collective by one step: the poll-driven form
+    /// of the rendezvous. Every rank deposits its input; the last arrival
+    /// runs [`finish_spec`] (one output per rank, the op's virtual cost,
+    /// kind and element-hop count); every rank leaves with its output and
+    /// the charged stream's clock advanced to `max(arrival clocks) + cost`.
+    /// On [`Stream::Main`] the arrival clock is the main clock; on
     /// [`Stream::Comm`] it is `max(main, comm)` and only the comm clock
     /// advances, so compute may keep accruing behind the collective.
+    ///
+    /// Instead of sleeping, a rank that must wait returns
+    /// [`Poll::Pending`] with the wake key of the edge it needs (publish or
+    /// drain); under a stackless executor it first registers itself in the
+    /// slot's parked list *under the slot lock*, so the waking rank cannot
+    /// miss it. Spurious re-polls re-check the phase and re-park. The
+    /// blocking collectives drive this same method via [`Group::run_op`],
+    /// which is what keeps the two wait styles bitwise identical.
     ///
     /// When tracing is enabled, every rank emits a [`SpanKind::Collective`]
     /// span (on its device or comm-stream track) from its arrival to the
     /// group-wide completion, and the last arrival additionally emits the
     /// group-track span(s) — one per op, or one per phase for the
     /// hierarchical schedule.
-    fn rendezvous_on<F>(&self, ctx: &DeviceCtx, input: Tensor, stream: Stream, finish: F) -> Tensor
-    where
-        F: FnOnce(&[Tensor]) -> Done,
-    {
+    pub fn poll_collective(&self, ctx: &DeviceCtx, op: &mut CollectiveOp) -> Poll<Tensor> {
         ctx.check_abort();
+        if op.parked {
+            // resumed after a Pending: the stackless analog of coming off
+            // one rendezvous condvar wait
+            op.parked = false;
+            ctx.world.count_group_wake();
+        }
         let p = self.size();
-        let t_arrive = match stream {
-            Stream::Main => ctx.clock(),
-            Stream::Comm => ctx.comm_ready(),
+        let stream = op.stream;
+        // arrival time latches on the first poll — re-polls after Pending
+        // must not re-read a clock that never moved while parked
+        let t_arrive = match op.t_arrive {
+            Some(t) => t,
+            None => {
+                let t = match stream {
+                    Stream::Main => ctx.clock(),
+                    Stream::Comm => ctx.comm_ready(),
+                };
+                op.t_arrive = Some(t);
+                t
+            }
         };
         if p == 1 {
             // single-rank group: identity data-wise and zero cost, but still
             // one group op — record the promised stats entry (zero element
             // hops) and a zero-length trace span
-            let done = finish(std::slice::from_ref(&input));
+            let input = op
+                .input
+                .take()
+                .expect("collective op polled after completion");
+            let done = finish_spec(op.spec, ctx, self.members(), std::slice::from_ref(&input));
             let bytes = done.elements * done.wire.bytes();
             ctx.record_stats(done.kind, done.elements, bytes);
             let t_done = t_arrive + done.cost;
@@ -246,62 +535,91 @@ impl Group {
                 self.trace_group_phases(ctx, &done, bytes, t_arrive, t_done);
             }
             let mut outs = done.outputs;
-            return outs.pop().expect("finish produced no output");
+            return Poll::Ready(outs.pop().expect("finish produced no output"));
         }
         let shared = &*self.shared;
         let mut st = shared.slot.lock();
-        // wait for the previous op to fully drain
-        while st.phase == Phase::Distribute {
-            ctx.wait_on(&shared.cv_drain, &mut st);
-            ctx.world.count_group_wake();
-        }
-        if st.arrived == 0 {
-            // first arrival of an op: the last picker's reset (or `new`)
-            // must have left no residue from the previous op
-            debug_assert!(
-                st.inputs.iter().all(Option::is_none),
-                "stale inputs entering Collect"
-            );
-            debug_assert!(st.outputs.is_empty(), "stale outputs entering Collect");
-            debug_assert_eq!(st.picked, 0, "stale pick count entering Collect");
-            debug_assert_eq!(st.t_max, 0.0, "stale t_max entering Collect");
-            debug_assert_eq!(st.t_done, 0.0, "stale t_done entering Collect");
-            debug_assert!(st.op.is_none(), "stale op metadata entering Collect");
-        }
-        assert!(
-            st.inputs[self.my_index].is_none(),
-            "rank reentered collective"
-        );
-        st.inputs[self.my_index] = Some(input);
-        st.arrived += 1;
-        st.t_max = st.t_max.max(t_arrive);
-        if st.arrived == p {
-            // last arrival: combine and publish
-            let inputs: Vec<Tensor> = st.inputs.iter_mut().map(|i| i.take().unwrap()).collect();
-            let mut done = finish(&inputs);
-            assert_eq!(
-                done.outputs.len(),
-                p,
-                "finish must produce one output per rank"
-            );
-            let bytes = done.elements * done.wire.bytes();
-            st.outputs = std::mem::take(&mut done.outputs)
-                .into_iter()
-                .map(Some)
-                .collect();
-            st.t_done = st.t_max + done.cost;
-            st.phase = Phase::Distribute;
-            st.op = Some((done.kind, bytes));
-            ctx.record_stats(done.kind, done.elements, bytes);
-            self.trace_group_phases(ctx, &done, bytes, st.t_max, st.t_done);
-            // wakes only the p-1 Collect waiters — ranks already draining
-            // toward the *next* op sit on cv_drain and stay parked
-            shared.cv_publish.notify_all();
-        } else {
-            while st.phase == Phase::Collect {
-                ctx.wait_on(&shared.cv_publish, &mut st);
-                ctx.world.count_group_wake();
+        if matches!(op.stage, CollStage::Enter) {
+            if st.phase == Phase::Distribute {
+                // previous op not fully drained: park until the last picker
+                // resets the slot
+                op.parked = true;
+                if ctx.task_waker().is_some() && !st.parked_drain.contains(&ctx.rank()) {
+                    st.parked_drain.push(ctx.rank());
+                }
+                return Poll::Pending(WakeKey::drain(&self.shared));
             }
+            if st.arrived == 0 {
+                // first arrival of an op: the last picker's reset (or `new`)
+                // must have left no residue from the previous op
+                debug_assert!(
+                    st.inputs.iter().all(Option::is_none),
+                    "stale inputs entering Collect"
+                );
+                debug_assert!(st.outputs.is_empty(), "stale outputs entering Collect");
+                debug_assert_eq!(st.picked, 0, "stale pick count entering Collect");
+                debug_assert_eq!(st.t_max, 0.0, "stale t_max entering Collect");
+                debug_assert_eq!(st.t_done, 0.0, "stale t_done entering Collect");
+                debug_assert!(st.op.is_none(), "stale op metadata entering Collect");
+            }
+            assert!(
+                st.inputs[self.my_index].is_none(),
+                "rank reentered collective"
+            );
+            st.inputs[self.my_index] = Some(
+                op.input
+                    .take()
+                    .expect("collective op polled after completion"),
+            );
+            st.arrived += 1;
+            st.t_max = st.t_max.max(t_arrive);
+            op.stage = CollStage::AwaitPublish;
+            if st.arrived == p {
+                // last arrival: combine and publish
+                let inputs: Vec<Tensor> = st.inputs.iter_mut().map(|i| i.take().unwrap()).collect();
+                let mut done = finish_spec(op.spec, ctx, self.members(), &inputs);
+                assert_eq!(
+                    done.outputs.len(),
+                    p,
+                    "finish must produce one output per rank"
+                );
+                let bytes = done.elements * done.wire.bytes();
+                st.outputs = std::mem::take(&mut done.outputs)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                st.t_done = st.t_max + done.cost;
+                st.phase = Phase::Distribute;
+                st.op = Some((done.kind, bytes));
+                ctx.record_stats(done.kind, done.elements, bytes);
+                self.trace_group_phases(ctx, &done, bytes, st.t_max, st.t_done);
+                // wakes only the p-1 Collect waiters — ranks already
+                // draining toward the *next* op sit on the drain edge and
+                // stay parked. Parked stackless tasks are drained under the
+                // slot lock, so none can register between publish and wake.
+                let wake = std::mem::take(&mut st.parked_publish);
+                shared.cv_publish.notify_all();
+                if let Some(w) = ctx.task_waker() {
+                    for r in wake {
+                        w.wake(r);
+                    }
+                }
+                // fall through to pick our own output
+            } else {
+                op.parked = true;
+                if ctx.task_waker().is_some() {
+                    st.parked_publish.push(ctx.rank());
+                }
+                return Poll::Pending(WakeKey::publish(&self.shared));
+            }
+        } else if st.phase == Phase::Collect {
+            // spurious resume: the publish we are waiting for has not
+            // happened yet — re-park (condvar predicate re-check)
+            op.parked = true;
+            if ctx.task_waker().is_some() && !st.parked_publish.contains(&ctx.rank()) {
+                st.parked_publish.push(ctx.rank());
+            }
+            return Poll::Pending(WakeKey::publish(&self.shared));
         }
         let out = st.outputs[self.my_index]
             .take()
@@ -321,7 +639,13 @@ impl Group {
             st.t_done = 0.0;
             st.outputs = Vec::new();
             st.op = None;
+            let wake = std::mem::take(&mut st.parked_drain);
             shared.cv_drain.notify_all();
+            if let Some(w) = ctx.task_waker() {
+                for r in wake {
+                    w.wake(r);
+                }
+            }
         }
         drop(st);
         self.advance_stream(ctx, stream, t_done);
@@ -334,15 +658,54 @@ impl Group {
                 t_done,
             );
         }
-        out
+        Poll::Ready(out)
     }
 
-    /// Blocking rendezvous on the main clock (the default for collectives).
-    fn rendezvous<F>(&self, ctx: &DeviceCtx, input: Tensor, finish: F) -> Tensor
-    where
-        F: FnOnce(&[Tensor]) -> Done,
-    {
-        self.rendezvous_on(ctx, input, Stream::Main, finish)
+    /// Blocking driver: polls the op to completion, parking the OS thread
+    /// on the keyed resource whenever the poll returns `Pending`. This is
+    /// the collective path of the threads and sched backends — the same
+    /// state machine the stackless executor advances, waited on with a
+    /// condvar instead of a wake key.
+    fn run_op(&self, ctx: &DeviceCtx, input: Tensor, stream: Stream, spec: CollSpec) -> Tensor {
+        let mut op = CollectiveOp::new(spec, stream, input);
+        loop {
+            match self.poll_collective(ctx, &mut op) {
+                Poll::Ready(out) => return out,
+                Poll::Pending(key) => ctx.wait_key(&key),
+            }
+        }
+    }
+
+    // ---- resumable starters ---------------------------------------------
+
+    /// Starts a sum all-reduce (FP32 wire) as a resumable op; advance it
+    /// with [`Group::poll_collective`]. For stackless [`crate::RankTask`]s.
+    pub fn start_all_reduce(&self, t: Tensor) -> CollectiveOp {
+        CollectiveOp::new(
+            CollSpec::AllReduce {
+                max: false,
+                wire: Wire::F32,
+            },
+            Stream::Main,
+            t,
+        )
+    }
+
+    /// Starts an all-gather-cat along `dim` (FP32 wire) as a resumable op.
+    pub fn start_all_gather_cat(&self, t: Tensor, dim: usize) -> CollectiveOp {
+        CollectiveOp::new(
+            CollSpec::AllGather {
+                dim,
+                wire: Wire::F32,
+            },
+            Stream::Main,
+            t,
+        )
+    }
+
+    /// Starts a barrier as a resumable op; the output tensor is empty.
+    pub fn start_barrier(&self) -> CollectiveOp {
+        CollectiveOp::new(CollSpec::Barrier, Stream::Main, Tensor::zeros([0]))
     }
 
     fn advance_stream(&self, ctx: &DeviceCtx, stream: Stream, t_done: f64) {
@@ -427,26 +790,7 @@ impl Group {
     }
 
     fn all_reduce_wire_on(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire, stream: Stream) -> Tensor {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        let forced = ctx.forced_allreduce_algo();
-        self.rendezvous_on(ctx, t, stream, move |inputs| {
-            let sum = reduce_sum_rank_ordered(inputs);
-            let n = sum.numel() as u64;
-            let algo = forced.unwrap_or_else(|| {
-                cost::select_allreduce_algo(cluster, &members, n * wire.bytes())
-            });
-            let (cost, elements, phases) = allreduce_plan(algo, cluster, &members, n, wire);
-            Done {
-                outputs: vec![sum; p],
-                cost,
-                kind: OpKind::AllReduce,
-                elements,
-                wire,
-                phases,
-            }
-        })
+        self.run_op(ctx, t, stream, CollSpec::AllReduce { max: false, wire })
     }
 
     /// All-gather with concatenation along `dim`: every rank contributes a
@@ -461,16 +805,7 @@ impl Group {
     }
 
     fn all_gather_cat_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            let contrib = inputs[0].numel() as u64;
-            let full = Tensor::cat(inputs, dim);
-            let cost = cost::allgather_time(cluster, &members, contrib * wire.bytes());
-            let elements = (p as u64 - 1) * p as u64 * contrib;
-            Done::new(vec![full; p], cost, OpKind::AllGather, elements, wire)
-        })
+        self.run_op(ctx, t, Stream::Main, CollSpec::AllGather { dim, wire })
     }
 
     /// Reduce-scatter: sums all contributions, then each rank keeps its
@@ -503,17 +838,7 @@ impl Group {
         wire: Wire,
         stream: Stream,
     ) -> Tensor {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous_on(ctx, t, stream, move |inputs| {
-            let sum = reduce_sum_rank_ordered(inputs);
-            let n = sum.numel() as u64;
-            let outs = sum.chunk(dim, p);
-            let cost = cost::reduce_scatter_time(cluster, &members, n * wire.bytes());
-            let elements = (p as u64 - 1) * n;
-            Done::new(outs, cost, OpKind::ReduceScatter, elements, wire)
-        })
+        self.run_op(ctx, t, stream, CollSpec::ReduceScatter { dim, wire })
     }
 
     /// Broadcast from group-rank `root` at FP32 wire width. Non-root ranks'
@@ -529,17 +854,8 @@ impl Group {
     }
 
     fn broadcast_wire(&self, ctx: &DeviceCtx, t: Tensor, root: usize, wire: Wire) -> Tensor {
-        let p = self.size();
-        assert!(root < p, "broadcast root {root} out of range");
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            let src = inputs[root].clone();
-            let n = src.numel() as u64;
-            let cost = cost::broadcast_time(cluster, &members, n * wire.bytes());
-            let elements = (p as u64 - 1) * n;
-            Done::new(vec![src; p], cost, OpKind::Broadcast, elements, wire)
-        })
+        assert!(root < self.size(), "broadcast root {root} out of range");
+        self.run_op(ctx, t, Stream::Main, CollSpec::Broadcast { root, wire })
     }
 
     /// Scatter from group-rank `root`: the root's tensor is chunked along
@@ -562,22 +878,8 @@ impl Group {
         root: usize,
         wire: Wire,
     ) -> Tensor {
-        let p = self.size();
-        assert!(root < p, "scatter root {root} out of range");
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            let src = &inputs[root];
-            let n = src.numel() as u64;
-            let outs = src.chunk_ragged(dim, p);
-            // uneven chunks: the largest one gates the pairwise exchange
-            let max_chunk = outs.iter().map(|c| c.numel() as u64).max().unwrap_or(0);
-            let kept = outs[root].numel() as u64;
-            let cost = cost::alltoall_time(cluster, &members, max_chunk * wire.bytes());
-            // the root wires out everything except its own chunk
-            let elements = n - kept;
-            Done::new(outs, cost, OpKind::Scatter, elements, wire)
-        })
+        assert!(root < self.size(), "scatter root {root} out of range");
+        self.run_op(ctx, t, Stream::Main, CollSpec::Scatter { dim, root, wire })
     }
 
     /// Gather to group-rank `root` with concatenation along `dim`; the root
@@ -599,38 +901,8 @@ impl Group {
         root: usize,
         wire: Wire,
     ) -> Tensor {
-        let p = self.size();
-        assert!(root < p, "gather root {root} out of range");
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            // contributions may be ragged: bill what each rank actually sends
-            let max_contrib = inputs
-                .iter()
-                .enumerate()
-                .filter(|&(r, _)| r != root)
-                .map(|(_, t)| t.numel() as u64)
-                .max()
-                .unwrap_or(0);
-            let elements: u64 = inputs
-                .iter()
-                .enumerate()
-                .filter(|&(r, _)| r != root)
-                .map(|(_, t)| t.numel() as u64)
-                .sum();
-            let full = Tensor::cat(inputs, dim);
-            let outs = (0..p)
-                .map(|r| {
-                    if r == root {
-                        full.clone()
-                    } else {
-                        Tensor::zeros([0])
-                    }
-                })
-                .collect();
-            let cost = cost::alltoall_time(cluster, &members, max_contrib * wire.bytes());
-            Done::new(outs, cost, OpKind::Gather, elements, wire)
-        })
+        assert!(root < self.size(), "gather root {root} out of range");
+        self.run_op(ctx, t, Stream::Main, CollSpec::Gather { dim, root, wire })
     }
 
     /// All-to-all: each rank's tensor is chunked along `dim`; rank i ends
@@ -645,33 +917,7 @@ impl Group {
     }
 
     fn all_to_all_wire(&self, ctx: &DeviceCtx, t: Tensor, dim: usize, wire: Wire) -> Tensor {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            let n = inputs[0].numel() as u64;
-            let per_rank: Vec<Vec<Tensor>> =
-                inputs.iter().map(|t| t.chunk_ragged(dim, p)).collect();
-            // chunk sizes need not divide evenly; the largest chunk gates
-            // each pairwise exchange step
-            let max_chunk = per_rank[0]
-                .iter()
-                .map(|c| c.numel() as u64)
-                .max()
-                .unwrap_or(0);
-            let outs = (0..p)
-                .map(|i| {
-                    let mine: Vec<Tensor> =
-                        per_rank.iter().map(|chunks| chunks[i].clone()).collect();
-                    Tensor::cat(&mine, dim)
-                })
-                .collect();
-            let cost = cost::alltoall_time(cluster, &members, max_chunk * wire.bytes());
-            // each rank wires out its tensor minus the chunk it keeps; the
-            // kept chunks across ranks sum to exactly one tensor
-            let elements = (p as u64 - 1) * n;
-            Done::new(outs, cost, OpKind::AllToAll, elements, wire)
-        })
+        self.run_op(ctx, t, Stream::Main, CollSpec::AllToAll { dim, wire })
     }
 
     /// Elementwise-max all-reduce (used by distributed gradient-norm and
@@ -686,28 +932,12 @@ impl Group {
     }
 
     fn all_reduce_max_wire(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire) -> Tensor {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        let forced = ctx.forced_allreduce_algo();
-        self.rendezvous(ctx, t, move |inputs| {
-            let acc = reduce_max_rank_ordered(inputs);
-            let n = acc.numel() as u64;
-            // max is associative+commutative, so the hierarchical schedule
-            // applies to it exactly as to sum
-            let algo = forced.unwrap_or_else(|| {
-                cost::select_allreduce_algo(cluster, &members, n * wire.bytes())
-            });
-            let (cost, elements, phases) = allreduce_plan(algo, cluster, &members, n, wire);
-            Done {
-                outputs: vec![acc; p],
-                cost,
-                kind: OpKind::AllReduce,
-                elements,
-                wire,
-                phases,
-            }
-        })
+        self.run_op(
+            ctx,
+            t,
+            Stream::Main,
+            CollSpec::AllReduce { max: true, wire },
+        )
     }
 
     /// Sum-reduce to group-rank `root`: the root receives the elementwise
@@ -723,39 +953,14 @@ impl Group {
     }
 
     fn reduce_sum_wire(&self, ctx: &DeviceCtx, t: Tensor, root: usize, wire: Wire) -> Tensor {
-        let p = self.size();
-        assert!(root < p, "reduce root {root} out of range");
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        self.rendezvous(ctx, t, move |inputs| {
-            let sum = reduce_sum_rank_ordered(inputs);
-            let n = sum.numel() as u64;
-            let outs = (0..p)
-                .map(|r| {
-                    if r == root {
-                        sum.clone()
-                    } else {
-                        Tensor::zeros([0])
-                    }
-                })
-                .collect();
-            let cost = cost::broadcast_time(cluster, &members, n * wire.bytes());
-            let elements = (p as u64 - 1) * n;
-            Done::new(outs, cost, OpKind::Reduce, elements, wire)
-        })
+        assert!(root < self.size(), "reduce root {root} out of range");
+        self.run_op(ctx, t, Stream::Main, CollSpec::ReduceSum { root, wire })
     }
 
     /// Synchronization barrier; costs one latency-bound all-reduce of a
     /// single FP32 wire element.
     pub fn barrier(&self, ctx: &DeviceCtx) {
-        let p = self.size();
-        let members = self.members().to_vec();
-        let cluster = ctx.cluster();
-        let wire = Wire::F32;
-        let _ = self.rendezvous(ctx, Tensor::zeros([0]), move |_| {
-            let cost = cost::allreduce_time(cluster, &members, wire.bytes());
-            Done::new(vec![Tensor::zeros([0]); p], cost, OpKind::Barrier, 0, wire)
-        });
+        let _ = self.run_op(ctx, Tensor::zeros([0]), Stream::Main, CollSpec::Barrier);
     }
 }
 

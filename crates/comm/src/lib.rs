@@ -9,22 +9,28 @@
 //! `colossalai-topology` and recording element-hop traffic that matches the
 //! closed-form communication volumes of Table 1 in the paper.
 //!
-//! Rank tasks execute under one of two backends (see
+//! Rank tasks execute under one of three backends (see
 //! [`world::WorldBackend`]): the default event-driven [`sched`]uler, which
-//! multiplexes any number of ranks onto a fixed worker pool in virtual-time
-//! order, or the legacy thread-per-rank mode (`COLOSSAL_WORLD=threads`).
-//! Both produce bitwise-identical results.
+//! multiplexes any number of parked rank threads onto a fixed worker pool
+//! in virtual-time order; the stackless executor
+//! (`COLOSSAL_WORLD=stackless`), which runs each rank as a resumable
+//! [`task::RankTask`] state machine so a 16k-rank world needs only
+//! O(pool) OS threads; and the legacy thread-per-rank mode
+//! (`COLOSSAL_WORLD=threads`). All three produce bitwise-identical
+//! results.
 
 pub mod group;
 pub(crate) mod sched;
 pub mod stats;
+pub mod task;
 pub mod trace;
 pub mod workload;
 pub mod world;
 
 pub use colossalai_topology::AllReduceAlgo;
-pub use group::{Group, Wire};
+pub use group::{CollectiveOp, Group, Wire};
 pub use stats::{CommStats, OpKind};
+pub use task::{Poll, RankTask, WakeKey};
 pub use trace::{RankRollup, Span, SpanKind, Track};
-pub use workload::HybridSpec;
-pub use world::{DeviceCtx, WakeStats, World, WorldBackend};
+pub use workload::{HybridSpec, HybridTask};
+pub use world::{DeviceCtx, RecvOp, ThreadStats, WakeStats, World, WorldBackend};

@@ -61,7 +61,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "no task is waiting in the ready queue" (greater than any
@@ -329,6 +329,243 @@ impl Scheduler {
     }
 }
 
+// ---- stackless task executor -----------------------------------------
+
+/// Task is in the ready heap (exactly one entry), waiting for a worker.
+const TASK_QUEUED: u8 = 0;
+/// A worker is inside the task's `poll` right now.
+const TASK_RUNNING: u8 = 1;
+/// The task returned `Pending` and sits parked on its wake key.
+const TASK_BLOCKED: u8 = 2;
+/// The task returned `Ready` (or unwound); it is never polled again.
+const TASK_DONE: u8 = 3;
+
+/// The poll-driven twin of [`Scheduler`]: runs `n` stackless
+/// [`crate::task::RankTask`]s on a pool of worker threads, keeping the
+/// same `(virtual_time_bits, rank)` ready ordering — but here the ready
+/// heap holds *tasks* (small heap structs), not parked OS threads, so
+/// peak thread count is O(pool) regardless of world size.
+///
+/// # Wake protocol
+///
+/// Each task carries a state byte and a `notified` latch. A waker (p2p
+/// sender, rendezvous publisher/drainer, abort) calls [`TaskWaker::wake`]:
+/// set `notified`, then CAS `BLOCKED -> QUEUED`; only the CAS winner
+/// pushes the heap entry, so a task never has two entries. The worker
+/// that observes `Pending` parks the task with `BLOCKED` *after* the op
+/// registered itself under the resource's lock, then re-checks
+/// `notified`: a wake that raced the park is thereby latched and
+/// immediately requeues the task. Spurious re-polls are allowed (ops
+/// re-check their predicate, like condvar waiters); lost wakes are
+/// impossible.
+///
+/// Lock order: resource (mailbox / group slot) → `ready`. The ready heap
+/// is a leaf lock; no waker path acquires a resource lock.
+/// A 4-ary min-heap of `(clock bits, rank)` ready keys. The ordering is
+/// total, so the pop sequence is identical to any binary heap's — heap
+/// shape cannot affect determinism — but the wider fan-out halves the tree
+/// depth and packs all four children of a node into one cache line
+/// (4 x 16 bytes). With 16k ranks queued the heap array outgrows L1/L2,
+/// and sift-downs walk scattered child pairs in a binary heap; here each
+/// level costs one line touch, which keeps per-activation dispatch flat
+/// as worlds grow.
+struct ReadyHeap {
+    items: Vec<(u64, usize)>,
+}
+
+impl ReadyHeap {
+    fn with_capacity(n: usize) -> ReadyHeap {
+        ReadyHeap {
+            items: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, key: (u64, usize)) {
+        self.items.push(key);
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.items[parent] <= self.items[i] {
+                break;
+            }
+            self.items.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let min = self.items.swap_remove(0);
+        let mut i = 0;
+        loop {
+            let first = i * 4 + 1;
+            if first >= self.items.len() {
+                break;
+            }
+            let mut smallest = first;
+            for c in first + 1..(first + 4).min(self.items.len()) {
+                if self.items[c] < self.items[smallest] {
+                    smallest = c;
+                }
+            }
+            if self.items[i] <= self.items[smallest] {
+                break;
+            }
+            self.items.swap(i, smallest);
+            i = smallest;
+        }
+        Some(min)
+    }
+}
+
+pub(crate) struct TaskWaker {
+    /// Ready tasks, min-first by `(clock bits, rank)` — the same ordering
+    /// the thread-backed scheduler admits in, so execution follows
+    /// virtual time.
+    ready: Mutex<ReadyHeap>,
+    /// Workers park here when the heap is empty but tasks remain live.
+    ready_cv: Condvar,
+    state: Vec<AtomicU8>,
+    /// Latched wake: set before the requeue CAS, re-checked by the worker
+    /// after parking, so wake-vs-park races resolve toward a (harmless)
+    /// spurious poll instead of a lost wakeup.
+    notified: Vec<AtomicBool>,
+    /// Each task's virtual clock — written by its `DeviceCtx`, read by
+    /// wakers to key the heap entry. One contiguous array (8 adjacent
+    /// ranks per cache line) rather than per-rank `Arc` cells: wakes and
+    /// clock updates in big worlds then walk warm lines instead of 16k
+    /// scattered allocations.
+    clocks: Box<[AtomicU64]>,
+    /// Raised once any task panics; every poll entry checks it.
+    pub(crate) abort: AtomicBool,
+    /// Tasks not yet `TASK_DONE`; workers exit when it hits zero.
+    live: AtomicUsize,
+}
+
+impl TaskWaker {
+    /// Creates the executor for `n` tasks, all ready at virtual time 0 in
+    /// rank order.
+    pub(crate) fn new(n: usize) -> Arc<TaskWaker> {
+        let mut ready = ReadyHeap::with_capacity(n);
+        for rank in 0..n {
+            ready.push((0u64, rank));
+        }
+        Arc::new(TaskWaker {
+            ready: Mutex::new(ready),
+            ready_cv: Condvar::new(),
+            state: (0..n).map(|_| AtomicU8::new(TASK_QUEUED)).collect(),
+            notified: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            clocks: (0..n).map(|_| AtomicU64::new(0.0f64.to_bits())).collect(),
+            abort: AtomicBool::new(false),
+            live: AtomicUsize::new(n),
+        })
+    }
+
+    /// Current clock bits of `rank` (the heap key a wake would use).
+    pub(crate) fn clock_bits(&self, rank: usize) -> u64 {
+        self.clocks[rank].load(Ordering::Relaxed)
+    }
+
+    /// Sets `rank`'s clock bits — called only by `rank`'s own `DeviceCtx`.
+    pub(crate) fn set_clock_bits(&self, rank: usize, bits: u64) {
+        self.clocks[rank].store(bits, Ordering::Relaxed);
+    }
+
+    /// Wakes `rank`: requeues it if parked, or latches the notification if
+    /// it is mid-poll (the worker converts the latch into a requeue when
+    /// it tries to park). Safe to call with a resource lock held and for
+    /// any task state — including spuriously.
+    pub(crate) fn wake(&self, rank: usize) {
+        self.notified[rank].store(true, Ordering::SeqCst);
+        self.try_requeue(rank);
+    }
+
+    /// BLOCKED → QUEUED; the CAS winner owns the (single) heap entry.
+    fn try_requeue(&self, rank: usize) {
+        if self.state[rank]
+            .compare_exchange(
+                TASK_BLOCKED,
+                TASK_QUEUED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            self.notified[rank].store(false, Ordering::SeqCst);
+            let key = self.clocks[rank].load(Ordering::Relaxed);
+            let mut heap = self.ready.lock();
+            heap.push((key, rank));
+            drop(heap);
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// Pops the earliest ready task, parking (via `on_park`/`on_unpark`
+    /// bracketing each condvar wait, for the world's thread gauges) while
+    /// none is ready. Returns `None` once every task is done.
+    pub(crate) fn next_ready(&self, on_park: impl Fn(), on_unpark: impl Fn()) -> Option<usize> {
+        let mut heap = self.ready.lock();
+        loop {
+            if let Some((_, rank)) = heap.pop() {
+                self.state[rank].store(TASK_RUNNING, Ordering::SeqCst);
+                return Some(rank);
+            }
+            if self.live.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            on_park();
+            self.ready_cv.wait(&mut heap);
+            on_unpark();
+        }
+    }
+
+    /// The rank most likely to be dispatched next (the current heap
+    /// minimum), so a worker can prefetch its cold task state while the
+    /// current poll runs. Purely advisory: wakes and other workers may pop
+    /// a different rank first, and a stale hint costs one wasted prefetch.
+    pub(crate) fn next_hint(&self) -> Option<usize> {
+        self.ready.lock().items.first().map(|&(_, rank)| rank)
+    }
+
+    /// Parks `rank` after a `Pending` poll. The op registered itself under
+    /// the resource lock before returning, so any wake since then either
+    /// lost the requeue CAS (we were still RUNNING) and left `notified`
+    /// set — converted into an immediate requeue here — or arrives later
+    /// and wins the CAS itself.
+    pub(crate) fn park(&self, rank: usize) {
+        self.state[rank].store(TASK_BLOCKED, Ordering::SeqCst);
+        if self.notified[rank].load(Ordering::SeqCst) || self.abort.load(Ordering::SeqCst) {
+            self.try_requeue(rank);
+        }
+    }
+
+    /// Retires `rank` after `Ready` (or an unwind). When the last task
+    /// retires, every idle worker is woken to exit.
+    pub(crate) fn finish(&self, rank: usize) {
+        self.state[rank].store(TASK_DONE, Ordering::SeqCst);
+        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // lock-then-notify: serializes against a worker between its
+            // empty-heap check and its wait
+            drop(self.ready.lock());
+            self.ready_cv.notify_all();
+        }
+    }
+
+    /// Raises the abort flag and requeues every parked task so its next
+    /// poll observes the flag and unwinds — the stackless analog of
+    /// `Scheduler::abort_all` + `WorldInner::abort_wake`.
+    pub(crate) fn abort_all(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+        for rank in 0..self.state.len() {
+            self.try_requeue(rank);
+        }
+        drop(self.ready.lock());
+        self.ready_cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +653,83 @@ mod tests {
         assert!((1..5).all(|r| !sched.queued[r].load(Ordering::Relaxed)));
         // pool=1 and rank 0 still holds the slot, so all four sit ready
         assert_eq!(sched.state.lock().ready.len(), 4);
+    }
+
+    #[test]
+    fn task_waker_orders_by_time_then_rank() {
+        let w = TaskWaker::new(3);
+        // all three seeded at t=0: pop in rank order
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+        assert_eq!(w.next_ready(|| {}, || {}), Some(1));
+        assert_eq!(w.next_ready(|| {}, || {}), Some(2));
+        // park 0 at t=2.0 and 1 at t=1.0; wake both: 1 runs first
+        w.set_clock_bits(0, 2.0f64.to_bits());
+        w.set_clock_bits(1, 1.0f64.to_bits());
+        w.park(0);
+        w.park(1);
+        w.wake(0);
+        w.wake(1);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(1), "t=1 beats t=2");
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+    }
+
+    #[test]
+    fn task_waker_latches_wake_during_poll() {
+        // a wake that lands while the task is RUNNING (mid-poll) must not
+        // be lost: park() converts the latched notify into a requeue
+        let w = TaskWaker::new(1);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0)); // now RUNNING
+        w.wake(0); // CAS fails (not BLOCKED); latch stays set
+        w.park(0); // Pending observed: latch -> immediate requeue
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0), "wake was latched");
+    }
+
+    #[test]
+    fn task_waker_single_heap_entry_per_task() {
+        let w = TaskWaker::new(1);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+        w.park(0);
+        for _ in 0..5 {
+            w.wake(0); // only the first CAS wins; the rest are no-ops
+        }
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+        assert!(w.ready.lock().items.is_empty(), "duplicate heap entries");
+    }
+
+    #[test]
+    fn task_waker_workers_exit_when_all_done() {
+        let w = TaskWaker::new(2);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+        w.finish(0);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(1));
+        w.finish(1);
+        assert_eq!(w.next_ready(|| {}, || {}), None);
+        // an idle worker parked on the cv is woken by the last finish
+        let w2 = TaskWaker::new(1);
+        assert_eq!(w2.next_ready(|| {}, || {}), Some(0));
+        let w2c = Arc::clone(&w2);
+        let h = std::thread::spawn(move || w2c.next_ready(|| {}, || {}));
+        w2.finish(0);
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn task_waker_abort_requeues_parked_tasks() {
+        let w = TaskWaker::new(2);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
+        assert_eq!(w.next_ready(|| {}, || {}), Some(1));
+        w.park(0);
+        w.park(1);
+        w.abort_all();
+        // both parked tasks come back so their next poll sees the flag
+        let mut woken = vec![
+            w.next_ready(|| {}, || {}).unwrap(),
+            w.next_ready(|| {}, || {}).unwrap(),
+        ];
+        woken.sort_unstable();
+        assert_eq!(woken, vec![0, 1]);
+        // a task parking *after* the abort is immediately requeued too
+        w.park(0);
+        assert_eq!(w.next_ready(|| {}, || {}), Some(0));
     }
 }

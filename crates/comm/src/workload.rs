@@ -8,8 +8,14 @@
 //! `(rank, step, element)`), so its per-step losses, traffic stats and
 //! traces are bitwise-comparable across execution backends, scheduler pool
 //! sizes and world scales.
+//!
+//! The step is written as a resumable [`HybridTask`] state machine, so the
+//! stackless backend runs it with no per-rank OS thread; [`run_hybrid`]
+//! drives the same machine to completion for closure-style callers.
 
-use crate::world::DeviceCtx;
+use crate::group::{CollectiveOp, Group};
+use crate::task::{Poll, RankTask};
+use crate::world::{DeviceCtx, RecvOp};
 use colossalai_tensor::Tensor;
 
 /// Shape of a hybrid data x tensor x pipeline parallel run.
@@ -63,81 +69,228 @@ fn synth(rank: usize, step: usize, i: usize) -> f32 {
     ((z >> 40) as f32) / ((1u64 << 23) as f32) - 1.0
 }
 
-/// Runs `spec.steps` hybrid-parallel training steps on this rank and
-/// returns one loss value per step.
-///
-/// Per step: a forward pass (TP all-reduce of partial activations, P2P
-/// hand-off along the pipeline, compute charges), a backward pass (P2P
-/// gradient back-propagation, TP all-gather of sharded gradients), and a
-/// data-parallel gradient all-reduce; the step loss is the mean of the
-/// DP-reduced gradient. All ranks of a step report identical losses only
-/// within a (stage, tp_idx) slice — the returned vector is per-rank, and
-/// parity checks compare the whole `Vec<Vec<f32>>` across backends.
-pub fn run_hybrid(ctx: &DeviceCtx, spec: &HybridSpec) -> Vec<f32> {
-    assert!(spec.dp >= 1 && spec.tp >= 1 && spec.pp >= 1, "empty axis");
-    assert!(
-        spec.elems >= spec.tp && spec.elems.is_multiple_of(spec.tp),
-        "elems must divide evenly into {} TP shards",
-        spec.tp
-    );
-    let rank = ctx.rank();
-    let (stage, dp_idx, tp_idx) = spec.coords(rank);
-    let tp_group = ctx.group(
-        &(0..spec.tp)
-            .map(|t| spec.rank_of(stage, dp_idx, t))
-            .collect::<Vec<_>>(),
-    );
-    let dp_group = ctx.group(
-        &(0..spec.dp)
-            .map(|d| spec.rank_of(stage, d, tp_idx))
-            .collect::<Vec<_>>(),
-    );
-    let next = (stage + 1 < spec.pp).then(|| spec.rank_of(stage + 1, dp_idx, tp_idx));
-    let prev = (stage > 0).then(|| spec.rank_of(stage - 1, dp_idx, tp_idx));
+/// This rank's communicators and pipeline neighbors, resolved on the first
+/// poll (group construction needs a `DeviceCtx`).
+struct Wiring {
+    tp_group: Group,
+    dp_group: Group,
+    next: Option<usize>,
+    prev: Option<usize>,
+    tp_idx: usize,
+}
 
-    let mut losses = Vec::with_capacity(spec.steps);
-    for step in 0..spec.steps {
-        let fwd_tag = (step * 2) as u64;
-        let bwd_tag = fwd_tag + 1;
+/// Where a [`HybridTask`] is inside the current training step. Every
+/// variant that can park holds its in-flight resumable op, so a resume
+/// continues exactly where the rank left off.
+enum StepStage {
+    /// About to synthesize this step's activation (or done, if the step
+    /// counter has reached the spec).
+    StepStart,
+    /// Forward tensor-parallel all-reduce of partial activations.
+    TpReduce(CollectiveOp),
+    /// Waiting for the upstream stage's forward activation.
+    RecvFwd { act: Tensor, op: RecvOp },
+    /// Waiting for the downstream stage's backward gradient.
+    RecvBwd { grad: Tensor, op: RecvOp },
+    /// Backward tensor-parallel all-gather of sharded weight gradients.
+    TpGather { grad: Tensor, op: CollectiveOp },
+    /// Data-parallel gradient all-reduce closing the step.
+    DpReduce(CollectiveOp),
+}
 
-        // ---- forward: partial matmul output, TP-combined, piped onward
-        let mut act = Tensor::from_vec(
-            [spec.elems],
-            (0..spec.elems).map(|i| synth(rank, step, i)).collect(),
-        );
-        ctx.charge_flops_f32(6 * spec.elems as u64);
-        act = tp_group.all_reduce(ctx, act);
-        if let Some(prev) = prev {
-            let upstream = ctx.recv(prev, fwd_tag);
-            act.axpy(0.5, &upstream);
-        }
-        ctx.charge_flops_f32(4 * spec.elems as u64);
-        if let Some(next) = next {
-            ctx.send(next, fwd_tag, act.clone());
-        }
-
-        // ---- backward: gradients flow back through the pipeline
-        let mut grad = act;
-        grad.scale(1.0 / spec.ranks() as f32);
-        if let Some(next) = next {
-            let downstream = ctx.recv(next, bwd_tag);
-            grad.axpy(0.5, &downstream);
-        }
-        ctx.charge_flops_f32(8 * spec.elems as u64);
-        if let Some(prev) = prev {
-            ctx.send(prev, bwd_tag, grad.clone());
-        }
-        // TP ranks hold sharded weight gradients; gather the full view
-        let shard = grad.chunk(0, spec.tp).swap_remove(tp_idx);
-        let gathered = tp_group.all_gather_cat(ctx, shard, 0);
-        grad.axpy(0.25, &gathered);
-
-        // ---- optimizer: DP gradient reduction, then the step loss
-        let reduced = dp_group.all_reduce(ctx, grad);
-        ctx.charge_flops_f32(2 * spec.elems as u64);
-        losses.push(reduced.mean());
+/// Forward-side continuation after the activation is complete (TP-reduced
+/// and, on non-first stages, combined with the upstream hand-off). A free
+/// function so callers holding a borrow of the task's wiring can still
+/// store the returned stage.
+fn after_fwd(ctx: &DeviceCtx, spec: HybridSpec, w: &Wiring, step: usize, act: Tensor) -> StepStage {
+    ctx.charge_flops_f32(4 * spec.elems as u64);
+    let fwd_tag = (step * 2) as u64;
+    if let Some(next) = w.next {
+        ctx.send(next, fwd_tag, act.clone());
     }
-    losses
+    // ---- backward: gradients flow back through the pipeline
+    let mut grad = act;
+    grad.scale(1.0 / spec.ranks() as f32);
+    match w.next {
+        Some(next) => StepStage::RecvBwd {
+            grad,
+            op: ctx.start_recv(next, fwd_tag + 1),
+        },
+        None => after_bwd(ctx, spec, w, step, grad),
+    }
+}
+
+/// Backward-side continuation once the local gradient is complete.
+fn after_bwd(
+    ctx: &DeviceCtx,
+    spec: HybridSpec,
+    w: &Wiring,
+    step: usize,
+    grad: Tensor,
+) -> StepStage {
+    ctx.charge_flops_f32(8 * spec.elems as u64);
+    if let Some(prev) = w.prev {
+        ctx.send(prev, (step * 2 + 1) as u64, grad.clone());
+    }
+    // TP ranks hold sharded weight gradients; gather the full view
+    let shard = grad.chunk(0, spec.tp).swap_remove(w.tp_idx);
+    let op = w.tp_group.start_all_gather_cat(shard, 0);
+    StepStage::TpGather { grad, op }
+}
+
+/// The hybrid-parallel training loop as a resumable rank task: per step a
+/// forward pass (TP all-reduce of partial activations, P2P hand-off along
+/// the pipeline, compute charges), a backward pass (P2P gradient
+/// back-propagation, TP all-gather of sharded gradients), and a
+/// data-parallel gradient all-reduce; the step loss is the mean of the
+/// DP-reduced gradient.
+///
+/// Identical arithmetic to the classic blocking loop — [`run_hybrid`] is
+/// now literally `ctx.block_on` of this task — so losses, stats and traces
+/// stay bitwise identical across all three backends.
+pub struct HybridTask {
+    spec: HybridSpec,
+    wiring: Option<Wiring>,
+    step: usize,
+    losses: Vec<f32>,
+    stage: StepStage,
+}
+
+impl HybridTask {
+    /// A task for this rank's share of `spec` (validated on first poll).
+    pub fn new(spec: HybridSpec) -> HybridTask {
+        HybridTask {
+            spec,
+            wiring: None,
+            step: 0,
+            losses: Vec::with_capacity(spec.steps),
+            stage: StepStage::StepStart,
+        }
+    }
+}
+
+impl RankTask for HybridTask {
+    type Output = Vec<f32>;
+
+    fn poll(&mut self, ctx: &DeviceCtx) -> Poll<Vec<f32>> {
+        let spec = self.spec;
+        if self.wiring.is_none() {
+            assert!(spec.dp >= 1 && spec.tp >= 1 && spec.pp >= 1, "empty axis");
+            assert!(
+                spec.elems >= spec.tp && spec.elems.is_multiple_of(spec.tp),
+                "elems must divide evenly into {} TP shards",
+                spec.tp
+            );
+            let rank = ctx.rank();
+            let (stage, dp_idx, tp_idx) = spec.coords(rank);
+            self.wiring = Some(Wiring {
+                tp_group: ctx.group(
+                    &(0..spec.tp)
+                        .map(|t| spec.rank_of(stage, dp_idx, t))
+                        .collect::<Vec<_>>(),
+                ),
+                dp_group: ctx.group(
+                    &(0..spec.dp)
+                        .map(|d| spec.rank_of(stage, d, tp_idx))
+                        .collect::<Vec<_>>(),
+                ),
+                next: (stage + 1 < spec.pp).then(|| spec.rank_of(stage + 1, dp_idx, tp_idx)),
+                prev: (stage > 0).then(|| spec.rank_of(stage - 1, dp_idx, tp_idx)),
+                tp_idx,
+            });
+        }
+        let w = self.wiring.as_ref().expect("wiring initialized above");
+        loop {
+            match std::mem::replace(&mut self.stage, StepStage::StepStart) {
+                StepStage::StepStart => {
+                    if self.step == spec.steps {
+                        return Poll::Ready(std::mem::take(&mut self.losses));
+                    }
+                    // ---- forward: partial matmul output, TP-combined,
+                    // piped onward
+                    let act = Tensor::from_vec(
+                        [spec.elems],
+                        (0..spec.elems)
+                            .map(|i| synth(ctx.rank(), self.step, i))
+                            .collect(),
+                    );
+                    ctx.charge_flops_f32(6 * spec.elems as u64);
+                    self.stage = StepStage::TpReduce(w.tp_group.start_all_reduce(act));
+                }
+                StepStage::TpReduce(mut op) => match w.tp_group.poll_collective(ctx, &mut op) {
+                    Poll::Pending(key) => {
+                        self.stage = StepStage::TpReduce(op);
+                        return Poll::Pending(key);
+                    }
+                    Poll::Ready(act) => match w.prev {
+                        Some(prev) => {
+                            self.stage = StepStage::RecvFwd {
+                                act,
+                                op: ctx.start_recv(prev, (self.step * 2) as u64),
+                            };
+                        }
+                        None => self.stage = after_fwd(ctx, spec, w, self.step, act),
+                    },
+                },
+                StepStage::RecvFwd { mut act, mut op } => match op.poll(ctx) {
+                    Poll::Pending(key) => {
+                        self.stage = StepStage::RecvFwd { act, op };
+                        return Poll::Pending(key);
+                    }
+                    Poll::Ready(upstream) => {
+                        act.axpy(0.5, &upstream);
+                        self.stage = after_fwd(ctx, spec, w, self.step, act);
+                    }
+                },
+                StepStage::RecvBwd { mut grad, mut op } => match op.poll(ctx) {
+                    Poll::Pending(key) => {
+                        self.stage = StepStage::RecvBwd { grad, op };
+                        return Poll::Pending(key);
+                    }
+                    Poll::Ready(downstream) => {
+                        grad.axpy(0.5, &downstream);
+                        self.stage = after_bwd(ctx, spec, w, self.step, grad);
+                    }
+                },
+                StepStage::TpGather { mut grad, mut op } => {
+                    match w.tp_group.poll_collective(ctx, &mut op) {
+                        Poll::Pending(key) => {
+                            self.stage = StepStage::TpGather { grad, op };
+                            return Poll::Pending(key);
+                        }
+                        Poll::Ready(gathered) => {
+                            grad.axpy(0.25, &gathered);
+                            // ---- optimizer: DP gradient reduction, then
+                            // the step loss
+                            self.stage = StepStage::DpReduce(w.dp_group.start_all_reduce(grad));
+                        }
+                    }
+                }
+                StepStage::DpReduce(mut op) => match w.dp_group.poll_collective(ctx, &mut op) {
+                    Poll::Pending(key) => {
+                        self.stage = StepStage::DpReduce(op);
+                        return Poll::Pending(key);
+                    }
+                    Poll::Ready(reduced) => {
+                        ctx.charge_flops_f32(2 * spec.elems as u64);
+                        self.losses.push(reduced.mean());
+                        self.step += 1;
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Runs `spec.steps` hybrid-parallel training steps on this rank and
+/// returns one loss value per step — the blocking driver of
+/// [`HybridTask`].
+///
+/// All ranks of a step report identical losses only within a
+/// `(stage, tp_idx)` slice — the returned vector is per-rank, and parity
+/// checks compare the whole `Vec<Vec<f32>>` across backends.
+pub fn run_hybrid(ctx: &DeviceCtx, spec: &HybridSpec) -> Vec<f32> {
+    ctx.block_on(HybridTask::new(*spec))
 }
 
 #[cfg(test)]
@@ -185,5 +338,27 @@ mod tests {
         assert_eq!(a.len(), 8);
         assert_eq!(a[0].len(), 2);
         assert!(a.iter().flatten().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn hybrid_task_matches_run_hybrid_stackless() {
+        // the task driven by the stackless executor must reproduce the
+        // blocking loop bit for bit — losses AND stats
+        let spec = HybridSpec {
+            dp: 2,
+            tp: 2,
+            pp: 2,
+            elems: 32,
+            steps: 2,
+        };
+        let world = World::new(system_iii());
+        let reference = world.run_on(spec.ranks(), |ctx| run_hybrid(ctx, &spec));
+        let ref_stats = world.stats();
+
+        let world2 = World::new(system_iii());
+        world2.set_backend(Some(crate::world::WorldBackend::Stackless { pool: 1 }));
+        let stackless = world2.run_tasks(spec.ranks(), |_rank| HybridTask::new(spec));
+        assert_eq!(reference, stackless);
+        assert_eq!(ref_stats, world2.stats());
     }
 }

@@ -4,8 +4,9 @@
 //! mode.
 
 use crate::group::{Group, GroupShared, Wire};
-use crate::sched::{AbortRun, Scheduler};
+use crate::sched::{AbortRun, Scheduler, TaskWaker};
 use crate::stats::CommStats;
+use crate::task::{Poll, RankTask, WakeKey, WakeSource};
 use crate::trace::{self, RankRollup, Span, SpanKind, Tracer, Track};
 use colossalai_tensor::{envknob, Tensor};
 use colossalai_topology::{AllReduceAlgo, Cluster, DeviceId};
@@ -35,6 +36,10 @@ struct MailSlot {
     /// Keyed wakeup target. `Arc` so a receiver can clone it and park via
     /// [`DeviceCtx::wait_on`] after releasing its borrow of the map entry.
     cv: Arc<Condvar>,
+    /// Global rank of a stackless task parked `Pending` on this key — the
+    /// poll-driven analog of `waiting`. The sender takes it (under the
+    /// mailbox lock) and requeues the task through the run's [`TaskWaker`].
+    parked_task: Option<DeviceId>,
 }
 
 /// Point-to-point mailboxes keyed by (from, to, tag).
@@ -87,6 +92,98 @@ impl WakeStats {
     }
 }
 
+/// OS-thread gauge behind [`ThreadStats`]: how many worker/rank threads
+/// runs on this world spawned, kept live, and parked in blocking waits.
+/// Relaxed atomics — a gauge, not a synchronization edge; peaks are exact
+/// because every transition pairs `fetch_add` with `fetch_max`.
+#[derive(Default)]
+struct ThreadCounters {
+    spawned: AtomicU64,
+    live: AtomicU64,
+    peak_live: AtomicU64,
+    parked: AtomicU64,
+    peak_parked: AtomicU64,
+}
+
+impl ThreadCounters {
+    fn thread_started(&self) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn thread_exited(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn park_started(&self) {
+        let parked = self.parked.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_parked.fetch_max(parked, Ordering::Relaxed);
+    }
+
+    fn park_ended(&self) {
+        self.parked.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII live-thread mark: created at the top of every spawned rank/worker
+/// thread so the gauge survives unwinds (abort paths included).
+struct ThreadLiveGuard<'a>(&'a ThreadCounters);
+
+impl<'a> ThreadLiveGuard<'a> {
+    fn new(counters: &'a ThreadCounters) -> ThreadLiveGuard<'a> {
+        counters.thread_started();
+        ThreadLiveGuard(counters)
+    }
+}
+
+impl Drop for ThreadLiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.thread_exited();
+    }
+}
+
+/// RAII parked-thread mark around every blocking wait (condvar waits,
+/// scheduler admission, the stackless workers' idle wait).
+struct ParkGuard<'a>(&'a ThreadCounters);
+
+impl<'a> ParkGuard<'a> {
+    fn new(counters: &'a ThreadCounters) -> ParkGuard<'a> {
+        counters.park_started();
+        ParkGuard(counters)
+    }
+}
+
+impl Drop for ParkGuard<'_> {
+    fn drop(&mut self) {
+        self.0.park_ended();
+    }
+}
+
+/// Snapshot of the OS-thread gauge ([`World::thread_stats`]): turns the
+/// stackless backend's "peak OS threads is O(pool)" claim into a measured
+/// number instead of an assertion. Host-behavioral, like [`WakeStats`] —
+/// never part of the bitwise backend-parity surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Rank/worker threads spawned by runs since the last reset.
+    pub spawned: u64,
+    /// Peak number of those threads alive at once.
+    pub peak_live: u64,
+    /// Peak number simultaneously parked in a blocking wait.
+    pub peak_parked: u64,
+}
+
+impl ThreadStats {
+    /// One-line summary for table footers.
+    pub fn summary(&self) -> String {
+        format!(
+            "spawned={} peak_live={} peak_parked={}",
+            self.spawned, self.peak_live, self.peak_parked
+        )
+    }
+}
+
 /// How [`World::run_on`] executes its rank closures.
 ///
 /// Both backends produce bitwise-identical results, clocks, stats and
@@ -97,13 +194,22 @@ pub enum WorldBackend {
     /// Legacy mode: all `n` rank threads run concurrently, scheduled by the
     /// OS. Fine up to a few dozen ranks; thrashes beyond that.
     Threads,
-    /// Event-driven rank scheduler: every rank is a resumable task and at
-    /// most `pool` of them execute at once, admitted from a central queue
-    /// ordered by `(virtual_time, rank)`. `pool == 0` means "host cores".
-    /// This is what lets 512–4096-rank worlds run in bounded memory and
-    /// wall time.
+    /// Event-driven rank scheduler: every rank keeps a parked OS thread but
+    /// at most `pool` of them execute at once, admitted from a central
+    /// queue ordered by `(virtual_time, rank)`. `pool == 0` means "host
+    /// cores". This is what lets 512–4096-rank worlds run in bounded memory
+    /// and wall time.
     Sched {
         /// Number of concurrently running rank tasks (0 = host cores).
+        pool: usize,
+    },
+    /// Stackless executor: ranks are heap [`RankTask`]s polled by a fixed
+    /// `pool` of worker threads — no parked per-rank OS threads at all, so
+    /// peak thread count is O(pool) however many ranks the world has. Only
+    /// [`World::run_tasks`] runs stackless; closure-based [`World::run_on`]
+    /// needs a stack per rank and falls back to the scheduler.
+    Stackless {
+        /// Number of worker threads polling tasks (0 = host cores).
         pool: usize,
     },
 }
@@ -112,34 +218,39 @@ fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
+/// Parses a `COLOSSAL_WORLD` backend name; `pool` pre-resolves the
+/// `COLOSSAL_WORLD_POOL` knob for the pooled backends (0 still meaning
+/// "host cores", clamped at use). Pure so the accepted grammar is
+/// unit-testable without touching the process environment; `Err` carries
+/// the normalized rejected value for the one-shot warning.
+pub(crate) fn parse_world_backend(raw: &str, pool: usize) -> Result<WorldBackend, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "threads" => Ok(WorldBackend::Threads),
+        "sched" => Ok(WorldBackend::Sched { pool }),
+        "stackless" => Ok(WorldBackend::Stackless { pool }),
+        other => Err(other.to_string()),
+    }
+}
+
 /// Backend requested by `COLOSSAL_WORLD` / `COLOSSAL_WORLD_POOL` (read
-/// once): `threads` for the legacy mode, `sched` (or unset) for the
-/// scheduler. Any other value warns once and falls back to the scheduler.
+/// once): `threads` for the legacy mode, `stackless` for the poll-driven
+/// executor, `sched` (or unset) for the scheduler. Any other value warns
+/// once and falls back to the scheduler.
 fn env_backend() -> WorldBackend {
     static BACKEND: OnceLock<WorldBackend> = OnceLock::new();
     *BACKEND.get_or_init(|| {
-        let threads = match std::env::var("COLOSSAL_WORLD") {
-            Err(_) => false,
-            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
-                "threads" => true,
-                "sched" => false,
-                other => {
-                    envknob::warn_invalid(
-                        "COLOSSAL_WORLD",
-                        other,
-                        "\"sched\" or \"threads\"",
-                        "sched",
-                    );
-                    false
-                }
-            },
-        };
-        if threads {
-            WorldBackend::Threads
-        } else {
-            WorldBackend::Sched {
-                pool: envknob::env_usize("COLOSSAL_WORLD_POOL", 0),
-            }
+        let pool = envknob::env_usize("COLOSSAL_WORLD_POOL", 0);
+        match std::env::var("COLOSSAL_WORLD") {
+            Err(_) => WorldBackend::Sched { pool },
+            Ok(raw) => parse_world_backend(&raw, pool).unwrap_or_else(|bad| {
+                envknob::warn_invalid(
+                    "COLOSSAL_WORLD",
+                    &bad,
+                    "\"sched\", \"stackless\" or \"threads\"",
+                    "sched",
+                );
+                WorldBackend::Sched { pool }
+            }),
         }
     })
 }
@@ -179,6 +290,8 @@ pub(crate) struct WorldInner {
     mailbox: Mutex<Mailbox>,
     /// Wakeup observability (never part of the parity surface).
     wakes: WakeCounters,
+    /// OS-thread observability (never part of the parity surface).
+    threads: ThreadCounters,
     /// Programmatic backend override (wins over the environment).
     backend: Mutex<Option<WorldBackend>>,
 }
@@ -250,6 +363,7 @@ impl World {
                 groups: Mutex::new(HashMap::new()),
                 mailbox: Mutex::new(HashMap::new()),
                 wakes: WakeCounters::default(),
+                threads: ThreadCounters::default(),
                 backend: Mutex::new(None),
             }),
         }
@@ -273,6 +387,7 @@ impl World {
         let b = self.inner.backend.lock().unwrap_or_else(env_backend);
         match b {
             WorldBackend::Sched { pool: 0 } => WorldBackend::Sched { pool: host_cores() },
+            WorldBackend::Stackless { pool: 0 } => WorldBackend::Stackless { pool: host_cores() },
             other => other,
         }
     }
@@ -298,6 +413,38 @@ impl World {
         match self.backend() {
             WorldBackend::Threads => self.run_threads(n, f),
             WorldBackend::Sched { pool } => self.run_sched(n, pool, f),
+            // an arbitrary closure needs a stack to block on, so the
+            // stackless backend can only promise O(pool) threads for
+            // `run_tasks`; closures degrade to the scheduler
+            WorldBackend::Stackless { pool } => self.run_sched(n, pool, f),
+        }
+    }
+
+    /// Runs one [`RankTask`] per rank (built by `make`, which receives the
+    /// rank) and returns the per-rank outputs ordered by rank.
+    ///
+    /// Under [`WorldBackend::Stackless`] the tasks are multiplexed onto a
+    /// fixed `pool` of worker threads with no parked per-rank OS threads —
+    /// peak thread count is O(pool) however large `n` is (measured by
+    /// [`World::thread_stats`]). Under the other backends each task is
+    /// driven to completion by [`DeviceCtx::block_on`] on its rank thread.
+    /// All three produce bitwise-identical results, stats and traces.
+    pub fn run_tasks<T, F>(&self, n: usize, make: F) -> Vec<T::Output>
+    where
+        T: RankTask,
+        F: Fn(DeviceId) -> T + Send + Sync,
+    {
+        assert!(
+            n >= 1 && n <= self.inner.cluster.n_devices(),
+            "cannot run on {n} devices of a {}-device cluster",
+            self.inner.cluster.n_devices()
+        );
+        match self.backend() {
+            WorldBackend::Threads => self.run_threads(n, |ctx| ctx.block_on(make(ctx.rank))),
+            WorldBackend::Sched { pool } => {
+                self.run_sched(n, pool, |ctx| ctx.block_on(make(ctx.rank)))
+            }
+            WorldBackend::Stackless { pool } => self.run_stackless(n, pool, make),
         }
     }
 
@@ -314,7 +461,8 @@ impl World {
                 .map(|rank| {
                     let inner = Arc::clone(inner);
                     scope.spawn(move || {
-                        let ctx = DeviceCtx::new(inner, rank, None);
+                        let _live = ThreadLiveGuard::new(&inner.threads);
+                        let ctx = DeviceCtx::new(Arc::clone(&inner), rank, None);
                         f(&ctx)
                     })
                 })
@@ -350,10 +498,14 @@ impl World {
                         .name(format!("colossal-rank-{rank}"))
                         .stack_size(rank_stack_bytes())
                         .spawn_scoped(scope, move || {
+                            let _live = ThreadLiveGuard::new(&inner.threads);
                             let ctx = DeviceCtx::new(Arc::clone(&inner), rank, Some(&sched));
                             let out =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    sched.wait_admitted(rank);
+                                    {
+                                        let _parked = ParkGuard::new(&inner.threads);
+                                        sched.wait_admitted(rank);
+                                    }
                                     ctx.check_abort();
                                     f(&ctx)
                                 }));
@@ -388,6 +540,118 @@ impl World {
         results
             .into_iter()
             .map(|r| r.expect("rank task produced no result"))
+            .collect()
+    }
+
+    /// Hints the CPU to pull the first cache lines of `v` toward L1. At
+    /// 16k ranks the per-rank task and ctx structs cannot all stay
+    /// cache-resident, so each dispatch would stall on cold loads;
+    /// prefetching the *next* ready rank's state while the current poll
+    /// runs overlaps that miss latency with useful work. Advisory only —
+    /// correctness never depends on it.
+    #[inline]
+    fn prefetch_for_poll<V>(v: &V) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = v as *const V as *const i8;
+            // pull up to four lines — enough for a task state machine or a
+            // DeviceCtx without flooding the load queue
+            let lines = std::mem::size_of::<V>().div_ceil(64).min(4);
+            for l in 0..lines {
+                // SAFETY: prefetch is a hint; it never faults, and `p + l *
+                // 64` stays within (or one line past) the live borrow.
+                unsafe { _mm_prefetch(p.add(l * 64), _MM_HINT_T0) }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
+    /// The stackless executor: `n` heap tasks polled to completion by
+    /// `pool` worker threads. A task that returns `Pending` is simply not
+    /// requeued until its wake key fires — no OS thread parks on its
+    /// behalf, which is the whole point: peak threads is `pool`, not `n`.
+    ///
+    /// Panic contract matches the other backends: the first real panic sets
+    /// the abort flag, requeues every parked task so it observes it and
+    /// unwinds via [`AbortRun`], and the lowest-ranked primary panic is
+    /// re-raised as `"device thread panicked: rank r: msg"`.
+    fn run_stackless<T, F>(&self, n: usize, pool: usize, make: F) -> Vec<T::Output>
+    where
+        T: RankTask,
+        F: Fn(DeviceId) -> T + Send + Sync,
+    {
+        let pool = if pool == 0 { host_cores() } else { pool }.min(n).max(1);
+        let waker = TaskWaker::new(n);
+        let ctxs: Vec<DeviceCtx> = (0..n)
+            .map(|rank| DeviceCtx::new_task(Arc::clone(&self.inner), rank, &waker))
+            .collect();
+        // per-task mutexes are uncontended (the waker hands each task to
+        // exactly one worker at a time); they exist to move tasks/results
+        // across worker threads safely
+        let tasks: Vec<Mutex<Option<T>>> =
+            (0..n).map(|rank| Mutex::new(Some(make(rank)))).collect();
+        let results: Vec<Mutex<Option<T::Output>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let inner = &self.inner;
+        std::thread::scope(|scope| {
+            for w in 0..pool {
+                let waker = Arc::clone(&waker);
+                let (ctxs, tasks, results, panics) = (&ctxs, &tasks, &results, &panics);
+                std::thread::Builder::new()
+                    .name(format!("colossal-task-{w}"))
+                    .spawn_scoped(scope, move || {
+                        let _live = ThreadLiveGuard::new(&inner.threads);
+                        while let Some(rank) = waker.next_ready(
+                            || inner.threads.park_started(),
+                            || inner.threads.park_ended(),
+                        ) {
+                            if let Some(next) = waker.next_hint() {
+                                Self::prefetch_for_poll(&tasks[next]);
+                                Self::prefetch_for_poll(&ctxs[next]);
+                            }
+                            let polled =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut slot = tasks[rank].lock();
+                                    let task = slot.as_mut().expect("task polled after completion");
+                                    ctxs[rank].check_abort();
+                                    task.poll(&ctxs[rank])
+                                }));
+                            match polled {
+                                Ok(Poll::Ready(out)) => {
+                                    *results[rank].lock() = Some(out);
+                                    *tasks[rank].lock() = None;
+                                    waker.finish(rank);
+                                }
+                                Ok(Poll::Pending(_)) => waker.park(rank),
+                                Err(payload) => {
+                                    if !payload.is::<AbortRun>() {
+                                        panics.lock().push((rank, panic_message(payload.as_ref())));
+                                        // requeue every parked task so it
+                                        // observes the abort and unwinds;
+                                        // also wake any blocking waiters
+                                        // (none under pure stackless runs,
+                                        // but cheap and uniform)
+                                        waker.abort_all();
+                                        inner.abort_wake();
+                                    }
+                                    *tasks[rank].lock() = None;
+                                    waker.finish(rank);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn task worker");
+            }
+        });
+        let primary = panics.into_inner().into_iter().min_by_key(|&(r, _)| r);
+        if let Some((rank, msg)) = primary {
+            panic!("device thread panicked: rank {rank}: {msg}");
+        }
+        results
+            .into_iter()
+            .map(|r| r.into_inner().expect("rank task produced no result"))
             .collect()
     }
 
@@ -427,6 +691,29 @@ impl World {
         self.inner.wakes.p2p_msgs.store(0, Ordering::Relaxed);
         self.inner.wakes.p2p_wakes.store(0, Ordering::Relaxed);
         self.inner.wakes.group_wakes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the OS-thread gauge: threads spawned by runs on this
+    /// world, the peak alive at once, and the peak simultaneously parked in
+    /// blocking waits. Under [`WorldBackend::Stackless`] `peak_live` stays
+    /// at the pool size no matter the rank count; under the other backends
+    /// it tracks the world size. Host-behavioral — never compared for
+    /// backend parity.
+    pub fn thread_stats(&self) -> ThreadStats {
+        ThreadStats {
+            spawned: self.inner.threads.spawned.load(Ordering::Relaxed),
+            peak_live: self.inner.threads.peak_live.load(Ordering::Relaxed),
+            peak_parked: self.inner.threads.peak_parked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears the thread gauge (e.g. after a warm-up run).
+    pub fn reset_thread_stats(&self) {
+        self.inner.threads.spawned.store(0, Ordering::Relaxed);
+        self.inner.threads.live.store(0, Ordering::Relaxed);
+        self.inner.threads.peak_live.store(0, Ordering::Relaxed);
+        self.inner.threads.parked.store(0, Ordering::Relaxed);
+        self.inner.threads.peak_parked.store(0, Ordering::Relaxed);
     }
 
     /// Pins the all-reduce schedule for every group in this world, or
@@ -483,14 +770,19 @@ impl World {
 
     /// The rollup formatted as a fixed-width table. At 64 ranks and above
     /// the per-rank rows collapse into min/median/max summary lines; use
-    /// [`World::rollup_table_full`] to force every row.
+    /// [`World::rollup_table_full`] to force every row. A footer reports
+    /// this world's OS-thread gauge next to the process-wide pool/par ones.
     pub fn rollup_table(&self) -> String {
-        trace::rollup_table(&self.trace_rollup())
+        let mut table = trace::rollup_table(&self.trace_rollup());
+        table.push_str(&format!("threads: {}\n", self.thread_stats().summary()));
+        table
     }
 
     /// The rollup table with one row per rank regardless of world size.
     pub fn rollup_table_full(&self) -> String {
-        trace::rollup_table_full(&self.trace_rollup())
+        let mut table = trace::rollup_table_full(&self.trace_rollup());
+        table.push_str(&format!("threads: {}\n", self.thread_stats().summary()));
+        table
     }
 }
 
@@ -502,6 +794,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Where a ctx's main virtual clock lives. Thread-backed ctxs own an
+/// `Arc`'d cell (clones of the ctx share it); stackless ctxs use their
+/// rank's slot in the executor's contiguous clock array — the same cell
+/// wakers read to key the ready heap, and cache-friendly at 16k ranks
+/// where per-rank `Arc` cells would be 16k scattered allocations.
+#[derive(Clone)]
+enum ClockCell {
+    Own(Arc<AtomicU64>),
+    Task(Arc<TaskWaker>, DeviceId),
+}
+
+impl ClockCell {
+    #[inline]
+    fn load(&self) -> u64 {
+        match self {
+            ClockCell::Own(c) => c.load(Ordering::Relaxed),
+            ClockCell::Task(w, rank) => w.clock_bits(*rank),
+        }
+    }
+
+    #[inline]
+    fn store(&self, bits: u64) {
+        match self {
+            ClockCell::Own(c) => c.store(bits, Ordering::Relaxed),
+            ClockCell::Task(w, rank) => w.set_clock_bits(*rank, bits),
+        }
     }
 }
 
@@ -517,14 +838,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct DeviceCtx {
     pub(crate) world: Arc<WorldInner>,
     pub(crate) rank: DeviceId,
-    clock: Arc<AtomicU64>,
+    clock: ClockCell,
     /// The communication stream's clock: `async` collectives accrue here
     /// while compute keeps running on `clock`; [`DeviceCtx::comm_sync`]
     /// joins the two.
     comm_clock: Arc<AtomicU64>,
     flops: Arc<AtomicU64>,
-    /// The run's rank scheduler (`None` under the legacy threads backend).
+    /// The run's rank scheduler (`None` under the other backends).
     sched: Option<Arc<Scheduler>>,
+    /// The run's stackless executor (`None` under the other backends).
+    tasks: Option<Arc<TaskWaker>>,
 }
 
 impl DeviceCtx {
@@ -532,11 +855,34 @@ impl DeviceCtx {
         DeviceCtx {
             world,
             rank,
-            clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+            clock: ClockCell::Own(Arc::new(AtomicU64::new(0.0f64.to_bits()))),
             comm_clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
             flops: Arc::new(AtomicU64::new(0)),
             sched: sched.map(Arc::clone),
+            tasks: None,
         }
+    }
+
+    /// Context for a stackless task. The virtual clock is *shared with the
+    /// task waker*, so the ready heap can order requeues by `(vtime, rank)`
+    /// without reaching back into the ctx.
+    fn new_task(world: Arc<WorldInner>, rank: DeviceId, waker: &Arc<TaskWaker>) -> DeviceCtx {
+        DeviceCtx {
+            world,
+            rank,
+            clock: ClockCell::Task(Arc::clone(waker), rank),
+            comm_clock: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+            flops: Arc::new(AtomicU64::new(0)),
+            sched: None,
+            tasks: Some(Arc::clone(waker)),
+        }
+    }
+
+    /// The stackless executor driving this context's task, if any. Resource
+    /// code (mailbox, rendezvous) uses this to decide between registering a
+    /// parked task for an explicit wake and relying on condvar waiters.
+    pub(crate) fn task_waker(&self) -> Option<&Arc<TaskWaker>> {
+        self.tasks.as_ref()
     }
 
     /// Global device id of this context.
@@ -552,15 +898,15 @@ impl DeviceCtx {
     /// Current virtual time in seconds.
     ///
     /// The clock is only ever written by its own device task, so relaxed
-    /// atomics are sufficient — the `Arc<AtomicU64>` exists to let clones of
-    /// the ctx (held by layers, optimizers, schedules) share one clock, not
-    /// for cross-thread communication.
+    /// atomics are sufficient — the shared [`ClockCell`] exists to let
+    /// clones of the ctx (held by layers, optimizers, schedules) share one
+    /// clock, not for cross-thread communication.
     pub fn clock(&self) -> f64 {
-        f64::from_bits(self.clock.load(Ordering::Relaxed))
+        f64::from_bits(self.clock.load())
     }
 
     fn set_clock(&self, t: f64) {
-        self.clock.store(t.to_bits(), Ordering::Relaxed);
+        self.clock.store(t.to_bits());
     }
 
     /// Advances the virtual clock by `dt` seconds. A clock advance is a
@@ -593,10 +939,13 @@ impl DeviceCtx {
     /// Unwinds (silently) when the run is aborting after another rank's
     /// panic. No-op under the threads backend.
     pub(crate) fn check_abort(&self) {
-        if let Some(sched) = &self.sched {
-            if sched.abort.load(Ordering::Relaxed) {
-                std::panic::resume_unwind(Box::new(AbortRun));
-            }
+        let aborting = match (&self.sched, &self.tasks) {
+            (Some(sched), _) => sched.abort.load(Ordering::Relaxed),
+            (None, Some(waker)) => waker.abort.load(Ordering::Relaxed),
+            (None, None) => false,
+        };
+        if aborting {
+            std::panic::resume_unwind(Box::new(AbortRun));
         }
     }
 
@@ -606,6 +955,7 @@ impl DeviceCtx {
     /// wait as usual; slot reacquisition happens with it released, so lock
     /// order is always resource → scheduler.
     pub(crate) fn wait_on<T>(&self, cv: &Condvar, guard: &mut parking_lot::MutexGuard<'_, T>) {
+        let _parked = ParkGuard::new(&self.world.threads);
         match &self.sched {
             None => cv.wait(guard),
             Some(sched) => {
@@ -615,6 +965,49 @@ impl DeviceCtx {
                 let (rank, clock) = (self.rank, self.clock());
                 parking_lot::MutexGuard::unlocked(guard, || sched.end_block(rank, clock));
                 self.check_abort();
+            }
+        }
+    }
+
+    /// Blocking twin of a stackless park: waits (at most once) for the
+    /// resource named by `key` to change, then returns so the caller can
+    /// re-poll — a condvar waiter's wait step, with the predicate re-check
+    /// living in the op's `poll`. This is how the threads and sched
+    /// backends drive the very same resumable ops the stackless executor
+    /// polls. Panics if called from a stackless task: those must return
+    /// `Pending` instead of blocking their pool worker.
+    pub(crate) fn wait_key(&self, key: &WakeKey) {
+        assert!(
+            self.tasks.is_none(),
+            "blocking wait inside a stackless task"
+        );
+        match &key.source {
+            WakeSource::Mail { from, to, tag } => {
+                let mut mb = self.world.mailbox.lock();
+                let slot = mb.entry((*from, *to, *tag)).or_default();
+                // re-check under the lock: the message may have landed
+                // between the poll that returned Pending and this wait
+                if slot.queue.is_empty() {
+                    slot.waiting = true;
+                    let cv = Arc::clone(&slot.cv);
+                    self.wait_on(&cv, &mut mb);
+                }
+            }
+            WakeSource::Publish(shared) => shared.block_until_published(self),
+            WakeSource::Drain(shared) => shared.block_until_drained(self),
+        }
+    }
+
+    /// Drives a resumable task to completion on the current OS thread,
+    /// blocking on each `Pending`'s wake key. This is how the threads and
+    /// sched backends execute a [`RankTask`]: the same state machine the
+    /// stackless executor advances, waited on with condvars instead of
+    /// requeues — which is why all three backends are bitwise identical.
+    pub fn block_on<T: RankTask>(&self, mut task: T) -> T::Output {
+        loop {
+            match task.poll(self) {
+                Poll::Ready(out) => return out,
+                Poll::Pending(key) => self.wait_key(&key),
             }
         }
     }
@@ -842,13 +1235,36 @@ impl DeviceCtx {
         slot.queue.push_back((t, arrival, bytes));
         self.world.wakes.p2p_msgs.fetch_add(1, Ordering::Relaxed);
         // Keyed wakeup: only the receiver parked on this exact (from, to,
-        // tag) is notified — and only if one is actually parked. `waiting`
-        // is read under the mailbox lock, so a receiver that has not parked
-        // yet will instead find the message when it checks the queue.
+        // tag) is woken — a condvar notify for a blocked thread, a task
+        // requeue for a stackless `Pending` — and only if one is actually
+        // parked. Both flags are read under the mailbox lock, so a receiver
+        // that has not parked yet will instead find the message when it
+        // checks the queue.
+        let parked = slot.parked_task.take();
         if slot.waiting {
             let cv = Arc::clone(&slot.cv);
             drop(mb);
             cv.notify_one();
+        } else {
+            drop(mb);
+        }
+        if let Some(receiver) = parked {
+            if let Some(waker) = &self.tasks {
+                waker.wake(receiver);
+            }
+        }
+    }
+
+    /// Starts a receive from `from` under `tag` as a resumable op (see
+    /// [`RecvOp`]); advance it with [`RecvOp::poll`] or hand it to
+    /// [`DeviceCtx::block_on`].
+    pub fn start_recv(&self, from: DeviceId, tag: u64) -> RecvOp {
+        assert_ne!(from, self.rank, "recv from self");
+        RecvOp {
+            from,
+            tag,
+            t_start: None,
+            parked: false,
         }
     }
 
@@ -856,33 +1272,7 @@ impl DeviceCtx {
     /// arrives. The receiver's clock advances to at least the message's
     /// arrival time; the traced byte count is the width the sender charged.
     pub fn recv(&self, from: DeviceId, tag: u64) -> Tensor {
-        assert_ne!(from, self.rank, "recv from self");
-        self.check_abort();
-        let key = (from, self.rank, tag);
-        let t_start = self.clock();
-        let mut mb = self.world.mailbox.lock();
-        loop {
-            let slot = mb.entry(key).or_default();
-            if let Some((t, arrival, bytes)) = slot.queue.pop_front() {
-                slot.waiting = false;
-                drop(mb);
-                self.advance_to(arrival);
-                self.trace_span(
-                    SpanKind::P2p {
-                        peer: from,
-                        tag,
-                        bytes,
-                        is_send: false,
-                    },
-                    t_start,
-                );
-                return t;
-            }
-            slot.waiting = true;
-            let cv = Arc::clone(&slot.cv);
-            self.wait_on(&cv, &mut mb);
-            self.world.wakes.p2p_wakes.fetch_add(1, Ordering::Relaxed);
-        }
+        self.block_on(self.start_recv(from, tag))
     }
 
     /// Full-duplex ring exchange: sends `t` to `to` while receiving from
@@ -897,6 +1287,76 @@ impl DeviceCtx {
     pub fn ring_exchange_half(&self, to: DeviceId, from: DeviceId, tag: u64, t: Tensor) -> Tensor {
         self.send_half(to, tag, t);
         self.recv(from, tag)
+    }
+}
+
+/// An in-flight point-to-point receive: the resumable form of
+/// [`DeviceCtx::recv`], created by [`DeviceCtx::start_recv`]. Also a
+/// [`RankTask`] over its payload, so a whole rank program can be "just a
+/// recv".
+pub struct RecvOp {
+    from: DeviceId,
+    tag: u64,
+    /// Receiver's clock at the first poll — the traced span start, latched
+    /// so re-polls after `Pending` keep the original wait origin.
+    t_start: Option<f64>,
+    /// Set when the previous poll returned `Pending`: the next poll counts
+    /// one observed mailbox wakeup.
+    parked: bool,
+}
+
+impl RecvOp {
+    /// Checks the mailbox once: `Ready(payload)` if a message is queued,
+    /// else `Pending` on the `(from, to, tag)` key. A stackless task is
+    /// registered for the sender's wake under the mailbox lock *before*
+    /// this returns, so a send racing the park is latched, never lost.
+    pub fn poll(&mut self, ctx: &DeviceCtx) -> Poll<Tensor> {
+        ctx.check_abort();
+        if self.parked {
+            self.parked = false;
+            ctx.world.wakes.p2p_wakes.fetch_add(1, Ordering::Relaxed);
+        }
+        let t_start = *self.t_start.get_or_insert_with(|| ctx.clock());
+        let key = (self.from, ctx.rank, self.tag);
+        let mut mb = ctx.world.mailbox.lock();
+        let slot = mb.entry(key).or_default();
+        if let Some((t, arrival, bytes)) = slot.queue.pop_front() {
+            slot.waiting = false;
+            slot.parked_task = None;
+            // Drained slots are garbage-collected: per-step tags mean the
+            // key space grows O(ranks * steps), and a map of dead entries
+            // turns every probe into cold-cache bucket walks at 16k ranks.
+            // Only the receiver itself can be registered on its own key, so
+            // an empty queue with both park flags clear has no observers.
+            if slot.queue.is_empty() {
+                mb.remove(&key);
+            }
+            drop(mb);
+            ctx.advance_to(arrival);
+            ctx.trace_span(
+                SpanKind::P2p {
+                    peer: self.from,
+                    tag: self.tag,
+                    bytes,
+                    is_send: false,
+                },
+                t_start,
+            );
+            return Poll::Ready(t);
+        }
+        self.parked = true;
+        if ctx.tasks.is_some() {
+            slot.parked_task = Some(ctx.rank);
+        }
+        Poll::Pending(WakeKey::mail(self.from, ctx.rank, self.tag))
+    }
+}
+
+impl RankTask for RecvOp {
+    type Output = Tensor;
+
+    fn poll(&mut self, ctx: &DeviceCtx) -> Poll<Tensor> {
+        RecvOp::poll(self, ctx)
     }
 }
 
@@ -1018,6 +1478,159 @@ mod tests {
                 let _ = ctx.group(&[1]);
             }
         });
+    }
+
+    #[test]
+    fn parse_backend_accepts_known_names() {
+        assert_eq!(parse_world_backend("threads", 3), Ok(WorldBackend::Threads));
+        assert_eq!(
+            parse_world_backend(" SCHED ", 3),
+            Ok(WorldBackend::Sched { pool: 3 })
+        );
+        assert_eq!(
+            parse_world_backend("Stackless", 0),
+            Ok(WorldBackend::Stackless { pool: 0 })
+        );
+        assert_eq!(parse_world_backend("fibers", 3), Err("fibers".to_string()));
+        assert_eq!(parse_world_backend("", 3), Err(String::new()));
+    }
+
+    #[test]
+    fn stackless_pool_zero_resolves_to_host_cores() {
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Stackless { pool: 0 }));
+        let WorldBackend::Stackless { pool } = world.backend() else {
+            panic!("expected stackless backend");
+        };
+        assert!(pool >= 1);
+    }
+
+    /// Minimal multi-resumption task: sends to the next rank, receives from
+    /// the previous one, returns the payload — exercises Pending/wake on
+    /// the mailbox key under every backend.
+    struct RingTask {
+        rank: usize,
+        n: usize,
+        sent: bool,
+        recv: Option<RecvOp>,
+    }
+
+    impl RankTask for RingTask {
+        type Output = f32;
+
+        fn poll(&mut self, ctx: &DeviceCtx) -> Poll<f32> {
+            if !self.sent {
+                self.sent = true;
+                let to = (self.rank + 1) % self.n;
+                ctx.send(to, 9, Tensor::scalar(self.rank as f32));
+            }
+            let op = self.recv.get_or_insert_with(|| {
+                let from = (self.rank + self.n - 1) % self.n;
+                ctx.start_recv(from, 9)
+            });
+            match op.poll(ctx) {
+                Poll::Ready(t) => Poll::Ready(t.item()),
+                Poll::Pending(key) => Poll::Pending(key),
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_matches_across_backends() {
+        for backend in [
+            WorldBackend::Threads,
+            WorldBackend::Sched { pool: 2 },
+            WorldBackend::Stackless { pool: 1 },
+            WorldBackend::Stackless { pool: 2 },
+        ] {
+            let world = World::new(system_i());
+            world.set_backend(Some(backend));
+            let out = world.run_tasks(4, |rank| RingTask {
+                rank,
+                n: 4,
+                sent: false,
+                recv: None,
+            });
+            assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn stackless_spawns_only_pool_threads() {
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Stackless { pool: 2 }));
+        let out = world.run_tasks(8, |rank| RingTask {
+            rank,
+            n: 8,
+            sent: false,
+            recv: None,
+        });
+        assert_eq!(out.len(), 8);
+        let threads = world.thread_stats();
+        assert_eq!(threads.spawned, 2, "{threads:?}");
+        assert!(threads.peak_live <= 2, "{threads:?}");
+        world.reset_thread_stats();
+        assert_eq!(world.thread_stats(), ThreadStats::default());
+    }
+
+    #[test]
+    fn sched_thread_gauge_tracks_world_size() {
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Sched { pool: 2 }));
+        world.run_on(6, |ctx| {
+            let g = ctx.world_group(6);
+            g.barrier(ctx);
+        });
+        let threads = world.thread_stats();
+        assert_eq!(threads.spawned, 6, "{threads:?}");
+        assert_eq!(threads.peak_live, 6, "{threads:?}");
+    }
+
+    #[test]
+    fn rollup_footer_reports_thread_gauge() {
+        let world = World::new(system_i());
+        world.enable_tracing();
+        world.run_on(2, |ctx| ctx.charge_flops_f32(1_000_000));
+        assert!(
+            world.rollup_table().contains("threads: spawned="),
+            "{}",
+            world.rollup_table()
+        );
+        assert!(world.rollup_table_full().contains("threads: spawned="));
+    }
+
+    #[test]
+    fn stackless_panic_reports_rank_and_message() {
+        struct BoomTask {
+            rank: usize,
+            op: Option<crate::group::CollectiveOp>,
+        }
+        impl RankTask for BoomTask {
+            type Output = ();
+            fn poll(&mut self, ctx: &DeviceCtx) -> Poll<()> {
+                if self.rank == 2 {
+                    panic!("rank two exploded");
+                }
+                // peers park on a barrier that can never complete; the
+                // abort must requeue and unwind them
+                let g = ctx.world_group(4);
+                let op = self.op.get_or_insert_with(|| g.start_barrier());
+                match g.poll_collective(ctx, op) {
+                    Poll::Ready(_) => Poll::Ready(()),
+                    Poll::Pending(key) => Poll::Pending(key),
+                }
+            }
+        }
+        let world = World::new(system_i());
+        world.set_backend(Some(WorldBackend::Stackless { pool: 2 }));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            world.run_tasks(4, |rank| BoomTask { rank, op: None });
+        }))
+        .expect_err("run must propagate the panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("device thread panicked"), "{msg}");
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("rank two exploded"), "{msg}");
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub enum OptimizerSpec {
 enum EngineOptimizer {
     AdamW(AdamW),
     Sgd(Sgd),
-    Zero(ZeroOptimizer),
+    // boxed: ZeroOptimizer embeds its DeviceCtx + Group handles and is an
+    // order of magnitude larger than the dense-optimizer variants
+    Zero(Box<ZeroOptimizer>),
 }
 
 /// The training engine: owns the model and drives one rank's training.
@@ -99,7 +101,7 @@ pub fn initialize(
                 _ => ZeroStage::Three,
             };
             let group = dp_group.clone().unwrap_or_else(|| ctx.group(&[ctx.rank()]));
-            EngineOptimizer::Zero(ZeroOptimizer::with_bucket_bytes(
+            EngineOptimizer::Zero(Box::new(ZeroOptimizer::with_bucket_bytes(
                 ctx,
                 &group,
                 model.as_mut(),
@@ -107,7 +109,7 @@ pub fn initialize(
                 lr,
                 weight_decay,
                 config.bucket_bytes(),
-            ))
+            )))
         }
         (Some(_), OptimizerSpec::Sgd { .. }) => {
             panic!("ZeRO requires the AdamW optimizer in this reproduction")

@@ -106,6 +106,16 @@ pub fn fat_tree_4096() -> Cluster {
     fat_tree("FatTree-4096", 16, 32)
 }
 
+/// 8192-GPU fat tree: 32 pods x 32 nodes x 8 GPUs.
+pub fn fat_tree_8192() -> Cluster {
+    fat_tree("FatTree-8192", 32, 32)
+}
+
+/// 16384-GPU fat tree: 64 pods x 32 nodes x 8 GPUs.
+pub fn fat_tree_16384() -> Cluster {
+    fat_tree("FatTree-16384", 64, 32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +183,9 @@ mod tests {
         assert_eq!(fat_tree_1024().n_devices(), 1024);
         assert_eq!(fat_tree_4096().n_devices(), 4096);
         assert_eq!(fat_tree_4096().n_pods(), 16);
+        assert_eq!(fat_tree_8192().n_devices(), 8192);
+        assert_eq!(fat_tree_16384().n_devices(), 16384);
+        assert_eq!(fat_tree_16384().n_pods(), 64);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! outside the bitwise [`CommStats`] parity surface, since wake counts are
 //! host-timing-dependent.
 
-use colossalai_comm::{World, WorldBackend};
+use colossalai_comm::{
+    CollectiveOp, DeviceCtx, Group, Poll, RankTask, RecvOp, World, WorldBackend,
+};
 use colossalai_tensor::Tensor;
 use colossalai_topology::systems::fat_tree_512;
 
@@ -82,6 +84,77 @@ fn storm_wakes_one_receiver_per_message_threads() {
     );
 }
 
+/// The all-pairs storm of [`run_storm`] as a resumable task: sends are
+/// non-blocking, each receive parks by returning `Pending` with its
+/// mailbox wake key.
+struct StormTask {
+    sent: bool,
+    d: usize,
+    op: Option<RecvOp>,
+}
+
+impl RankTask for StormTask {
+    type Output = ();
+    fn poll(&mut self, ctx: &DeviceCtx) -> Poll<()> {
+        let me = ctx.rank();
+        if !self.sent {
+            self.sent = true;
+            for d in 1..N {
+                let to = (me + d) % N;
+                ctx.send(to, me as u64, Tensor::scalar(me as f32));
+            }
+        }
+        while self.d < N {
+            let from = (me + self.d) % N;
+            let op = self
+                .op
+                .get_or_insert_with(|| ctx.start_recv(from, from as u64));
+            match op.poll(ctx) {
+                Poll::Ready(got) => {
+                    assert_eq!(got.item(), from as f32);
+                    self.op = None;
+                    self.d += 1;
+                }
+                Poll::Pending(key) => return Poll::Pending(key),
+            }
+        }
+        Poll::Ready(())
+    }
+}
+
+/// The same one-wake-per-message bound holds under the stackless executor,
+/// where a "wake" is requeueing the parked task rather than signalling a
+/// condvar — and the whole 64-rank storm runs on two OS threads.
+#[test]
+fn storm_wakes_one_receiver_per_message_stackless() {
+    let world = World::new(fat_tree_512());
+    world.set_backend(Some(WorldBackend::Stackless { pool: 2 }));
+    world.run_tasks(N, |_rank| StormTask {
+        sent: false,
+        d: 1,
+        op: None,
+    });
+    let w = world.wake_stats();
+    let msgs = (N * (N - 1)) as u64;
+    assert_eq!(w.p2p_msgs, msgs);
+    assert!(
+        w.p2p_wakes <= msgs + N as u64,
+        "one delivery must requeue at most one parked task: {} wakes for {} msgs",
+        w.p2p_wakes,
+        msgs
+    );
+    assert!(
+        w.wakeups_per_msg() <= 2.0,
+        "wakeups_per_msg {} — the O(world) herd is back",
+        w.wakeups_per_msg()
+    );
+    assert!(
+        world.thread_stats().peak_live <= 2,
+        "64 storm ranks must multiplex onto the 2-slot pool, got peak {}",
+        world.thread_stats().peak_live
+    );
+}
+
 /// A panicking rank must reach peers parked on *keyed* mailbox condvars:
 /// with per-key wakeup targets, the abort path has to iterate the condvar
 /// table — a single stray notify_all no longer exists to bail everyone
@@ -115,4 +188,108 @@ fn abort_reaches_ranks_parked_on_keyed_condvars() {
     assert!(msg.contains("device thread panicked"), "{msg}");
     assert!(msg.contains("rank 0"), "{msg}");
     assert!(msg.contains("rank zero gave up"), "{msg}");
+}
+
+/// State machine for the stackless abort test: rank 0 collects one message
+/// per peer (so every peer has entered the protocol) and then panics; odd
+/// peers are parked `Pending` on a mailbox wake key whose message never
+/// comes, even peers on a rendezvous wake key whose last member (rank 0)
+/// never joins. The abort must requeue and unwind tasks parked on BOTH
+/// kinds of wake key.
+enum Probe {
+    Start,
+    Collect { from: usize, op: RecvOp },
+    ParkMail(RecvOp),
+    ParkRendezvous(Group, CollectiveOp),
+}
+
+struct AbortProbe {
+    state: Probe,
+}
+
+impl RankTask for AbortProbe {
+    type Output = ();
+    fn poll(&mut self, ctx: &DeviceCtx) -> Poll<()> {
+        loop {
+            match std::mem::replace(&mut self.state, Probe::Start) {
+                Probe::Start => {
+                    let rank = ctx.rank();
+                    if rank == 0 {
+                        self.state = Probe::Collect {
+                            from: 1,
+                            op: ctx.start_recv(1, 7),
+                        };
+                    } else {
+                        ctx.send(0, 7, Tensor::scalar(rank as f32));
+                        if rank % 2 == 1 {
+                            // mailbox key (0, rank, 99): nothing is ever
+                            // sent under tag 99
+                            self.state = Probe::ParkMail(ctx.start_recv(0, 99));
+                        } else {
+                            // rendezvous {0, 2, 4, 6}: rank 0 dies before
+                            // joining, so the publish edge never fires
+                            let g = ctx.group(&[0, 2, 4, 6]);
+                            let op = g.start_all_reduce(Tensor::scalar(1.0));
+                            self.state = Probe::ParkRendezvous(g, op);
+                        }
+                    }
+                }
+                Probe::Collect { from, mut op } => match op.poll(ctx) {
+                    Poll::Ready(_) => {
+                        if from + 1 < 8 {
+                            self.state = Probe::Collect {
+                                from: from + 1,
+                                op: ctx.start_recv(from + 1, 7),
+                            };
+                        } else {
+                            panic!("rank zero gave up");
+                        }
+                    }
+                    Poll::Pending(key) => {
+                        self.state = Probe::Collect { from, op };
+                        return Poll::Pending(key);
+                    }
+                },
+                Probe::ParkMail(mut op) => match op.poll(ctx) {
+                    Poll::Ready(_) => unreachable!("no message is ever sent under tag 99"),
+                    Poll::Pending(key) => {
+                        self.state = Probe::ParkMail(op);
+                        return Poll::Pending(key);
+                    }
+                },
+                Probe::ParkRendezvous(g, mut op) => match g.poll_collective(ctx, &mut op) {
+                    Poll::Ready(_) => unreachable!("rank 0 never joins the rendezvous"),
+                    Poll::Pending(key) => {
+                        self.state = Probe::ParkRendezvous(g, op);
+                        return Poll::Pending(key);
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// The stackless analog of the keyed-condvar abort test: a panic must
+/// reach tasks parked `Pending` on mailbox AND rendezvous wake keys — at
+/// pool sizes where the panicking rank shares a slot with its victims and
+/// where it does not.
+#[test]
+fn abort_reaches_stackless_tasks_parked_on_wake_keys() {
+    for pool in [1, 2] {
+        let world = World::new(fat_tree_512());
+        world.set_backend(Some(WorldBackend::Stackless { pool }));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            world.run_tasks(8, |_rank| AbortProbe {
+                state: Probe::Start,
+            });
+        }))
+        .expect_err("run must propagate the panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("device thread panicked"), "pool={pool}: {msg}");
+        assert!(msg.contains("rank 0"), "pool={pool}: {msg}");
+        assert!(msg.contains("rank zero gave up"), "pool={pool}: {msg}");
+    }
 }
