@@ -12,9 +12,9 @@
 //! Run with `cargo bench --bench gemm_kernels`; numbers are recorded in
 //! `results/gemm_kernels.txt`.
 
-use colossalai_tensor::kernel::{gemm_mat, gemm_mat_threaded, Mat};
+use colossalai_tensor::kernel::{gemm_mat, gemm_mat_bf16, gemm_mat_threaded, Mat};
 use colossalai_tensor::matmul::{gemm_ref_blocked, gemm_ref_ikj, matmul_flops};
-use colossalai_tensor::{axpy_slices, scale_slice};
+use colossalai_tensor::{axpy_slices, scale_slice, set_fast_mode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
@@ -67,6 +67,41 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| {
                 out.iter_mut().for_each(|x| *x = 0.0);
                 gemm_mat(
+                    Mat::row_major(&a, k),
+                    Mat::row_major(&b, n),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                std::hint::black_box(&mut out);
+            });
+        });
+
+        // paired fast-mode rows: same packed core with the FMA microkernel
+        // (COLOSSAL_FAST) and the bf16-compute variant; the deterministic
+        // default is restored after each so the other rows stay honest
+        group.bench_function(label("packed_fast"), |bch| {
+            set_fast_mode(true);
+            bch.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                gemm_mat(
+                    Mat::row_major(&a, k),
+                    Mat::row_major(&b, n),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                std::hint::black_box(&mut out);
+            });
+            set_fast_mode(false);
+        });
+
+        group.bench_function(label("packed_bf16"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                gemm_mat_bf16(
                     Mat::row_major(&a, k),
                     Mat::row_major(&b, n),
                     &mut out,

@@ -46,12 +46,15 @@ use std::time::Instant;
 
 const ELEMS: usize = 256;
 const STEPS: usize = 2;
-/// Passes over the whole scale sweep; each row's wall is the best across
-/// passes. Interleaving the passes (rather than repeating each row
+/// Passes over the whole scale sweep; each row's wall is the *median*
+/// across passes. Interleaving the passes (rather than repeating each row
 /// back-to-back) matters on shared hosts: slow drift in machine speed then
 /// hits the 64-rank baseline and the 16384-rank row alike instead of
 /// biasing their ratio. The baseline finishes in ~1 ms, so its single
-/// samples are scheduler-noise; the min over passes is the estimator.
+/// samples are scheduler-noise; the median is robust to one slow outlier
+/// pass *and* to one lucky pass — a per-row min pairs the luckiest 64-rank
+/// sample with the luckiest 16k sample, which are rarely the same pass and
+/// made the CI'd ratio gate itself noisy.
 const REPS: usize = 5;
 
 /// (dp, tp, pp) shapes per scale; tp stays within the 8-GPU NVLink node.
@@ -113,6 +116,18 @@ fn run_once(spec: &HybridSpec, backend: WorldBackend, traced: bool) -> Sample {
     (losses, world, dt)
 }
 
+/// Median of the pass walls (sorts in place; odd `REPS` hits the true
+/// middle element, even lengths average the two central ones).
+fn median(walls: &mut [f64]) -> f64 {
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let mid = walls.len() / 2;
+    if walls.len() % 2 == 1 {
+        walls[mid]
+    } else {
+        0.5 * (walls[mid - 1] + walls[mid])
+    }
+}
+
 fn main() {
     let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
     let stackless = WorldBackend::Stackless { pool: 0 };
@@ -129,26 +144,27 @@ fn main() {
     let mut wakeups_per_msg_worst = 0.0f64;
     let mut peak_threads_worst = 0u64;
     let mut completed = true;
-    let mut best: Vec<Option<Sample>> = SCALES.iter().map(|_| None).collect();
+    // Interleaved passes: every pass visits every scale once. Keep the
+    // (deterministic) losses/world of the first pass per row and all walls;
+    // the row's reported wall is the median wall across passes.
+    let mut measured: Vec<Option<Sample>> = SCALES.iter().map(|_| None).collect();
+    let mut walls: Vec<Vec<f64>> = SCALES.iter().map(|_| Vec::with_capacity(REPS)).collect();
     for _ in 0..REPS {
         for (i, &(dp, tp, pp)) in SCALES.iter().enumerate() {
             let spec = spec_for(dp, tp, pp);
             let (l, w, t) = run_once(&spec, stackless, false);
-            match &mut best[i] {
-                None => best[i] = Some((l, w, t)),
-                Some(b) => {
-                    completed &= l == b.0;
-                    if t < b.2 {
-                        *b = (l, w, t);
-                    }
-                }
+            walls[i].push(t);
+            match &mut measured[i] {
+                None => measured[i] = Some((l, w, t)),
+                Some(b) => completed &= l == b.0,
             }
         }
     }
     for (i, &(dp, tp, pp)) in SCALES.iter().enumerate() {
         let spec = spec_for(dp, tp, pp);
         let ranks = spec.ranks();
-        let (losses, world, dt) = best[i].take().expect("every scale ran");
+        let (losses, world, _) = measured[i].take().expect("every scale ran");
+        let dt = median(&mut walls[i]);
         let finite = losses.iter().flatten().all(|l| l.is_finite());
         completed &= finite && losses.len() == ranks;
         let checksum: f64 = losses.iter().flatten().map(|&l| l as f64).sum();

@@ -132,6 +132,13 @@ pub struct ComputeConfig {
     /// ambient.
     #[serde(default)]
     pub par_flop_cutoff: usize,
+    /// Opt-in fast numeric mode (`set_fast_mode`; env `COLOSSAL_FAST`):
+    /// FMA-fused kernels and bf16-compute GEMM on the AMP path, trading
+    /// bitwise reproducibility against the deterministic default for
+    /// throughput (results stay within documented ULP budgets, DESIGN.md
+    /// §13). Missing = keep ambient; `true`/`false` override the env knob.
+    #[serde(default)]
+    pub fast: Option<bool>,
 }
 
 /// Memory section: allocator behavior.
@@ -385,17 +392,23 @@ mod tests {
         assert_eq!(cfg.compute.threads, 0, "0 = keep ambient setting");
         assert_eq!(cfg.compute.par_cutoff, 0);
         assert_eq!(cfg.compute.par_flop_cutoff, 0);
+        assert_eq!(cfg.compute.fast, None, "missing = keep ambient");
         let cfg = Config::from_json(
-            r#"{ "compute": { "threads": 4, "par_cutoff": 1024, "par_flop_cutoff": 4096 } }"#,
+            r#"{ "compute": { "threads": 4, "par_cutoff": 1024, "par_flop_cutoff": 4096,
+                              "fast": true } }"#,
         )
         .unwrap();
         assert_eq!(cfg.compute.threads, 4);
         assert_eq!(cfg.compute.par_cutoff, 1024);
         assert_eq!(cfg.compute.par_flop_cutoff, 4096);
+        assert_eq!(cfg.compute.fast, Some(true));
         // partial section: missing keys stay ambient
         let cfg = Config::from_json(r#"{ "compute": { "threads": 2 } }"#).unwrap();
         assert_eq!(cfg.compute.threads, 2);
         assert_eq!(cfg.compute.par_cutoff, 0);
+        assert_eq!(cfg.compute.fast, None);
+        let cfg = Config::from_json(r#"{ "compute": { "fast": false } }"#).unwrap();
+        assert_eq!(cfg.compute.fast, Some(false));
     }
 
     #[test]

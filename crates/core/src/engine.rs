@@ -79,6 +79,11 @@ pub fn initialize(
     if config.compute.par_flop_cutoff > 0 {
         colossalai_tensor::set_par_flop_cutoff(config.compute.par_flop_cutoff);
     }
+    // fast numeric mode: missing means "keep the ambient COLOSSAL_FAST /
+    // setter state"; an explicit true/false overrides it for the process
+    if let Some(fast) = config.compute.fast {
+        colossalai_tensor::set_fast_mode(fast);
+    }
     // activation checkpointing: wrap the whole model (the paper's engine
     // applies it per injected module; at engine granularity the numerics
     // are identical and the memory model is strictly conservative)

@@ -51,6 +51,28 @@ pub fn env_usize(var: &str, default: usize) -> usize {
     }
 }
 
+/// Reads `var` as a boolean flag: unset yields `default`; `1`, `on`,
+/// `true`, `yes` (any case) mean on; `0`, `off`, `false`, `no` mean off;
+/// anything else yields `default` after a one-time [`warn_invalid`].
+pub fn env_flag(var: &str, default: bool) -> bool {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => true,
+            "0" | "off" | "false" | "no" => false,
+            _ => {
+                warn_invalid(
+                    var,
+                    raw.trim(),
+                    "one of 1/0/on/off/true/false/yes/no",
+                    if default { "on" } else { "off" },
+                );
+                default
+            }
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +97,31 @@ mod tests {
         assert_eq!(env_usize("COLOSSAL_TEST_BAD_KNOB", 7), 7);
         // second resolution must stay silent (and still fall back)
         assert_eq!(env_usize("COLOSSAL_TEST_BAD_KNOB", 9), 9);
+    }
+
+    #[test]
+    fn flag_accepts_the_documented_spellings() {
+        for (v, want) in [
+            ("1", true),
+            ("on", true),
+            ("TRUE", true),
+            (" yes ", true),
+            ("0", false),
+            ("off", false),
+            ("False", false),
+            ("no", false),
+        ] {
+            std::env::set_var("COLOSSAL_TEST_FLAG_KNOB", v);
+            assert_eq!(env_flag("COLOSSAL_TEST_FLAG_KNOB", !want), want, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn flag_unset_and_malformed_fall_back() {
+        assert!(env_flag("COLOSSAL_TEST_FLAG_UNSET", true));
+        assert!(!env_flag("COLOSSAL_TEST_FLAG_UNSET", false));
+        std::env::set_var("COLOSSAL_TEST_FLAG_BAD", "maybe");
+        assert!(env_flag("COLOSSAL_TEST_FLAG_BAD", true));
+        assert!(!env_flag("COLOSSAL_TEST_FLAG_BAD", false));
     }
 }

@@ -34,8 +34,17 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Microtile rows held in registers.
+/// Microtile rows held in registers (deterministic mul-then-add kernel).
 pub const MR: usize = 4;
+/// Microtile rows for the fast-mode FMA kernel: fused multiply-add needs no
+/// separate product temporaries, so a `6 x 16` tile — 12 accumulator ymm
+/// plus two `B` vectors and one broadcast — fits the 16-register AVX2 file
+/// where the mul-then-add form would spill. The taller tile reads each
+/// packed `B` column once per 6 rows instead of per 4 and keeps 12
+/// independent FMA chains in flight, covering the 4-5 cycle FMA latency.
+/// Summation order per output element is ascending `k` regardless of the
+/// tile height, so this is a speed knob, never a bits knob.
+pub const MR_FMA: usize = 6;
 /// Microtile columns held in registers (two AVX2 f32 vectors), giving a
 /// `4 x 16` accumulator tile — 8 ymm registers — with room left for loads.
 pub const NR: usize = 16;
@@ -58,6 +67,58 @@ pub const DEFAULT_PAR_FLOP_CUTOFF: usize = 64 * 64 * 64;
 
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 static PAR_FLOP_CUTOFF: AtomicUsize = AtomicUsize::new(0);
+/// Fast-mode tri-state: 0 = unresolved, 1 = off, 2 = on (see
+/// [`resolve_cached`] for the sentinel convention shared by every knob).
+static FAST: AtomicUsize = AtomicUsize::new(0);
+
+/// Turns the opt-in **fast numeric mode** on or off for every subsequent
+/// kernel on any thread, overriding the `COLOSSAL_FAST` environment knob.
+///
+/// Fast mode swaps the deterministic mul-then-add microkernel for an
+/// FMA-fused one (and enables the FMA variants of the fused element-wise
+/// kernels and the bf16-compute GEMM). Results are no longer bitwise
+/// comparable to the deterministic default — only tolerance/ULP-budget
+/// comparable (see `tests/fast_props.rs` and DESIGN.md §13) — but within
+/// fast mode the serial/threaded/pool determinism contract still holds:
+/// every path uses the same fused arithmetic in the same order.
+pub fn set_fast_mode(on: bool) {
+    FAST.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether fast numeric mode is active: the last [`set_fast_mode`] value,
+/// else the `COLOSSAL_FAST` env flag (`1`/`on`/`true` ...), else off.
+/// Resolution is cached once like every other knob; invalid values warn via
+/// [`crate::envknob::warn_invalid`] and fall back to off.
+pub fn fast_mode() -> bool {
+    let v = FAST.load(Ordering::Relaxed);
+    if v != 0 {
+        return v == 2;
+    }
+    let resolved = if crate::envknob::env_flag("COLOSSAL_FAST", false) {
+        2
+    } else {
+        1
+    };
+    FAST.store(resolved, Ordering::Relaxed);
+    resolved == 2
+}
+
+/// True when the CPU supports the `avx2,fma` feature pair the fast
+/// microkernels are compiled for. On other hardware fast mode still works —
+/// `f32::mul_add` falls back to the (slow, correctly-rounded) libm `fmaf`,
+/// producing bit-identical results to the hardware FMA path.
+#[cfg(target_arch = "x86_64")]
+pub fn fma_available() -> bool {
+    static FMA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FMA.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub fn fma_available() -> bool {
+    false
+}
 
 /// The one place that defines how every runtime knob in this crate resolves
 /// and caches (`kernel_threads`, [`par_flop_cutoff`], `par::par_cutoff`):
@@ -175,14 +236,15 @@ impl<'a> Mat<'a> {
 }
 
 /// Packs logical rows `[i0, i0 + mb)` x cols `[p0, p0 + kb)` of `a` into
-/// `MR`-row panels: panel `ip` holds rows `i0 + ip*MR ..`, stored as `kb`
-/// groups of `MR` values (rows beyond `mb` zero-filled so the microkernel
-/// never branches on the edge).
-fn pack_a(a: Mat, i0: usize, mb: usize, p0: usize, kb: usize, buf: &mut [f32]) {
-    for (ip, panel) in buf.chunks_mut(kb * MR).take(mb.div_ceil(MR)).enumerate() {
-        let ir = ip * MR;
-        let rows = (mb - ir).min(MR);
-        for (kk, dst) in panel.chunks_exact_mut(MR).take(kb).enumerate() {
+/// `MRR`-row panels: panel `ip` holds rows `i0 + ip*MRR ..`, stored as `kb`
+/// groups of `MRR` values (rows beyond `mb` zero-filled so the microkernel
+/// never branches on the edge). `MRR` is [`MR`] for the deterministic
+/// kernel and [`MR_FMA`] for the taller fast-mode tile.
+fn pack_a<const MRR: usize>(a: Mat, i0: usize, mb: usize, p0: usize, kb: usize, buf: &mut [f32]) {
+    for (ip, panel) in buf.chunks_mut(kb * MRR).take(mb.div_ceil(MRR)).enumerate() {
+        let ir = ip * MRR;
+        let rows = (mb - ir).min(MRR);
+        for (kk, dst) in panel.chunks_exact_mut(MRR).take(kb).enumerate() {
             for (r, d) in dst[..rows].iter_mut().enumerate() {
                 *d = a.at(i0 + ir + r, p0 + kk);
             }
@@ -212,19 +274,32 @@ fn pack_b(b: Mat, p0: usize, kb: usize, j0: usize, nb: usize, buf: &mut [f32]) {
 
 /// The register microkernel: `acc += ap_panel @ bp_panel` over `kb` packed
 /// columns. Fixed-size tiles and `chunks_exact` keep the body branch- and
-/// bounds-check-free so LLVM holds `acc` in vector registers.
+/// bounds-check-free so LLVM holds `acc` in vector registers. `FMA = false`
+/// is the deterministic mul-then-add form; `FMA = true` fuses each step with
+/// `f32::mul_add`, which LLVM lowers to `vfmadd` when the enclosing function
+/// enables the `fma` target feature (and to the correctly-rounded libm
+/// `fmaf` otherwise — same bits, much slower).
 #[inline(always)]
-fn microtile(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (a, b) in ap[..kb * MR]
-        .chunks_exact(MR)
+fn microtile<const FMA: bool, const MRR: usize>(
+    kb: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [[f32; NR]; MRR],
+) {
+    for (a, b) in ap[..kb * MRR]
+        .chunks_exact(MRR)
         .zip(bp[..kb * NR].chunks_exact(NR))
     {
-        let a: &[f32; MR] = a.try_into().unwrap();
+        let a: &[f32; MRR] = a.try_into().unwrap();
         let b: &[f32; NR] = b.try_into().unwrap();
-        for r in 0..MR {
+        for r in 0..MRR {
             let ar = a[r];
             for j in 0..NR {
-                acc[r][j] += ar * b[j];
+                if FMA {
+                    acc[r][j] = ar.mul_add(b[j], acc[r][j]);
+                } else {
+                    acc[r][j] += ar * b[j];
+                }
             }
         }
     }
@@ -232,11 +307,12 @@ fn microtile(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
 
 /// Runs every microtile of one packed `(mb x kb) @ (kb x nb)` block and
 /// scatter-adds the accumulators into `c` (full `ldc`-wide output, block
-/// origin at `(ic, jc)`). `#[inline(always)]` so the AVX2 wrapper below
-/// recompiles the whole loop nest with wide lanes.
+/// origin at `(ic, jc)`). `#[inline(always)]` so the target-feature wrappers
+/// below recompile the whole loop nest with wide lanes (and, for the fast
+/// instantiation, hardware FMA).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)] // flat scalars keep the hot path register-friendly
-fn macro_tile(
+fn macro_tile<const FMA: bool, const MRR: usize>(
     apack: &[f32],
     bpack: &[f32],
     kb: usize,
@@ -251,12 +327,12 @@ fn macro_tile(
         let jr = jp * NR;
         let cols = (nb - jr).min(NR);
         let bp = &bpack[jp * kb * NR..][..kb * NR];
-        for ip in 0..mb.div_ceil(MR) {
-            let ir = ip * MR;
-            let rows = (mb - ir).min(MR);
-            let ap = &apack[ip * kb * MR..][..kb * MR];
-            let mut acc = [[0.0f32; NR]; MR];
-            microtile(kb, ap, bp, &mut acc);
+        for ip in 0..mb.div_ceil(MRR) {
+            let ir = ip * MRR;
+            let rows = (mb - ir).min(MRR);
+            let ap = &apack[ip * kb * MRR..][..kb * MRR];
+            let mut acc = [[0.0f32; NR]; MRR];
+            microtile::<FMA, MRR>(kb, ap, bp, &mut acc);
             for (r, acc_row) in acc[..rows].iter().enumerate() {
                 let row = &mut c[(ic + ir + r) * ldc + jc + jr..][..cols];
                 for (cv, &av) in row.iter_mut().zip(acc_row[..cols].iter()) {
@@ -281,17 +357,19 @@ unsafe fn macro_tile_avx2(
     ic: usize,
     jc: usize,
 ) {
-    macro_tile(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+    macro_tile::<false, MR>(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
 }
 
+/// The fast-mode instantiation: same loop nest, but every multiply-add in
+/// the register tile is a single `vfmadd231ps`, and the tile is the taller
+/// [`MR_FMA`]-row one the FMA register budget affords. One rounding per
+/// step instead of two is why its results differ (by bounded ULPs) from
+/// the deterministic kernel — see DESIGN.md §13; the tile height never
+/// changes bits.
 #[cfg(target_arch = "x86_64")]
-fn avx2_available() -> bool {
-    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
-}
-
+#[target_feature(enable = "avx2,fma")]
 #[allow(clippy::too_many_arguments)]
-fn run_macro_tile(
+unsafe fn macro_tile_avx2_fma(
     apack: &[f32],
     bpack: &[f32],
     kb: usize,
@@ -302,6 +380,44 @@ fn run_macro_tile(
     ic: usize,
     jc: usize,
 ) {
+    macro_tile::<true, MR_FMA>(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Dispatches one packed block to the right macro-tile instantiation.
+/// `fast` is resolved once by the caller (never re-read here) because the
+/// `A` panel layout must match the tile height: `MR`-row panels for the
+/// deterministic kernel, `MR_FMA`-row panels for both fast arms.
+#[allow(clippy::too_many_arguments)]
+fn run_macro_tile(
+    fast: bool,
+    apack: &[f32],
+    bpack: &[f32],
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    if fast {
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // SAFETY: fma_available() checked the CPU supports every feature
+            // macro_tile_avx2_fma enables.
+            unsafe { macro_tile_avx2_fma(apack, bpack, kb, mb, nb, c, ldc, ic, jc) };
+            return;
+        }
+        // No hardware FMA: libm mul_add keeps the bits identical to the
+        // vfmadd path, trading away the speed win but never the results.
+        return macro_tile::<true, MR_FMA>(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+    }
     #[cfg(target_arch = "x86_64")]
     if avx2_available() {
         // SAFETY: avx2_available() checked the CPU supports every feature
@@ -309,7 +425,7 @@ fn run_macro_tile(
         unsafe { macro_tile_avx2(apack, bpack, kb, mb, nb, c, ldc, ic, jc) };
         return;
     }
-    macro_tile(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+    macro_tile::<false, MR>(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
 }
 
 /// Serial packed GEMM: `c += a @ b` for logical `(m, k) @ (k, n)` operands,
@@ -318,10 +434,14 @@ pub fn gemm_mat(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // the mode (and with it the A-panel height) is resolved once per GEMM,
+    // so a concurrent toggle can never mismatch packing and microkernel
+    let fast = fast_mode();
+    let mr = if fast { MR_FMA } else { MR };
     let kb_max = k.min(KC);
     // packing panels recycle through the storage pool: a training step calls
     // this kernel hundreds of times with identical panel sizes
-    let mut apack = crate::pool::take_zeroed(m.min(MC).div_ceil(MR) * MR * kb_max);
+    let mut apack = crate::pool::take_zeroed(m.min(MC).div_ceil(mr) * mr * kb_max);
     let mut bpack = crate::pool::take_zeroed(n.min(NC).div_ceil(NR) * NR * kb_max);
     for jc in (0..n).step_by(NC) {
         let nb = (n - jc).min(NC);
@@ -331,9 +451,13 @@ pub fn gemm_mat(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
             pack_b(b, pc, kb, jc, nb, bbuf);
             for ic in (0..m).step_by(MC) {
                 let mb = (m - ic).min(MC);
-                let abuf = &mut apack[..mb.div_ceil(MR) * MR * kb];
-                pack_a(a, ic, mb, pc, kb, abuf);
-                run_macro_tile(abuf, bbuf, kb, mb, nb, c, n, ic, jc);
+                let abuf = &mut apack[..mb.div_ceil(mr) * mr * kb];
+                if fast {
+                    pack_a::<MR_FMA>(a, ic, mb, pc, kb, abuf);
+                } else {
+                    pack_a::<MR>(a, ic, mb, pc, kb, abuf);
+                }
+                run_macro_tile(fast, abuf, bbuf, kb, mb, nb, c, n, ic, jc);
             }
         }
     }
@@ -413,17 +537,44 @@ pub fn gemm_mat_threaded_spawn(
 
 /// Branch-free direct i-k-j kernel for problems too small to amortize
 /// packing. Summation per output element is ascending `k`, the same order as
-/// the packed path, so the size dispatch never changes results.
-fn gemm_small(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+/// the packed path, so the size dispatch never changes results — a property
+/// that holds *per mode*: the fast instantiation fuses every step exactly
+/// like `microtile::<true>`, so the cutoff stays invisible under fast mode
+/// too (for a zero-initialized `c`, folding a fused chain into memory per
+/// `k` step produces the same bits as reducing it in a register).
+#[inline(always)]
+fn gemm_small_impl<const FMA: bool>(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let c_row = &mut c[i * n..(i + 1) * n];
         for p in 0..k {
             let a_ip = a.at(i, p);
             for (j, c_ij) in c_row.iter_mut().enumerate() {
-                *c_ij += a_ip * b.at(p, j);
+                if FMA {
+                    *c_ij = a_ip.mul_add(b.at(p, j), *c_ij);
+                } else {
+                    *c_ij += a_ip * b.at(p, j);
+                }
             }
         }
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_small_fma(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_small_impl::<true>(a, b, c, m, k, n);
+}
+
+fn gemm_small(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if fast_mode() {
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // SAFETY: fma_available() checked avx2+fma support.
+            return unsafe { gemm_small_fma(a, b, c, m, k, n) };
+        }
+        return gemm_small_impl::<true>(a, b, c, m, k, n);
+    }
+    gemm_small_impl::<false>(a, b, c, m, k, n);
 }
 
 /// Register-dot variant of [`gemm_small`] for a `c` that already holds live
@@ -431,17 +582,47 @@ fn gemm_small(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
 /// register first and added to `c` exactly once. `gemm_small` itself folds
 /// into `c` memory once per `k` step, which is the same sequence only when
 /// `c` starts at zero — this variant keeps the bits right when it doesn't.
-fn gemm_small_acc(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+#[inline(always)]
+fn gemm_small_acc_impl<const FMA: bool>(
+    a: Mat,
+    b: Mat,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..m {
         let c_row = &mut c[i * n..(i + 1) * n];
         for (j, c_ij) in c_row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for p in 0..k {
-                acc += a.at(i, p) * b.at(p, j);
+                if FMA {
+                    acc = a.at(i, p).mul_add(b.at(p, j), acc);
+                } else {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
             }
             *c_ij += acc;
         }
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_small_acc_fma(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_small_acc_impl::<true>(a, b, c, m, k, n);
+}
+
+fn gemm_small_acc(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if fast_mode() {
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // SAFETY: fma_available() checked avx2+fma support.
+            return unsafe { gemm_small_acc_fma(a, b, c, m, k, n) };
+        }
+        return gemm_small_acc_impl::<true>(a, b, c, m, k, n);
+    }
+    gemm_small_acc_impl::<false>(a, b, c, m, k, n);
 }
 
 /// `c += a @ b` where `c` may already hold live data (fused gradient
@@ -485,6 +666,210 @@ pub fn gemm_mat_auto(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize
         }
     } else {
         gemm_mat(a, b, c, m, k, n);
+    }
+}
+
+// --- bf16 storage-and-compute GEMM -----------------------------------------
+//
+// The reduced-precision arm of fast mode: `A` and `B` blocks are packed as
+// bf16 (round-to-nearest-even at pack time), halving the packed-panel
+// footprint — a full `MC x KC` + `KC x NC` working set drops from 384 KiB to
+// 192 KiB — while the register tile still accumulates in f32 with FMA.
+// Decode back to f32 is a pure `<< 16` (bf16 shares f32's exponent range),
+// so the load side costs one shift per operand, not a table or a branch.
+// Precision: operands carry 8 mantissa bits instead of 24; the ULP budget in
+// `tests/fast_props.rs` accounts for one bf16 rounding per operand plus the
+// fused-chain error (DESIGN.md §13).
+
+/// Packs logical rows/cols of `a` into `MR_FMA`-row panels exactly like
+/// [`pack_a`], but each element is rounded to bf16 at copy time.
+fn pack_a_bf16(a: Mat, i0: usize, mb: usize, p0: usize, kb: usize, buf: &mut [u16]) {
+    for (ip, panel) in buf
+        .chunks_mut(kb * MR_FMA)
+        .take(mb.div_ceil(MR_FMA))
+        .enumerate()
+    {
+        let ir = ip * MR_FMA;
+        let rows = (mb - ir).min(MR_FMA);
+        for (kk, dst) in panel.chunks_exact_mut(MR_FMA).take(kb).enumerate() {
+            for (r, d) in dst[..rows].iter_mut().enumerate() {
+                *d = crate::f16::BF16::from_f32(a.at(i0 + ir + r, p0 + kk)).to_bits();
+            }
+            for d in dst[rows..].iter_mut() {
+                *d = 0;
+            }
+        }
+    }
+}
+
+/// bf16 analogue of [`pack_b`]: `NR`-column panels of rounded elements.
+fn pack_b_bf16(b: Mat, p0: usize, kb: usize, j0: usize, nb: usize, buf: &mut [u16]) {
+    for (jp, panel) in buf.chunks_mut(kb * NR).take(nb.div_ceil(NR)).enumerate() {
+        let jr = jp * NR;
+        let cols = (nb - jr).min(NR);
+        for (kk, dst) in panel.chunks_exact_mut(NR).take(kb).enumerate() {
+            for (c, d) in dst[..cols].iter_mut().enumerate() {
+                *d = crate::f16::BF16::from_f32(b.at(p0 + kk, j0 + jr + c)).to_bits();
+            }
+            for d in dst[cols..].iter_mut() {
+                *d = 0;
+            }
+        }
+    }
+}
+
+/// bf16 register microkernel: widen each packed operand with a shift, then
+/// fuse into the f32 accumulator tile. Zero-fill padding decodes to +0.0, so
+/// edge tiles stay branch-free like the f32 kernel.
+#[inline(always)]
+fn microtile_bf16(kb: usize, ap: &[u16], bp: &[u16], acc: &mut [[f32; NR]; MR_FMA]) {
+    for (a, b) in ap[..kb * MR_FMA]
+        .chunks_exact(MR_FMA)
+        .zip(bp[..kb * NR].chunks_exact(NR))
+    {
+        let a: &[u16; MR_FMA] = a.try_into().unwrap();
+        let b: &[u16; NR] = b.try_into().unwrap();
+        for r in 0..MR_FMA {
+            let ar = f32::from_bits((a[r] as u32) << 16);
+            for j in 0..NR {
+                let bv = f32::from_bits((b[j] as u32) << 16);
+                acc[r][j] = ar.mul_add(bv, acc[r][j]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn macro_tile_bf16(
+    apack: &[u16],
+    bpack: &[u16],
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    for jp in 0..nb.div_ceil(NR) {
+        let jr = jp * NR;
+        let cols = (nb - jr).min(NR);
+        let bp = &bpack[jp * kb * NR..][..kb * NR];
+        for ip in 0..mb.div_ceil(MR_FMA) {
+            let ir = ip * MR_FMA;
+            let rows = (mb - ir).min(MR_FMA);
+            let ap = &apack[ip * kb * MR_FMA..][..kb * MR_FMA];
+            let mut acc = [[0.0f32; NR]; MR_FMA];
+            microtile_bf16(kb, ap, bp, &mut acc);
+            for (r, acc_row) in acc[..rows].iter().enumerate() {
+                let row = &mut c[(ic + ir + r) * ldc + jc + jr..][..cols];
+                for (cv, &av) in row.iter_mut().zip(acc_row[..cols].iter()) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn macro_tile_bf16_avx2_fma(
+    apack: &[u16],
+    bpack: &[u16],
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    macro_tile_bf16(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_macro_tile_bf16(
+    apack: &[u16],
+    bpack: &[u16],
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: fma_available() checked avx2+fma support.
+        unsafe { macro_tile_bf16_avx2_fma(apack, bpack, kb, mb, nb, c, ldc, ic, jc) };
+        return;
+    }
+    macro_tile_bf16(apack, bpack, kb, mb, nb, c, ldc, ic, jc);
+}
+
+/// Serial packed bf16-compute GEMM: `c += bf16(a) @ bf16(b)` with f32
+/// accumulation, same block schedule as [`gemm_mat`]. Always packs (the
+/// rounding pass *is* the packing pass), so there is no small-size direct
+/// arm. Panels are per-thread scratch: u16 panels don't fit the f32 storage
+/// pool and are cheap enough to keep thread-local.
+pub fn gemm_mat_bf16(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    thread_local! {
+        static PANELS: std::cell::RefCell<(Vec<u16>, Vec<u16>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    PANELS.with(|cell| {
+        let mut panels = cell.borrow_mut();
+        let (apack, bpack) = &mut *panels;
+        let kb_max = k.min(KC);
+        apack.resize(m.min(MC).div_ceil(MR_FMA) * MR_FMA * kb_max, 0);
+        bpack.resize(n.min(NC).div_ceil(NR) * NR * kb_max, 0);
+        for jc in (0..n).step_by(NC) {
+            let nb = (n - jc).min(NC);
+            for pc in (0..k).step_by(KC) {
+                let kb = (k - pc).min(KC);
+                let bbuf = &mut bpack[..nb.div_ceil(NR) * NR * kb];
+                pack_b_bf16(b, pc, kb, jc, nb, bbuf);
+                for ic in (0..m).step_by(MC) {
+                    let mb = (m - ic).min(MC);
+                    let abuf = &mut apack[..mb.div_ceil(MR_FMA) * MR_FMA * kb];
+                    pack_a_bf16(a, ic, mb, pc, kb, abuf);
+                    run_macro_tile_bf16(abuf, bbuf, kb, mb, nb, c, n, ic, jc);
+                }
+            }
+        }
+    });
+}
+
+/// [`gemm_mat_bf16`] with the same row-panel threading contract as
+/// [`gemm_mat_auto`]: each output row is produced by exactly one executor
+/// running the serial block schedule, so results are independent of the
+/// thread count and backend.
+pub fn gemm_mat_bf16_auto(a: Mat, b: Mat, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = kernel_threads();
+    let t = threads.min(m.div_ceil(MR)).max(1);
+    if t == 1 || m * n * k < par_flop_cutoff() || m <= MR {
+        return gemm_mat_bf16(a, b, c, m, k, n);
+    }
+    if crate::par::enabled() {
+        crate::par::par_items(row_panels(c, m, n, threads), |_, (i0, rows, panel)| {
+            gemm_mat_bf16(a.rows_from(i0), b, panel, rows, k, n);
+        });
+    } else {
+        std::thread::scope(|s| {
+            for (i0, rows, panel) in row_panels(c, m, n, threads) {
+                let a_sub = a.rows_from(i0);
+                s.spawn(move || gemm_mat_bf16(a_sub, b, panel, rows, k, n));
+            }
+        });
     }
 }
 

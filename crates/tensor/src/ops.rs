@@ -74,14 +74,38 @@ pub fn softmax_backward_inplace(y: &Tensor, dy: &mut Tensor) {
 }
 
 /// The tanh-approximated GELU used by BERT/GPT/ViT.
+///
+/// Fast-mode gating note (applies to every fused/composed pair in this
+/// module): the composed form dispatches on the *same*
+/// [`crate::kernel::fast_mode`] flag as its fused counterpart, so the
+/// "fused is bitwise-identical to composed" contract of
+/// `tests/fused_props.rs` holds within each mode — only *across* modes do
+/// results differ (by the documented ULP budgets, DESIGN.md §13).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(gelu_scalar)
+    if crate::kernel::fast_mode() {
+        x.map(gelu_scalar_fma)
+    } else {
+        x.map(gelu_scalar)
+    }
 }
 
 #[inline]
 fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// FMA form of [`gelu_scalar`]: the cubic and the final blend each fuse one
+/// multiply-add. `f32::mul_add` is correctly rounded whether it lowers to a
+/// `vfmadd` (inside the `target_feature` row sweeps) or to libm `fmaf`
+/// (composed `map` path), so every fast-mode call site produces identical
+/// bits.
+#[inline]
+fn gelu_scalar_fma(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * 0.044_715f32.mul_add(x * x * x, x);
+    let half_x = 0.5 * x;
+    half_x.mul_add(inner.tanh(), half_x) // 0.5x*(1+t) = 0.5x*t + 0.5x
 }
 
 #[inline]
@@ -93,17 +117,39 @@ fn gelu_grad_scalar(x: f32) -> f32 {
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
 }
 
+/// FMA form of [`gelu_grad_scalar`], same fusion points as
+/// [`gelu_scalar_fma`].
+#[inline]
+fn gelu_grad_scalar_fma(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * 0.044_715f32.mul_add(x * x * x, x);
+    let t = inner.tanh();
+    let dinner = C * (3.0 * 0.044_715f32).mul_add(x * x, 1.0);
+    (0.5 * x * (1.0 - t * t)).mul_add(dinner, 0.5 * (1.0 + t))
+}
+
+#[inline]
+fn gelu_grad_dispatch(fast: bool, x: f32) -> f32 {
+    if fast {
+        gelu_grad_scalar_fma(x)
+    } else {
+        gelu_grad_scalar(x)
+    }
+}
+
 /// Derivative of the tanh-approximated GELU.
 pub fn gelu_grad(x: &Tensor) -> Tensor {
-    x.map(gelu_grad_scalar)
+    let fast = crate::kernel::fast_mode();
+    x.map(move |v| gelu_grad_dispatch(fast, v))
 }
 
 /// Fused GELU backward: `dx = gelu'(x) * dy` in one pooled buffer instead
 /// of the composed `gelu_grad(x).zip(dy, ..)` pair of allocations. Both
-/// paths compute `gelu_grad_scalar(x) * dy` per element, so they are
-/// bitwise-identical.
+/// paths compute `gelu_grad(x) * dy` per element with the same mode
+/// dispatch, so they are bitwise-identical.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
-    x.zip(dy, |x, d| gelu_grad_scalar(x) * d)
+    let fast = crate::kernel::fast_mode();
+    x.zip(dy, move |x, d| gelu_grad_dispatch(fast, x) * d)
 }
 
 /// Fused bias-add + GELU: returns `(h, y)` where `h = x + bias` (row-wise)
@@ -120,6 +166,7 @@ pub fn add_bias_gelu(mut x: Tensor, bias: &Tensor) -> (Tensor, Tensor) {
         "bias length mismatch"
     );
     let numel = x.numel();
+    let fast = crate::kernel::fast_mode();
     if crate::par::par_eligible(numel) && n > 0 {
         let rows = numel / n;
         let min_rows = crate::par::MIN_CHUNK.div_ceil(n).max(1);
@@ -142,31 +189,53 @@ pub fn add_bias_gelu(mut x: Tensor, bias: &Tensor) -> (Tensor, Tensor) {
                     xr = xt;
                     yr = yt;
                 }
-                crate::par::par_items(items, |_, (xc, yc)| add_bias_gelu_rows(xc, yc, b, n));
+                crate::par::par_items(items, |_, (xc, yc)| {
+                    run_add_bias_gelu_rows(fast, xc, yc, b, n)
+                });
             }
             let y = Tensor::from_vec(x.shape().clone(), y);
             return (x, y);
         }
     }
-    let mut y = pool::take_buffer(numel);
-    let b = bias.data();
-    for row in x.data_mut().chunks_mut(n) {
-        for (h, &bv) in row.iter_mut().zip(b.iter()) {
-            *h += bv;
-            y.push(gelu_scalar(*h));
-        }
-    }
+    let mut y = pool::take_zeroed(numel);
+    run_add_bias_gelu_rows(fast, x.data_mut(), &mut y, bias.data(), n);
     let y = Tensor::from_vec(x.shape().clone(), y);
     (x, y)
 }
 
-fn add_bias_gelu_rows(x: &mut [f32], y: &mut [f32], b: &[f32], n: usize) {
+#[inline(always)]
+fn add_bias_gelu_rows<const FMA: bool>(x: &mut [f32], y: &mut [f32], b: &[f32], n: usize) {
     for (row, y_row) in x.chunks_mut(n).zip(y.chunks_mut(n)) {
         for ((h, yv), &bv) in row.iter_mut().zip(y_row.iter_mut()).zip(b.iter()) {
             *h += bv;
-            *yv = gelu_scalar(*h);
+            *yv = if FMA {
+                gelu_scalar_fma(*h)
+            } else {
+                gelu_scalar(*h)
+            };
         }
     }
+}
+
+/// Recompiles the fast row sweep with hardware FMA so `mul_add` is a single
+/// instruction rather than a libm call (`tanh` still dominates, but the
+/// polynomial around it fuses for free).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_bias_gelu_rows_fma(x: &mut [f32], y: &mut [f32], b: &[f32], n: usize) {
+    add_bias_gelu_rows::<true>(x, y, b, n);
+}
+
+fn run_add_bias_gelu_rows(fast: bool, x: &mut [f32], y: &mut [f32], b: &[f32], n: usize) {
+    if fast {
+        #[cfg(target_arch = "x86_64")]
+        if crate::kernel::fma_available() {
+            // SAFETY: fma_available() checked avx2+fma support.
+            return unsafe { add_bias_gelu_rows_fma(x, y, b, n) };
+        }
+        return add_bias_gelu_rows::<true>(x, y, b, n);
+    }
+    add_bias_gelu_rows::<false>(x, y, b, n);
 }
 
 /// Backward of [`add_bias_gelu`] with respect to its pre-activation `h`:
@@ -199,23 +268,58 @@ pub fn layernorm(
     assert_eq!(gamma.numel(), n, "gamma length mismatch");
     assert_eq!(beta.numel(), n, "beta length mismatch");
     let rows = x.numel() / n;
+    let fast = crate::kernel::fast_mode();
     let mut out = x.clone();
     let mut means = Vec::with_capacity(rows);
     let mut inv_stds = Vec::with_capacity(rows);
     for row in out.data_mut().chunks_mut(n) {
-        let mean = row.iter().sum::<f32>() / n as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
+        let (mean, inv_std) = if fast {
+            ln_stats::<true>(row, eps, n)
+        } else {
+            ln_stats::<false>(row, eps, n)
+        };
         for (v, (&g, &b)) in row
             .iter_mut()
             .zip(gamma.data().iter().zip(beta.data().iter()))
         {
-            *v = (*v - mean) * inv_std * g + b;
+            *v = if fast {
+                ln_elem::<true>(*v, mean, inv_std, g, b)
+            } else {
+                ln_elem::<false>(*v, mean, inv_std, g, b)
+            };
         }
         means.push(mean);
         inv_stds.push(inv_std);
     }
     (out, means, inv_stds)
+}
+
+/// Per-row layernorm statistics: two-pass mean/variance (a one-pass
+/// sum-of-squares would change rounding), returning `(mean, inv_std)`. The
+/// fast instantiation fuses each squared-deviation accumulation; every
+/// layernorm entry point routes through this so the composed/fused pair
+/// stays bitwise-identical within a mode.
+#[inline(always)]
+fn ln_stats<const FMA: bool>(row: &[f32], eps: f32, n: usize) -> (f32, f32) {
+    let mean = row.iter().sum::<f32>() / n as f32;
+    let var = if FMA {
+        row.iter()
+            .fold(0.0f32, |acc, &v| (v - mean).mul_add(v - mean, acc))
+            / n as f32
+    } else {
+        row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32
+    };
+    (mean, 1.0 / (var + eps).sqrt())
+}
+
+/// One normalized element; the fast form fuses the affine step.
+#[inline(always)]
+fn ln_elem<const FMA: bool>(v: f32, mean: f32, inv_std: f32, g: f32, b: f32) -> f32 {
+    if FMA {
+        ((v - mean) * inv_std).mul_add(g, b)
+    } else {
+        (v - mean) * inv_std * g + b
+    }
 }
 
 /// Fused layer normalization: identical statistics and normalization
@@ -233,6 +337,7 @@ pub fn layernorm_fused(
     assert_eq!(gamma.numel(), n, "gamma length mismatch");
     assert_eq!(beta.numel(), n, "beta length mismatch");
     let rows = x.numel() / n;
+    let fast = crate::kernel::fast_mode();
     if crate::par::par_eligible(x.numel()) && n > 0 && rows > 1 {
         let min_rows = crate::par::MIN_CHUNK.div_ceil(n).max(1);
         let (chunks, per) = crate::par::partition(rows, crate::kernel_threads(), min_rows);
@@ -264,30 +369,32 @@ pub fn layernorm_fused(
                     xo += rtake * n;
                 }
                 crate::par::par_items(items, |_, (xo, oc, mc, ic)| {
-                    layernorm_rows(&xs[xo..xo + oc.len()], oc, mc, ic, g, bt, eps, n);
+                    run_layernorm_rows(fast, &xs[xo..xo + oc.len()], oc, mc, ic, g, bt, eps, n);
                 });
             }
             return (Tensor::from_vec(x.shape().clone(), out), means, inv_stds);
         }
     }
-    let mut out = pool::take_buffer(x.numel());
-    let mut means = Vec::with_capacity(rows);
-    let mut inv_stds = Vec::with_capacity(rows);
-    for row in x.data().chunks(n) {
-        let mean = row.iter().sum::<f32>() / n as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
-        for (&v, (&g, &b)) in row.iter().zip(gamma.data().iter().zip(beta.data().iter())) {
-            out.push((v - mean) * inv_std * g + b);
-        }
-        means.push(mean);
-        inv_stds.push(inv_std);
-    }
+    let mut out = pool::take_zeroed(x.numel());
+    let mut means = vec![0.0f32; rows];
+    let mut inv_stds = vec![0.0f32; rows];
+    run_layernorm_rows(
+        fast,
+        x.data(),
+        &mut out,
+        &mut means,
+        &mut inv_stds,
+        gamma.data(),
+        beta.data(),
+        eps,
+        n,
+    );
     (Tensor::from_vec(x.shape().clone(), out), means, inv_stds)
 }
 
+#[inline(always)]
 #[allow(clippy::too_many_arguments)] // internal lockstep row sweep
-fn layernorm_rows(
+fn layernorm_rows<const FMA: bool>(
     x: &[f32],
     out: &mut [f32],
     means: &mut [f32],
@@ -303,19 +410,56 @@ fn layernorm_rows(
         .zip(means.iter_mut())
         .zip(inv_stds.iter_mut())
     {
-        let mean = row.iter().sum::<f32>() / n as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
+        let (mean, inv_std) = ln_stats::<FMA>(row, eps, n);
         for ((&v, o), (&g, &b)) in row
             .iter()
             .zip(o_row.iter_mut())
             .zip(gamma.iter().zip(beta.iter()))
         {
-            *o = (v - mean) * inv_std * g + b;
+            *o = ln_elem::<FMA>(v, mean, inv_std, g, b);
         }
         *m_slot = mean;
         *i_slot = inv_std;
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn layernorm_rows_fma(
+    x: &[f32],
+    out: &mut [f32],
+    means: &mut [f32],
+    inv_stds: &mut [f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    n: usize,
+) {
+    layernorm_rows::<true>(x, out, means, inv_stds, gamma, beta, eps, n);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_layernorm_rows(
+    fast: bool,
+    x: &[f32],
+    out: &mut [f32],
+    means: &mut [f32],
+    inv_stds: &mut [f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    n: usize,
+) {
+    if fast {
+        #[cfg(target_arch = "x86_64")]
+        if crate::kernel::fma_available() {
+            // SAFETY: fma_available() checked avx2+fma support.
+            return unsafe { layernorm_rows_fma(x, out, means, inv_stds, gamma, beta, eps, n) };
+        }
+        return layernorm_rows::<true>(x, out, means, inv_stds, gamma, beta, eps, n);
+    }
+    layernorm_rows::<false>(x, out, means, inv_stds, gamma, beta, eps, n);
 }
 
 /// Backward of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
