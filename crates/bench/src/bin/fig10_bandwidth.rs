@@ -1,48 +1,87 @@
 //! E4 — Fig 10: communication bandwidth on Systems I and II, probing
 //! 125 MB transfers like the paper's NCCL bandwidth test, plus the
-//! flat-vs-hierarchical all-reduce comparison the topology-aware selector
-//! exploits on the multi-node System III.
+//! all-reduce algorithm zoo (flat ring / hierarchical / binomial tree /
+//! recursive halving-doubling) the topology-aware selector prices on the
+//! multi-node System III.
 //!
-//! `--json` prints only the System III all-reduce probe as JSON (used by CI
-//! to assert the hierarchical schedule never loses to the flat ring).
+//! `--json` prints the System III all-reduce probe plus a latency-bound
+//! small-message probe as JSON (used by CI to assert the hierarchical
+//! schedule never loses to the flat ring, that halving-doubling carries
+//! large power-of-two groups, and that the tree carries small messages).
 
 use colossalai_bench::{fmt_bandwidth, print_table};
-use colossalai_topology::bandwidth::{pairwise_extremes, probe_allreduce, probe_collective};
+use colossalai_topology::bandwidth::{
+    pairwise_extremes, probe_allreduce, probe_collective, AllReduceProbe,
+};
 use colossalai_topology::systems::{system_i, system_ii, system_iii};
 use colossalai_topology::AllReduceAlgo;
 
 const PROBE_BYTES: u64 = 125 << 20;
 
+/// Latency-bound probe size: 1 KB is pure alpha-term territory.
+const SMALL_BYTES: u64 = 1 << 10;
+
 const ALLREDUCE_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Small-message group sizes: 6 is not a power of two (tree territory),
+/// 8 is (halving-doubling keeps winning on its lower beta term).
+const SMALL_SIZES: [usize; 2] = [6, 8];
 
 fn algo_name(a: AllReduceAlgo) -> &'static str {
     match a {
         AllReduceAlgo::FlatRing => "flat",
         AllReduceAlgo::Hierarchical => "hierarchical",
+        AllReduceAlgo::Tree => "tree",
+        AllReduceAlgo::RecursiveHalvingDoubling => "rhd",
     }
+}
+
+fn probe_json(p: &AllReduceProbe) -> String {
+    format!(
+        r#"{{"gpus":{},"flat":{:.1},"hierarchical":{:.1},"tree":{:.1},"rhd":{:.1},"selected":"{}"}}"#,
+        p.group.len(),
+        p.flat,
+        p.hierarchical,
+        p.tree,
+        p.rhd,
+        algo_name(p.selected)
+    )
 }
 
 fn json_report() {
     let cluster = system_iii();
     let probes = probe_allreduce(&cluster, &ALLREDUCE_SIZES, PROBE_BYTES);
-    let entries: Vec<String> = probes
+    let entries: Vec<String> = probes.iter().map(probe_json).collect();
+    let small_cluster = system_i();
+    let small: Vec<String> = probe_allreduce(&small_cluster, &SMALL_SIZES, SMALL_BYTES)
         .iter()
-        .map(|p| {
-            format!(
-                r#"{{"gpus":{},"flat":{:.1},"hierarchical":{:.1},"selected":"{}"}}"#,
-                p.group.len(),
-                p.flat,
-                p.hierarchical,
-                algo_name(p.selected)
-            )
-        })
+        .map(probe_json)
         .collect();
     println!(
-        r#"{{"system":"{}","bytes":{},"probes":[{}]}}"#,
+        r#"{{"system":"{}","bytes":{},"probes":[{}],"small":{{"system":"{}","bytes":{},"probes":[{}]}}}}"#,
         cluster.name(),
         PROBE_BYTES,
-        entries.join(",")
+        entries.join(","),
+        small_cluster.name(),
+        SMALL_BYTES,
+        small.join(",")
     );
+}
+
+fn zoo_rows(probes: &[AllReduceProbe]) -> Vec<Vec<String>> {
+    probes
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.group.len()),
+                fmt_bandwidth(p.flat),
+                fmt_bandwidth(p.hierarchical),
+                fmt_bandwidth(p.tree),
+                fmt_bandwidth(p.rhd),
+                algo_name(p.selected).to_string(),
+            ]
+        })
+        .collect()
 }
 
 fn main() {
@@ -82,29 +121,39 @@ fn main() {
         &rows,
     );
 
-    // Fig 10c: flat-ring vs hierarchical all-reduce on the multi-node
-    // System III — the gap the topology-aware algorithm selector exploits
+    // Fig 10c: the all-reduce zoo on the multi-node System III — the gaps
+    // the topology-aware algorithm selector exploits
     let cluster = system_iii();
     let probes = probe_allreduce(&cluster, &ALLREDUCE_SIZES, PROBE_BYTES);
-    let rows: Vec<Vec<String>> = probes
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{}", p.group.len()),
-                fmt_bandwidth(p.flat),
-                fmt_bandwidth(p.hierarchical),
-                format!("{:+.0}%", (p.hierarchical / p.flat - 1.0) * 100.0),
-                algo_name(p.selected).to_string(),
-            ]
-        })
-        .collect();
     print_table(
         &format!(
             "Fig 10c: all-reduce algorithm bandwidth on {} (125 MB)",
             cluster.name()
         ),
-        &["GPUs", "flat ring", "hierarchical", "gain", "selected"],
-        &rows,
+        &[
+            "GPUs",
+            "flat ring",
+            "hierarchical",
+            "tree",
+            "rhd",
+            "selected",
+        ],
+        &zoo_rows(&probes),
+    );
+
+    // Latency-bound regime: the same zoo at 1 KB on System I
+    let small = probe_allreduce(&system_i(), &SMALL_SIZES, SMALL_BYTES);
+    print_table(
+        "All-reduce zoo, latency-bound (System I, 1 KB)",
+        &[
+            "GPUs",
+            "flat ring",
+            "hierarchical",
+            "tree",
+            "rhd",
+            "selected",
+        ],
+        &zoo_rows(&small),
     );
 
     println!(
@@ -113,7 +162,9 @@ fn main() {
          the topology effect behind Fig 11's mode ranking. On System III \
          (4 GPUs/node over InfiniBand) the hierarchical schedule keeps the \
          slow inter-node ring to p/4 leaders, so its advantage grows with \
-         the node count; the cost-model selector picks it exactly where it \
-         wins."
+         the node count. Power-of-two single-node groups ride recursive \
+         halving-doubling (ring bandwidth at log latency); small messages \
+         on non-power-of-two groups ride the binomial tree (fewest alpha \
+         terms). The cost-model selector picks each exactly where it wins."
     );
 }

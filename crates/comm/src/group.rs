@@ -21,6 +21,12 @@ pub enum Wire {
     F32,
     /// 2 bytes/element (FP16 payloads of mixed-precision/ZeRO traffic).
     F16,
+    /// 1 byte/element (int8-quantized gradient traffic; the per-bucket
+    /// scale is amortized into the element byte, like NCCL's int8 path).
+    I8,
+    /// 8 bytes/element — one (u32 index, f32 value) pair of a top-k
+    /// sparsified payload.
+    IdxVal,
 }
 
 impl Wire {
@@ -29,6 +35,8 @@ impl Wire {
         match self {
             Wire::F32 => 4,
             Wire::F16 => 2,
+            Wire::I8 => 1,
+            Wire::IdxVal => 8,
         }
     }
 }
@@ -58,9 +66,10 @@ struct Done {
     /// Element hops the modeled schedule moves (drives stats + bytes).
     elements: u64,
     wire: Wire,
-    /// Hierarchical phase durations (intra reduce-scatter, leader ring,
-    /// intra all-gather); `None` for single-phase schedules.
-    phases: Option<(f64, f64, f64)>,
+    /// Labeled phase durations of multi-phase schedules (hierarchical,
+    /// tree, halving-doubling), in execution order; empty for single-phase
+    /// schedules. Phases always sum to `cost`.
+    phases: Vec<(OpKind, f64)>,
 }
 
 impl Done {
@@ -71,33 +80,62 @@ impl Done {
             kind,
             elements,
             wire,
-            phases: None,
+            phases: Vec::new(),
         }
     }
 }
 
-/// Cost, element hops and (for the hierarchical schedule) phase durations of
-/// a sum/max all-reduce of `n` elements under `algo`. The hierarchical
-/// schedule silently degrades to the flat ring on single-node or ragged
-/// groups, exactly like [`cost::hierarchical_allreduce_time`].
+/// Cost, element hops and (for multi-phase schedules) labeled phase
+/// durations of a sum/max all-reduce of `n` elements under `algo`.
+/// Inapplicable schedules (hierarchical on single-node or ragged groups,
+/// halving-doubling on non-power-of-two groups) silently degrade to the
+/// flat ring, exactly like their `cost::*_time` estimators. The tree and
+/// halving-doubling schedules move the same `2 (p-1) n` element hops as the
+/// flat ring (every schedule sends each rank's contribution to every other
+/// rank exactly once in each direction); only the hierarchical one differs,
+/// keeping bulk hops off the bottleneck link.
 fn allreduce_plan(
     algo: AllReduceAlgo,
     cluster: &Cluster,
     members: &[DeviceId],
     n: u64,
     wire: Wire,
-) -> (f64, u64, Option<(f64, f64, f64)>) {
+) -> (f64, u64, Vec<(OpKind, f64)>) {
     let p = members.len() as u64;
     let bytes = n * wire.bytes();
-    if algo == AllReduceAlgo::Hierarchical {
-        if let Some((t1, t2, t3)) = cost::hierarchical_allreduce_phases(cluster, members, bytes) {
-            let elements = cost::hierarchical_allreduce_elements(cluster, members, n)
-                .expect("phase breakdown implies applicability");
-            return (t1 + t2 + t3, elements, Some((t1, t2, t3)));
+    let flat_elements = 2 * p.saturating_sub(1) * n;
+    if p > 1 && n > 0 {
+        match algo {
+            AllReduceAlgo::Hierarchical => {
+                if let Some((t1, t2, t3)) =
+                    cost::hierarchical_allreduce_phases(cluster, members, bytes)
+                {
+                    let elements = cost::hierarchical_allreduce_elements(cluster, members, n)
+                        .expect("phase breakdown implies applicability");
+                    let phases = vec![
+                        (OpKind::ReduceScatter, t1),
+                        (OpKind::AllReduce, t2),
+                        (OpKind::AllGather, t3),
+                    ];
+                    return (t1 + t2 + t3, elements, phases);
+                }
+            }
+            AllReduceAlgo::Tree => {
+                let (t1, t2) = cost::tree_allreduce_phases(cluster, members, bytes);
+                let phases = vec![(OpKind::Reduce, t1), (OpKind::Broadcast, t2)];
+                return (t1 + t2, flat_elements, phases);
+            }
+            AllReduceAlgo::RecursiveHalvingDoubling => {
+                if let Some((t1, t2)) = cost::rhd_allreduce_phases(cluster, members, bytes) {
+                    let phases = vec![(OpKind::ReduceScatter, t1), (OpKind::AllGather, t2)];
+                    return (t1 + t2, flat_elements, phases);
+                }
+            }
+            AllReduceAlgo::FlatRing => {}
         }
     }
     let cost = cost::allreduce_time(cluster, members, bytes);
-    (cost, 2 * (p - 1) * n, None)
+    (cost, flat_elements, Vec::new())
 }
 
 /// What to compute when the last arrival combines the deposited inputs.
@@ -112,6 +150,14 @@ enum CollSpec {
     AllReduce {
         max: bool,
         wire: Wire,
+    },
+    /// Sum all-reduce of top-k-sparsified contributions: each rank's tensor
+    /// holds at most `k` nonzeros; the wire carries only those as (index,
+    /// value) pairs, all-gathered and summed locally (supports need not
+    /// overlap, so a reduce tree cannot stay k-sparse — the standard sparse
+    /// all-reduce schedule). The output is the dense rank-ordered sum.
+    SparseAllReduce {
+        k: usize,
     },
     AllGather {
         dim: usize,
@@ -175,6 +221,17 @@ fn finish_spec(spec: CollSpec, ctx: &DeviceCtx, members: &[DeviceId], inputs: &[
                 wire,
                 phases,
             }
+        }
+        CollSpec::SparseAllReduce { k } => {
+            let acc = reduce_sum_rank_ordered(inputs);
+            let wire = Wire::IdxVal;
+            // a rank never sends more pairs than it has elements
+            let k = (k as u64).min(acc.numel() as u64);
+            // ring all-gather of every rank's k pairs; each rank sums the
+            // incoming pairs into its dense buffer at zero modeled cost
+            let cost = cost::allgather_time(cluster, members, k * wire.bytes());
+            let elements = (p as u64 - 1) * p as u64 * k;
+            Done::new(vec![acc; p], cost, OpKind::AllReduce, elements, wire)
         }
         CollSpec::AllGather { dim, wire } => {
             let contrib = inputs[0].numel() as u64;
@@ -723,18 +780,25 @@ impl Group {
     }
 
     /// Emits this op's group-track span(s): a single span for one-phase
-    /// schedules, or the reduce-scatter / leader-ring / all-gather triple
-    /// for the hierarchical all-reduce (each labeled with the full payload).
+    /// schedules, or one labeled span per phase for the multi-phase ones
+    /// (hierarchical RS/AR/AG, tree reduce/broadcast, halving-doubling
+    /// RS/AG), tiling the op interval contiguously.
     fn trace_group_phases(&self, ctx: &DeviceCtx, done: &Done, bytes: u64, start: f64, end: f64) {
-        match done.phases {
-            None => self.trace_group_span(ctx, done.kind, bytes, start, end),
-            Some((t1, t2, _)) => {
-                let m1 = start + t1;
-                let m2 = m1 + t2;
-                self.trace_group_span(ctx, OpKind::ReduceScatter, bytes, start, m1);
-                self.trace_group_span(ctx, done.kind, bytes, m1, m2);
-                self.trace_group_span(ctx, OpKind::AllGather, bytes, m2, end);
-            }
+        if done.phases.is_empty() {
+            self.trace_group_span(ctx, done.kind, bytes, start, end);
+            return;
+        }
+        let mut t = start;
+        for (i, &(kind, dt)) in done.phases.iter().enumerate() {
+            // the last phase snaps to the op's end so float rounding never
+            // leaves a gap in the tiling
+            let stop = if i + 1 == done.phases.len() {
+                end
+            } else {
+                t + dt
+            };
+            self.trace_group_span(ctx, kind, bytes, t, stop);
+            t = stop;
         }
     }
 
@@ -789,6 +853,35 @@ impl Group {
         self.all_reduce_wire_on(ctx, t, Wire::F16, Stream::Comm)
     }
 
+    /// Sum all-reduce at int8 wire width (quantized gradient traffic: the
+    /// caller has already snapped `t` to a shared 255-step grid, so only
+    /// 1 byte/element crosses the wire). Data-plane semantics are identical
+    /// to [`Group::all_reduce`]; only the modeled bytes differ.
+    pub fn all_reduce_i8(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire_on(ctx, t, Wire::I8, Stream::Main)
+    }
+
+    /// Comm-stream variant of [`Group::all_reduce_i8`].
+    pub fn all_reduce_async_i8(&self, ctx: &DeviceCtx, t: Tensor) -> Tensor {
+        self.all_reduce_wire_on(ctx, t, Wire::I8, Stream::Comm)
+    }
+
+    /// Sum all-reduce of a top-k-sparsified tensor: `t` is dense but holds
+    /// at most `k` nonzeros, and the wire carries only those as (u32 index,
+    /// f32 value) pairs — an all-gather of `k` pairs per rank, summed
+    /// locally (see [`CollSpec::SparseAllReduce`]). The result is the dense
+    /// rank-ordered sum, bitwise identical to [`Group::all_reduce`] of the
+    /// same tensors. Unlike the dense paths the caller's mean-scale must
+    /// still be applied afterward.
+    pub fn sparse_all_reduce(&self, ctx: &DeviceCtx, t: Tensor, k: usize) -> Tensor {
+        self.run_op(ctx, t, Stream::Main, CollSpec::SparseAllReduce { k })
+    }
+
+    /// Comm-stream variant of [`Group::sparse_all_reduce`].
+    pub fn sparse_all_reduce_async(&self, ctx: &DeviceCtx, t: Tensor, k: usize) -> Tensor {
+        self.run_op(ctx, t, Stream::Comm, CollSpec::SparseAllReduce { k })
+    }
+
     fn all_reduce_wire_on(&self, ctx: &DeviceCtx, t: Tensor, wire: Wire, stream: Stream) -> Tensor {
         self.run_op(ctx, t, stream, CollSpec::AllReduce { max: false, wire })
     }
@@ -828,6 +921,17 @@ impl Group {
     /// FP16-wire variant of [`Group::reduce_scatter_async`].
     pub fn reduce_scatter_async_half(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
         self.reduce_scatter_wire_on(ctx, t, dim, Wire::F16, Stream::Comm)
+    }
+
+    /// Int8-wire variant of [`Group::reduce_scatter`] (quantized ZeRO
+    /// gradient shards; the caller pre-snaps to the quantization grid).
+    pub fn reduce_scatter_i8(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::I8, Stream::Main)
+    }
+
+    /// Comm-stream variant of [`Group::reduce_scatter_i8`].
+    pub fn reduce_scatter_async_i8(&self, ctx: &DeviceCtx, t: Tensor, dim: usize) -> Tensor {
+        self.reduce_scatter_wire_on(ctx, t, dim, Wire::I8, Stream::Comm)
     }
 
     fn reduce_scatter_wire_on(
@@ -1178,11 +1282,11 @@ mod tests {
         let bytes: usize = 1 << 20;
         let n = bytes / 4;
         for (cluster, name) in [(system_i(), "I"), (system_ii(), "II")] {
-            let expected = colossalai_topology::cost::allreduce_time(
-                &cluster,
-                &(0..8).collect::<Vec<_>>(),
-                bytes as u64,
-            );
+            // the executed collective must charge exactly what the selected
+            // schedule's model predicts (8 ranks: halving-doubling)
+            let group: Vec<usize> = (0..8).collect();
+            let sel = cost::select_allreduce_algo(&cluster, &group, bytes as u64);
+            let expected = cost::allreduce_time_with(sel, &cluster, &group, bytes as u64);
             let world = World::new(cluster);
             let clocks = world.run(|ctx| {
                 let g = ctx.world_group(8);
@@ -1533,13 +1637,98 @@ mod tests {
         };
         let flat = run(Some(AllReduceAlgo::FlatRing));
         let hier = run(Some(AllReduceAlgo::Hierarchical));
+        let tree = run(Some(AllReduceAlgo::Tree));
+        let rhd = run(Some(AllReduceAlgo::RecursiveHalvingDoubling));
         let auto = run(None);
         assert!((flat[0].1 - flat_t).abs() < 1e-12);
         assert!(hier[0].1 < flat[0].1);
         assert_eq!(auto[0].1, hier[0].1, "auto must select hierarchical here");
+        let tree_t = cost::tree_allreduce_time(&cluster, &group, (n * 4) as u64);
+        let rhd_t = cost::rhd_allreduce_time(&cluster, &group, (n * 4) as u64);
+        assert!((tree[0].1 - tree_t).abs() < 1e-12);
+        assert!((rhd[0].1 - rhd_t).abs() < 1e-12);
         // bitwise-identical data under every schedule (canonical rank order)
         assert_eq!(flat[0].0.data(), hier[0].0.data());
         assert_eq!(flat[0].0.data(), auto[0].0.data());
+        assert_eq!(flat[0].0.data(), tree[0].0.data());
+        assert_eq!(flat[0].0.data(), rhd[0].0.data());
+    }
+
+    #[test]
+    fn tree_and_rhd_charge_modeled_time_on_ragged_payloads() {
+        // n = 101 divides by neither 8 nor the halving-doubling halves;
+        // the schedules must still charge the exact modeled time, count the
+        // exact 2 (p-1) n element hops, and agree bitwise with the ring
+        let n: usize = 101;
+        let group: Vec<usize> = (0..8).collect();
+        let cluster = system_ii();
+        let run = |algo| {
+            let world = World::new(system_ii());
+            world.force_allreduce_algo(Some(algo));
+            let out = world.run_on(8, |ctx| {
+                let g = ctx.world_group(8);
+                let t = g.all_reduce(ctx, Tensor::full([n], 0.7 + ctx.rank() as f32 * 1e-6));
+                (t, ctx.clock())
+            });
+            (out, world.stats())
+        };
+        let (flat, flat_stats) = run(AllReduceAlgo::FlatRing);
+        let (tree, tree_stats) = run(AllReduceAlgo::Tree);
+        let (rhd, rhd_stats) = run(AllReduceAlgo::RecursiveHalvingDoubling);
+        let bytes = (n * 4) as u64;
+        let tree_t = cost::tree_allreduce_time(&cluster, &group, bytes);
+        let rhd_t = cost::rhd_allreduce_time(&cluster, &group, bytes);
+        assert!(
+            (tree[0].1 - tree_t).abs() < 1e-12,
+            "{} vs {tree_t}",
+            tree[0].1
+        );
+        assert!((rhd[0].1 - rhd_t).abs() < 1e-12, "{} vs {rhd_t}", rhd[0].1);
+        assert_eq!(flat[0].0.data(), tree[0].0.data());
+        assert_eq!(flat[0].0.data(), rhd[0].0.data());
+        // all three lossless schedules move every contribution to every
+        // rank exactly once each way: 2 * 7 * 101 hops, at the F32 wire
+        let hops = 2 * 7 * n as u64;
+        for stats in [&flat_stats, &tree_stats, &rhd_stats] {
+            assert_eq!(stats.elements_of(OpKind::AllReduce), hops);
+            assert_eq!(stats.bytes, hops * Wire::F32.bytes());
+        }
+    }
+
+    #[test]
+    fn tree_and_rhd_traces_have_two_group_phases() {
+        let cases = [
+            (AllReduceAlgo::Tree, vec![OpKind::Reduce, OpKind::Broadcast]),
+            (
+                AllReduceAlgo::RecursiveHalvingDoubling,
+                vec![OpKind::ReduceScatter, OpKind::AllGather],
+            ),
+        ];
+        for (algo, want) in cases {
+            let world = World::new(system_i());
+            world.enable_tracing();
+            world.force_allreduce_algo(Some(algo));
+            world.run_on(8, |ctx| {
+                let g = ctx.world_group(8);
+                let _ = g.all_reduce(ctx, Tensor::zeros([1 << 16]));
+            });
+            let spans = world.trace();
+            let group_spans: Vec<_> = spans
+                .iter()
+                .filter(|s| matches!(s.track, Track::Group(_)))
+                .collect();
+            assert_eq!(group_spans.len(), 2, "{algo:?}");
+            let kinds: Vec<OpKind> = group_spans
+                .iter()
+                .map(|s| match &s.kind {
+                    SpanKind::Collective { kind, .. } => *kind,
+                    other => panic!("unexpected span {other:?}"),
+                })
+                .collect();
+            assert_eq!(kinds, want, "{algo:?}");
+            // phases tile the op interval contiguously
+            assert_eq!(group_spans[0].end, group_spans[1].start);
+        }
     }
 
     #[test]
@@ -1580,7 +1769,9 @@ mod tests {
         // starts when the first ends, not at the launch clock
         let world = World::new(system_ii());
         let n: usize = 1 << 20;
-        let one = cost::allreduce_time(&system_ii(), &(0..4).collect::<Vec<_>>(), 4 * n as u64);
+        let group: Vec<usize> = (0..4).collect();
+        let sel = cost::select_allreduce_algo(&system_ii(), &group, 4 * n as u64);
+        let one = cost::allreduce_time_with(sel, &system_ii(), &group, 4 * n as u64);
         let out = world.run_on(4, |ctx| {
             let g = ctx.world_group(4);
             let _ = g.all_reduce_async(ctx, Tensor::zeros([n]));

@@ -19,6 +19,7 @@
 //! (`COLOSSAL_WORLD=threads`). All three produce bitwise-identical
 //! results.
 
+pub mod compress;
 pub mod group;
 pub(crate) mod sched;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod workload;
 pub mod world;
 
 pub use colossalai_topology::AllReduceAlgo;
+pub use compress::Compression;
 pub use group::{CollectiveOp, Group, Wire};
 pub use stats::{CommStats, OpKind};
 pub use task::{Poll, RankTask, WakeKey};

@@ -325,6 +325,7 @@ pub fn rollup_table_opts(rollups: &[RankRollup], full: bool) -> String {
         ));
     }
     out.push_str(&format!("pool: {}\n", pool.summary()));
+    out.push_str(&format!("pool class hw: {}\n", pool.class_summary()));
     out.push_str(&format!("par:  {}\n", par.summary()));
     out
 }

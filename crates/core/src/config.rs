@@ -17,8 +17,9 @@
 //! }
 //! ```
 
+use colossalai_comm::compress::{self, Compression};
 use colossalai_parallel::TpMode;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Tensor-parallel mode names accepted in config files.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,7 +81,29 @@ pub struct ZeroConfig {
     pub stage: u8,
 }
 
-/// Communication section: gradient-bucket sizing and backward overlap.
+/// A gradient-compression channel in its config spelling (`"none"`,
+/// `"topk(k)"`, `"int8"`, `"fp16"`); serializes as that string. Wrapping
+/// [`Compression`] keeps serde at the config boundary (and `Config: Copy`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressSpec(pub Compression);
+
+impl Serialize for CompressSpec {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.0.name())
+    }
+}
+
+impl Deserialize for CompressSpec {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        let raw = String::deserialize_value(v)?;
+        Compression::parse(&raw).map(CompressSpec).ok_or_else(|| {
+            format!("invalid comm.compress {raw:?}: expected none|topk(k>=1)|int8|fp16")
+        })
+    }
+}
+
+/// Communication section: gradient-bucket sizing, backward overlap and the
+/// lossy gradient channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommConfig {
     /// Gradient-sync bucket capacity in megabytes (PyTorch DDP's 25 MB
@@ -92,6 +115,11 @@ pub struct CommConfig {
     /// last gradient is produced during backward (data-parallel overlap).
     #[serde(default = "default_overlap")]
     pub overlap: bool,
+    /// Lossy gradient-compression channel for bucketed sync: `"none"`,
+    /// `"topk(k)"`, `"int8"` or `"fp16"`, each with error feedback.
+    /// Missing = keep the ambient `COLOSSAL_COMPRESS` setting (or none).
+    #[serde(default)]
+    pub compress: Option<CompressSpec>,
 }
 
 fn default_bucket_mb() -> usize {
@@ -107,6 +135,7 @@ impl Default for CommConfig {
         CommConfig {
             bucket_mb: default_bucket_mb(),
             overlap: default_overlap(),
+            compress: None,
         }
     }
 }
@@ -292,6 +321,15 @@ impl Config {
     pub fn bucket_bytes(&self) -> usize {
         self.comm.bucket_mb << 20
     }
+
+    /// The gradient-compression channel this config resolves to: an
+    /// explicit `comm.compress` wins; a missing one defers to the ambient
+    /// `COLOSSAL_COMPRESS` environment knob (resolved once per process).
+    pub fn compression(&self) -> Compression {
+        self.comm
+            .compress
+            .map_or_else(compress::env_compression, |c| c.0)
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +414,32 @@ mod tests {
         // partial section: missing keys take their defaults
         let cfg = Config::from_json(r#"{ "comm": { "bucket_mb": 1 } }"#).unwrap();
         assert!(cfg.comm.overlap);
+        assert_eq!(cfg.comm.compress, None, "missing = keep ambient");
+    }
+
+    #[test]
+    fn comm_compress_parses_and_rejects_garbage() {
+        for (raw, want) in [
+            ("none", Compression::None),
+            ("int8", Compression::Int8),
+            ("fp16", Compression::Fp16),
+            ("topk(4096)", Compression::TopK(4096)),
+        ] {
+            let cfg =
+                Config::from_json(&format!(r#"{{ "comm": {{ "compress": "{raw}" }} }}"#)).unwrap();
+            assert_eq!(cfg.comm.compress, Some(CompressSpec(want)), "{raw}");
+            assert_eq!(cfg.compression(), want, "explicit config beats ambient");
+        }
+        for bad in ["topk(0)", "int4", "gzip"] {
+            let err = Config::from_json(&format!(r#"{{ "comm": {{ "compress": "{bad}" }} }}"#))
+                .unwrap_err();
+            assert!(err.contains("compress"), "{bad}: {err}");
+        }
+        // round-trips through serialization as the spelling string
+        let cfg = Config::from_json(r#"{ "comm": { "compress": "topk(32)" } }"#).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains(r#""compress":"topk(32)""#), "{json}");
+        assert_eq!(Config::from_json(&json).unwrap(), cfg);
     }
 
     #[test]

@@ -106,15 +106,18 @@ pub fn initialize(
                 _ => ZeroStage::Three,
             };
             let group = dp_group.clone().unwrap_or_else(|| ctx.group(&[ctx.rank()]));
-            EngineOptimizer::Zero(Box::new(ZeroOptimizer::with_bucket_bytes(
-                ctx,
-                &group,
-                model.as_mut(),
-                stage,
-                lr,
-                weight_decay,
-                config.bucket_bytes(),
-            )))
+            EngineOptimizer::Zero(Box::new(
+                ZeroOptimizer::with_bucket_bytes(
+                    ctx,
+                    &group,
+                    model.as_mut(),
+                    stage,
+                    lr,
+                    weight_decay,
+                    config.bucket_bytes(),
+                )
+                .with_compression(config.compression()),
+            ))
         }
         (Some(_), OptimizerSpec::Sgd { .. }) => {
             panic!("ZeRO requires the AdamW optimizer in this reproduction")
@@ -132,8 +135,11 @@ pub fn initialize(
     };
     // plain (non-ZeRO) data-parallel engines sync gradients through fused
     // size-capped buckets instead of one all-reduce per parameter
-    let grad_sync = (dp_group.is_some() && !matches!(optimizer, EngineOptimizer::Zero(_)))
-        .then(|| BucketedGradSync::new(model.as_mut(), config.bucket_bytes()));
+    let grad_sync =
+        (dp_group.is_some() && !matches!(optimizer, EngineOptimizer::Zero(_))).then(|| {
+            BucketedGradSync::new(model.as_mut(), config.bucket_bytes())
+                .with_compression(config.compression())
+        });
     Engine {
         model,
         optimizer,
@@ -186,7 +192,8 @@ impl Engine {
         // under accumulation, grads keep accumulating across micro-batches
         // and must only sync once at the end
         let overlap_eligible = self.overlap && self.accumulation == 1 && self.dp_group.is_some();
-        if let (true, Some(sync), Some(g)) = (overlap_eligible, &self.grad_sync, &self.dp_group) {
+        if let (true, Some(sync), Some(g)) = (overlap_eligible, &mut self.grad_sync, &self.dp_group)
+        {
             let g = g.clone();
             let model = &mut self.model;
             let dx = ctx.trace_phase("backward", || {
@@ -236,8 +243,9 @@ impl Engine {
         // backward already produced it
         if !self.grads_synced && !matches!(self.optimizer, EngineOptimizer::Zero(_)) {
             if let Some(g) = &self.dp_group {
-                let sync = self.grad_sync.as_ref().expect("built with the dp group");
-                sync.sync_blocking(&self.ctx, g, &mut self.model);
+                let g = g.clone();
+                let sync = self.grad_sync.as_mut().expect("built with the dp group");
+                sync.sync_blocking(&self.ctx, &g, &mut self.model);
             }
         }
         self.grads_synced = false;
@@ -535,8 +543,10 @@ mod tests {
             overlapped.data(),
             "overlap must not change the trajectory"
         );
+        // the two paths accumulate the same per-op costs onto different
+        // clocks (main vs comm stream), so allow one float-rounding ULP
         assert!(
-            t_overlap <= t_block,
+            t_overlap <= t_block * (1.0 + 1e-12),
             "overlap slower: {t_overlap} vs {t_block}"
         );
     }

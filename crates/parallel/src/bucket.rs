@@ -14,8 +14,15 @@
 //! per-element rank-order additions as per-parameter all-reduces, and the
 //! 1/p scale is elementwise — so the synced gradients are bit-identical to
 //! the unbucketed baseline for *any* bucket plan.
+//!
+//! Opt-in **lossy channels** ([`Compression`], via `comm.compress` or
+//! `COLOSSAL_COMPRESS`) trade gradient fidelity for wire bytes: top-k
+//! sparsification, int8 or fp16 quantization, each with a per-bucket
+//! error-feedback residual so dropped mass is carried into the next step
+//! instead of lost (see `colossalai_comm::compress`).
 
 use colossalai_autograd::Layer;
+use colossalai_comm::compress::{self, Compression};
 use colossalai_comm::{DeviceCtx, Group};
 use colossalai_tensor::Tensor;
 use std::ops::Range;
@@ -133,15 +140,83 @@ impl BucketPlan {
 ///   remaining backward compute; only the final bucket's tail serializes.
 pub struct BucketedGradSync {
     plan: BucketPlan,
+    compress: Compression,
+    /// Per-bucket error-feedback residuals: what the lossy channel has not
+    /// sent yet. Empty vectors until the first lossy sync touches a bucket;
+    /// always all-zero under [`Compression::None`].
+    residuals: Vec<Vec<f32>>,
+}
+
+/// Compresses one flat bucket (updating its error-feedback `residual`) and
+/// issues the channel's collective: dense all-reduce for none/int8/fp16 at
+/// the matching wire width, sparse (index, value) all-reduce for top-k.
+/// The caller still applies the 1/p mean scale to the returned sum.
+fn all_reduce_bucket(
+    ctx: &DeviceCtx,
+    group: &Group,
+    comp: Compression,
+    residual: &mut Vec<f32>,
+    mut flat: Vec<f32>,
+    asynchronous: bool,
+) -> Tensor {
+    if comp.is_lossy() {
+        if residual.is_empty() {
+            residual.resize(flat.len(), 0.0);
+        }
+        let _ = compress::compress_with_feedback(comp, &mut flat, residual);
+    }
+    let t = Tensor::from_vec([flat.len()], flat);
+    match (comp, asynchronous) {
+        (Compression::None, false) => group.all_reduce(ctx, t),
+        (Compression::None, true) => group.all_reduce_async(ctx, t),
+        (Compression::Int8, false) => group.all_reduce_i8(ctx, t),
+        (Compression::Int8, true) => group.all_reduce_async_i8(ctx, t),
+        (Compression::Fp16, false) => group.all_reduce_half(ctx, t),
+        (Compression::Fp16, true) => group.all_reduce_async_half(ctx, t),
+        (Compression::TopK(k), false) => group.sparse_all_reduce(ctx, t, k),
+        (Compression::TopK(k), true) => group.sparse_all_reduce_async(ctx, t, k),
+    }
 }
 
 impl BucketedGradSync {
     /// Plans buckets for `model` with the given capacity
-    /// (see [`DEFAULT_BUCKET_BYTES`]).
+    /// (see [`DEFAULT_BUCKET_BYTES`]). Compression defaults to the ambient
+    /// `COLOSSAL_COMPRESS` setting; override with
+    /// [`BucketedGradSync::with_compression`].
     pub fn new(model: &mut dyn Layer, cap_bytes: usize) -> Self {
+        let plan = BucketPlan::for_model(model, cap_bytes);
+        let residuals = vec![Vec::new(); plan.buckets.len()];
         BucketedGradSync {
-            plan: BucketPlan::for_model(model, cap_bytes),
+            plan,
+            compress: compress::env_compression(),
+            residuals,
         }
+    }
+
+    /// Selects the lossy gradient channel (overriding the ambient env
+    /// default). Residual state resets: switching channels mid-training
+    /// would otherwise replay another channel's backlog.
+    pub fn with_compression(mut self, comp: Compression) -> Self {
+        self.set_compression(comp);
+        self
+    }
+
+    /// In-place form of [`BucketedGradSync::with_compression`].
+    pub fn set_compression(&mut self, comp: Compression) {
+        self.compress = comp;
+        for r in &mut self.residuals {
+            r.clear();
+        }
+    }
+
+    /// The active gradient-compression channel.
+    pub fn compression(&self) -> Compression {
+        self.compress
+    }
+
+    /// Per-bucket error-feedback residuals (empty until a lossy sync).
+    pub fn residuals(&self) -> &[Vec<f32>] {
+        &self.residuals
     }
 
     /// The bucket plan.
@@ -149,17 +224,24 @@ impl BucketedGradSync {
         &self.plan
     }
 
-    /// Fuses each bucket's gradients into one flat tensor, all-reduces it
-    /// (blocking, main clock), scales by 1/p and writes the mean gradients
-    /// back into the model.
-    pub fn sync_blocking(&self, ctx: &DeviceCtx, group: &Group, model: &mut dyn Layer) {
+    /// Fuses each bucket's gradients into one flat tensor, sends it through
+    /// the compression channel and its all-reduce (blocking, main clock),
+    /// scales by 1/p and writes the mean gradients back into the model.
+    pub fn sync_blocking(&mut self, ctx: &DeviceCtx, group: &Group, model: &mut dyn Layer) {
         let scale = 1.0 / group.size() as f32;
         let mut grads: Vec<Tensor> = Vec::with_capacity(self.plan.param_sizes.len());
         model.visit_params(&mut |p| grads.push(p.grad().clone()));
         let mut reduced = Vec::with_capacity(self.plan.buckets.len());
-        for b in &self.plan.buckets {
+        for (bi, b) in self.plan.buckets.iter().enumerate() {
             let flat = flatten_slices(b.len, grads[b.params.clone()].iter().map(|g| g.data()));
-            let mut r = group.all_reduce(ctx, Tensor::from_vec([b.len], flat));
+            let mut r = all_reduce_bucket(
+                ctx,
+                group,
+                self.compress,
+                &mut self.residuals[bi],
+                flat,
+                false,
+            );
             r.scale(scale);
             reduced.push(r);
         }
@@ -172,7 +254,7 @@ impl BucketedGradSync {
     /// Returns the input gradient, bit-identical to a plain backward +
     /// blocking sync.
     pub fn backward_overlapped(
-        &self,
+        &mut self,
         ctx: &DeviceCtx,
         group: &Group,
         model: &mut dyn Layer,
@@ -184,22 +266,27 @@ impl BucketedGradSync {
         let mut produced = n; // start of the produced suffix, in visit order
         let mut next = self.plan.buckets.len(); // buckets fire back to front
         let mut reduced: Vec<Option<Tensor>> = vec![None; self.plan.buckets.len()];
+        // field-disjoint borrows: the closure mutates the residuals while
+        // reading the plan
+        let plan = &self.plan;
+        let comp = self.compress;
+        let residuals = &mut self.residuals;
         let dx = model.backward_staged(dy, &mut |stage| {
             assert!(stage.len() <= produced, "stage overruns parameter list");
             produced -= stage.len();
             for (i, g) in stage.iter().enumerate() {
                 grads[produced + i] = Some(g.clone());
             }
-            while next > 0 && self.plan.buckets[next - 1].params.start >= produced {
+            while next > 0 && plan.buckets[next - 1].params.start >= produced {
                 next -= 1;
-                let b = &self.plan.buckets[next];
+                let b = &plan.buckets[next];
                 let flat = flatten_slices(
                     b.len,
                     grads[b.params.clone()]
                         .iter()
                         .map(|g| g.as_ref().expect("bucket grad produced").data()),
                 );
-                let mut r = group.all_reduce_async(ctx, Tensor::from_vec([b.len], flat));
+                let mut r = all_reduce_bucket(ctx, group, comp, &mut residuals[next], flat, true);
                 r.scale(scale);
                 reduced[next] = Some(r);
             }
@@ -302,7 +389,7 @@ mod tests {
     use super::*;
     use crate::data_parallel::flatten_grads;
     use colossalai_autograd::{Gelu, Linear, Sequential};
-    use colossalai_comm::World;
+    use colossalai_comm::{OpKind, Wire, World};
     use colossalai_tensor::init;
     use colossalai_topology::systems::{system_i, system_iii};
 
@@ -380,8 +467,11 @@ mod tests {
                 baseline.extend_from_slice(r.data());
             });
 
-            // tiny cap → many buckets; still must match bitwise
-            let sync = BucketedGradSync::new(&mut model, 64);
+            // tiny cap → many buckets; still must match bitwise (pin the
+            // exact channel: this test asserts against an uncompressed
+            // baseline, so it must not inherit COLOSSAL_COMPRESS)
+            let mut sync =
+                BucketedGradSync::new(&mut model, 64).with_compression(Compression::None);
             assert!(sync.plan().buckets.len() > 1);
             sync.sync_blocking(ctx, &g, &mut model);
             let fused = flatten_grads(&mut model);
@@ -405,7 +495,7 @@ mod tests {
             let y1 = m1.forward(&x);
             let dy = Tensor::ones(y1.shape().clone());
             let dx1 = m1.backward(&dy);
-            let sync = BucketedGradSync::new(&mut m1, 64);
+            let mut sync = BucketedGradSync::new(&mut m1, 64);
             sync.sync_blocking(ctx, &g, &mut m1);
             let want = flatten_grads(&mut m1);
 
@@ -413,7 +503,7 @@ mod tests {
             let mut m2 = make_model(821);
             let y2 = m2.forward(&x);
             assert_eq!(y1.data(), y2.data());
-            let sync2 = BucketedGradSync::new(&mut m2, 64);
+            let mut sync2 = BucketedGradSync::new(&mut m2, 64);
             let dx2 = sync2.backward_overlapped(ctx, &g, &mut m2, &dy);
             assert_eq!(dx1.data(), dx2.data());
             let got = flatten_grads(&mut m2);
@@ -421,6 +511,146 @@ mod tests {
             got
         });
         assert_eq!(results[0].data(), results[1].data());
+    }
+
+    #[test]
+    fn compressed_sync_is_deterministic_and_overlap_neutral() {
+        // Every lossy channel: all ranks land on identical grads, and the
+        // overlapped schedule is bitwise-identical to the blocking one.
+        let p = 4;
+        for comp in [Compression::Fp16, Compression::Int8, Compression::TopK(3)] {
+            let run = |overlapped: bool| {
+                let world = World::new(system_iii());
+                world.run_on(p, |ctx| {
+                    let g = ctx.world_group(p);
+                    let mut model = make_model(830);
+                    let mut rng = init::rng(940 + g.rank() as u64);
+                    let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+                    let y = model.forward(&x);
+                    let dy = Tensor::ones(y.shape().clone());
+                    let mut sync = BucketedGradSync::new(&mut model, 64).with_compression(comp);
+                    if overlapped {
+                        let _ = sync.backward_overlapped(ctx, &g, &mut model, &dy);
+                    } else {
+                        let _ = model.backward(&dy);
+                        sync.sync_blocking(ctx, &g, &mut model);
+                    }
+                    flatten_grads(&mut model)
+                })
+            };
+            let blocking = run(false);
+            let overlapped = run(true);
+            for r in 1..p {
+                assert_eq!(
+                    blocking[0].data(),
+                    blocking[r].data(),
+                    "{comp:?}: ranks agree"
+                );
+            }
+            for (b, o) in blocking.iter().zip(&overlapped) {
+                assert_eq!(b.data(), o.data(), "{comp:?}: overlap is bitwise-neutral");
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_residual_accounts_exactly_through_bucket_sync() {
+        // On a single-rank group the all-reduced value IS the sent value, so
+        // sent + residual must reconstruct the exact pre-compression gradient
+        // bitwise (the §14 error-feedback invariant), per channel.
+        for comp in [Compression::TopK(2), Compression::Int8, Compression::Fp16] {
+            let world = World::new(system_i());
+            world.run_on(1, |ctx| {
+                let g = ctx.world_group(1);
+                let mut model = make_model(831);
+                let x = init::uniform([2, 4], -1.0, 1.0, &mut init::rng(950));
+                let y = model.forward(&x);
+                let _ = model.backward(&Tensor::ones(y.shape().clone()));
+                let exact = flatten_grads(&mut model);
+                let mut sync = BucketedGradSync::new(&mut model, 64).with_compression(comp);
+                sync.sync_blocking(ctx, &g, &mut model);
+                let sent = flatten_grads(&mut model);
+                let residual: Vec<f32> = sync.residuals().concat();
+                assert_eq!(residual.len(), exact.numel());
+                for (i, ((s, r), e)) in sent
+                    .data()
+                    .iter()
+                    .zip(&residual)
+                    .zip(exact.data())
+                    .enumerate()
+                {
+                    assert_eq!(s + r, *e, "{comp:?}: sent + residual == exact at {i}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn topk_wire_bytes_match_idxval_allgather_accounting() {
+        // Ragged buckets (64-byte cap over 4/8/3-sized params): each bucket
+        // crosses as an all-gather of min(k, len) (index, value) pairs per
+        // rank, charged at Wire::IdxVal width.
+        let p = 4;
+        let k = 5;
+        let world = World::new(system_i());
+        let plans = world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut model = make_model(832);
+            let mut rng = init::rng(960 + g.rank() as u64);
+            let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+            let y = model.forward(&x);
+            let _ = model.backward(&Tensor::ones(y.shape().clone()));
+            let mut sync =
+                BucketedGradSync::new(&mut model, 64).with_compression(Compression::TopK(k));
+            sync.sync_blocking(ctx, &g, &mut model);
+            sync.plan()
+                .buckets
+                .iter()
+                .map(|b| b.len)
+                .collect::<Vec<_>>()
+        });
+        let lens = &plans[0];
+        assert!(lens.iter().any(|&n| n < k), "some bucket is shorter than k");
+        assert!(lens.iter().any(|&n| n > k), "some bucket is longer than k");
+        let stats = world.stats();
+        let expect_elems: u64 = lens
+            .iter()
+            .map(|&n| (p as u64) * (p as u64 - 1) * k.min(n) as u64)
+            .sum();
+        assert_eq!(stats.elements_of(OpKind::AllReduce), expect_elems);
+        assert_eq!(stats.bytes, expect_elems * Wire::IdxVal.bytes());
+        assert_eq!(stats.ops_of(OpKind::AllReduce), lens.len() as u64);
+    }
+
+    #[test]
+    fn int8_wire_bytes_are_one_per_element_hop() {
+        // Ring all-reduce moves 2(p-1)·n element-hops per bucket; the int8
+        // channel charges each at Wire::I8 (one byte).
+        let p = 4;
+        let world = World::new(system_i());
+        let plans = world.run_on(p, |ctx| {
+            let g = ctx.world_group(p);
+            let mut model = make_model(833);
+            let mut rng = init::rng(970 + g.rank() as u64);
+            let x = init::uniform([2, 4], -1.0, 1.0, &mut rng);
+            let y = model.forward(&x);
+            let _ = model.backward(&Tensor::ones(y.shape().clone()));
+            let mut sync =
+                BucketedGradSync::new(&mut model, 64).with_compression(Compression::Int8);
+            sync.sync_blocking(ctx, &g, &mut model);
+            sync.plan()
+                .buckets
+                .iter()
+                .map(|b| b.len)
+                .collect::<Vec<_>>()
+        });
+        let stats = world.stats();
+        let expect_elems: u64 = plans[0]
+            .iter()
+            .map(|&n| 2 * (p as u64 - 1) * n as u64)
+            .sum();
+        assert_eq!(stats.elements_of(OpKind::AllReduce), expect_elems);
+        assert_eq!(stats.bytes, expect_elems * Wire::I8.bytes());
     }
 
     #[test]
@@ -432,7 +662,7 @@ mod tests {
             let mut model = make_model(822);
             let x = init::uniform([2, 4], -1.0, 1.0, &mut init::rng(930));
             let y = model.forward(&x);
-            let sync = BucketedGradSync::new(&mut model, 64);
+            let mut sync = BucketedGradSync::new(&mut model, 64);
             let _ = sync.backward_overlapped(ctx, &g, &mut model, &Tensor::ones(y.shape().clone()));
             (ctx.clock(), ctx.comm_clock())
         });

@@ -11,7 +11,7 @@
 
 use crate::bucket::{BucketedGradSync, DEFAULT_BUCKET_BYTES};
 use colossalai_autograd::{Layer, Param};
-use colossalai_comm::{DeviceCtx, Group};
+use colossalai_comm::{Compression, DeviceCtx, Group};
 use colossalai_tensor::Tensor;
 
 /// Splits a global batch along dim 0 for `rank` of `p` (every rank sees the
@@ -60,6 +60,14 @@ impl<M: Layer> DataParallel<M> {
     /// gradient is produced, and backward ends with a stream join.
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Selects the lossy gradient-compression channel (top-k / int8 / fp16
+    /// with error feedback), overriding the ambient `COLOSSAL_COMPRESS`
+    /// default the sync engine starts from.
+    pub fn with_compression(mut self, comp: Compression) -> Self {
+        self.sync.set_compression(comp);
         self
     }
 
@@ -210,7 +218,10 @@ mod tests {
         let world = World::new(system_i());
         let results = world.run_on(p, |ctx| {
             let g = ctx.world_group(p);
-            let mut dp = DataParallel::new(ctx, &g, make_model(603));
+            // pin the exact channel: this test compares against serial
+            // training, so it must not inherit COLOSSAL_COMPRESS
+            let mut dp =
+                DataParallel::new(ctx, &g, make_model(603)).with_compression(Compression::None);
             let mut opt = AdamW::new(0.01, 0.01);
             for s in 0..steps {
                 dp.zero_grad();

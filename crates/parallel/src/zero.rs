@@ -27,6 +27,7 @@
 use crate::bucket::{BucketPlan, DEFAULT_BUCKET_BYTES};
 use crate::data_parallel::{flatten_grads, flatten_params, unflatten_into};
 use colossalai_autograd::{adamw_update, Layer};
+use colossalai_comm::compress::{self, Compression};
 use colossalai_comm::{DeviceCtx, Group};
 use colossalai_tensor::{pool, Tensor};
 
@@ -77,6 +78,72 @@ pub struct ZeroOptimizer {
     /// Reduced, scaled gradient shards (one per bucket) produced by
     /// [`ZeroOptimizer::backward_overlapped`], consumed by the next `step`.
     pending: Option<Vec<Tensor>>,
+    /// Lossy gradient channel for the bucket reductions. Quantized channels
+    /// (int8/fp16) apply to both the stage-1 all-reduce and the stage-2/3
+    /// reduce-scatter; top-k has no sparse reduce-scatter wire format and
+    /// falls back to the exact dense path (it is a DP-only channel).
+    compress: Compression,
+    /// Per-bucket error-feedback residuals for the quantized channels.
+    residuals: Vec<Vec<f32>>,
+}
+
+/// The channel ZeRO actually runs: top-k degrades to exact dense (see the
+/// `compress` field docs).
+fn zero_effective(comp: Compression) -> Compression {
+    match comp {
+        Compression::TopK(_) => Compression::None,
+        c => c,
+    }
+}
+
+/// Quantizes one flat gradient bucket (updating its error-feedback
+/// residual) and reduces it with the stage's collective at the matching
+/// wire width. Free function so [`ZeroOptimizer::backward_overlapped`] can
+/// call it under field-disjoint borrows; the caller owns the 1/p scale.
+#[allow(clippy::too_many_arguments)]
+fn reduce_bucket_quantized(
+    ctx: &DeviceCtx,
+    group: &Group,
+    stage: ZeroStage,
+    comp: Compression,
+    residual: &mut Vec<f32>,
+    mut bucket: Tensor,
+    asynchronous: bool,
+) -> Tensor {
+    let comp = zero_effective(comp);
+    if comp.is_lossy() {
+        if residual.is_empty() {
+            residual.resize(bucket.numel(), 0.0);
+        }
+        let _ = compress::compress_with_feedback(comp, bucket.data_mut(), residual);
+    }
+    let p = group.size();
+    let r = group.rank();
+    let sl = bucket.numel() / p;
+    let mut shard = match stage {
+        ZeroStage::One => {
+            // full all-reduce, then slice: the ZeRO-1 communication shape
+            let full = match (comp, asynchronous) {
+                (Compression::Int8, false) => group.all_reduce_i8(ctx, bucket),
+                (Compression::Int8, true) => group.all_reduce_async_i8(ctx, bucket),
+                (Compression::Fp16, false) => group.all_reduce_half(ctx, bucket),
+                (Compression::Fp16, true) => group.all_reduce_async_half(ctx, bucket),
+                (_, false) => group.all_reduce(ctx, bucket),
+                (_, true) => group.all_reduce_async(ctx, bucket),
+            };
+            full.narrow(0, r * sl, sl)
+        }
+        ZeroStage::Two | ZeroStage::Three => match (comp, asynchronous) {
+            (Compression::Int8, false) => group.reduce_scatter_i8(ctx, bucket, 0),
+            (Compression::Int8, true) => group.reduce_scatter_async_i8(ctx, bucket, 0),
+            (Compression::Fp16, false) => group.reduce_scatter_half(ctx, bucket, 0),
+            (Compression::Fp16, true) => group.reduce_scatter_async_half(ctx, bucket, 0),
+            (_, false) => group.reduce_scatter(ctx, bucket, 0),
+            (_, true) => group.reduce_scatter_async(ctx, bucket, 0),
+        },
+    };
+    shard.scale(1.0 / p as f32);
+    shard
 }
 
 impl ZeroOptimizer {
@@ -148,7 +215,25 @@ impl ZeroOptimizer {
             m: vec![0.0; shard_len],
             v: vec![0.0; shard_len],
             pending: None,
+            compress: compress::env_compression(),
+            residuals: Vec::new(),
         }
+    }
+
+    /// Selects the lossy gradient channel (overriding the ambient
+    /// `COLOSSAL_COMPRESS` default). Top-k degrades to exact dense under
+    /// ZeRO; int8/fp16 quantize each bucket with error feedback before the
+    /// stage's collective. Residual state resets on switch.
+    pub fn with_compression(mut self, comp: Compression) -> Self {
+        self.compress = comp;
+        self.residuals.clear();
+        self
+    }
+
+    /// The configured gradient-compression channel (before the ZeRO top-k
+    /// fallback is applied).
+    pub fn compression(&self) -> Compression {
+        self.compress
     }
 
     /// Elements in one shard.
@@ -161,32 +246,12 @@ impl ZeroOptimizer {
         &self.buckets
     }
 
-    /// Reduces one bucket of the flat gradient (blocking or on the comm
-    /// stream) and returns this rank's scaled shard of it.
-    fn reduce_bucket(&self, bucket: Tensor, asynchronous: bool) -> Tensor {
-        let p = self.group.size();
-        let r = self.group.rank();
-        let sl = bucket.numel() / p;
-        let mut shard = match self.stage {
-            ZeroStage::One => {
-                // full all-reduce, then slice: the ZeRO-1 communication shape
-                let full = if asynchronous {
-                    self.group.all_reduce_async(&self.ctx, bucket)
-                } else {
-                    self.group.all_reduce(&self.ctx, bucket)
-                };
-                full.narrow(0, r * sl, sl)
-            }
-            ZeroStage::Two | ZeroStage::Three => {
-                if asynchronous {
-                    self.group.reduce_scatter_async(&self.ctx, bucket, 0)
-                } else {
-                    self.group.reduce_scatter(&self.ctx, bucket, 0)
-                }
-            }
-        };
-        shard.scale(1.0 / p as f32);
-        shard
+    /// Ensures one residual buffer per bucket exists (lazily, so exact runs
+    /// never allocate them).
+    fn ensure_residuals(&mut self) {
+        if self.residuals.len() != self.buckets.len() {
+            self.residuals = vec![Vec::new(); self.buckets.len()];
+        }
     }
 
     /// Runs the model's backward with bucketed gradient reduction overlapped
@@ -196,6 +261,7 @@ impl ZeroOptimizer {
     /// (which then skips its own gradient communication). Returns the input
     /// gradient; the trajectory stays bitwise-identical to the blocking path.
     pub fn backward_overlapped(&mut self, model: &mut dyn Layer, dy: &Tensor) -> Tensor {
+        self.ensure_residuals();
         // element offset of each parameter in the flat layout
         let offsets: Vec<usize> = self
             .param_sizes
@@ -211,21 +277,36 @@ impl ZeroOptimizer {
         let mut elem_start = self.n; // pad [n, padded) counts as produced
         let mut next = self.buckets.len(); // buckets fire back to front
         let mut shards: Vec<Option<Tensor>> = vec![None; self.buckets.len()];
-        // split the &mut self borrow: backward_staged's closure needs the
-        // plan and comm handles but not the optimizer state
-        let this: &ZeroOptimizer = self;
+        // field-disjoint borrows of &mut self: backward_staged's closure
+        // needs the plan and comm handles immutably and the residuals
+        // mutably, but not the optimizer state
+        let ctx = &self.ctx;
+        let group = &self.group;
+        let stage_kind = self.stage;
+        let comp = self.compress;
+        let n = self.n;
+        let buckets = &self.buckets;
+        let residuals = &mut self.residuals;
         let dx = model.backward_staged(dy, &mut |stage| {
             pi -= stage.len();
             for (k, g) in stage.iter().enumerate() {
                 let o = offsets[pi + k];
                 flat[o..o + g.numel()].copy_from_slice(g.data());
             }
-            elem_start = offsets.get(pi).copied().unwrap_or(this.n);
-            while next > 0 && this.buckets[next - 1].0 >= elem_start {
+            elem_start = offsets.get(pi).copied().unwrap_or(n);
+            while next > 0 && buckets[next - 1].0 >= elem_start {
                 next -= 1;
-                let (o, b) = this.buckets[next];
+                let (o, b) = buckets[next];
                 let bucket = Tensor::from_slice([b], &flat[o..o + b]);
-                shards[next] = Some(this.reduce_bucket(bucket, true));
+                shards[next] = Some(reduce_bucket_quantized(
+                    ctx,
+                    group,
+                    stage_kind,
+                    comp,
+                    &mut residuals[next],
+                    bucket,
+                    true,
+                ));
             }
         });
         assert_eq!(pi, 0, "backward_staged must cover every parameter");
@@ -248,17 +329,25 @@ impl ZeroOptimizer {
         let grad_shards = match self.pending.take() {
             Some(shards) => shards,
             None => {
+                self.ensure_residuals();
                 let mut flat_grads = flatten_grads(model).into_vec();
                 assert_eq!(flat_grads.len(), self.n, "model parameter set changed");
                 flat_grads.resize(self.padded, 0.0);
-                let shards: Vec<Tensor> = self
-                    .buckets
-                    .iter()
-                    .map(|&(o, b)| {
-                        let bucket = Tensor::from_slice([b], &flat_grads[o..o + b]);
-                        self.reduce_bucket(bucket, false)
-                    })
-                    .collect();
+                let buckets = &self.buckets;
+                let residuals = &mut self.residuals;
+                let mut shards: Vec<Tensor> = Vec::with_capacity(buckets.len());
+                for (bi, &(o, b)) in buckets.iter().enumerate() {
+                    let bucket = Tensor::from_slice([b], &flat_grads[o..o + b]);
+                    shards.push(reduce_bucket_quantized(
+                        &self.ctx,
+                        &self.group,
+                        self.stage,
+                        self.compress,
+                        &mut residuals[bi],
+                        bucket,
+                        false,
+                    ));
+                }
                 pool::recycle(flat_grads);
                 shards
             }
@@ -354,10 +443,15 @@ mod tests {
 
     /// Plain DP + AdamW baseline trajectory.
     fn ddp_trajectory(p: usize, steps: usize) -> Tensor {
+        ddp_trajectory_compressed(p, steps, Compression::None)
+    }
+
+    /// DP baseline with an explicit gradient-compression channel.
+    fn ddp_trajectory_compressed(p: usize, steps: usize, comp: Compression) -> Tensor {
         let world = World::new(system_ii());
         let mut out = world.run_on(p, |ctx| {
             let g = ctx.world_group(p);
-            let mut dp = DataParallel::new(ctx, &g, make_model(900));
+            let mut dp = DataParallel::new(ctx, &g, make_model(900)).with_compression(comp);
             let mut opt = AdamW::new(0.01, 0.05);
             for s in 0..steps {
                 let mut rng = init::rng(1000 + s as u64);
@@ -383,17 +477,26 @@ mod tests {
         steps: usize,
         stage: ZeroStage,
     ) -> (Tensor, colossalai_comm::CommStats) {
-        zero_trajectory_opts(p, steps, stage, super::DEFAULT_BUCKET_BYTES, false)
+        zero_trajectory_opts(
+            p,
+            steps,
+            stage,
+            super::DEFAULT_BUCKET_BYTES,
+            false,
+            Compression::None,
+        )
     }
 
-    /// Like [`zero_trajectory`], with an explicit bucket capacity and
-    /// optionally the comm-overlapped backward path.
+    /// Like [`zero_trajectory`], with an explicit bucket capacity,
+    /// optionally the comm-overlapped backward path, and a compression
+    /// channel.
     fn zero_trajectory_opts(
         p: usize,
         steps: usize,
         stage: ZeroStage,
         bucket_bytes: usize,
         overlap: bool,
+        comp: Compression,
     ) -> (Tensor, colossalai_comm::CommStats) {
         let world = World::new(system_ii());
         let mut out = world.run_on(p, |ctx| {
@@ -407,7 +510,8 @@ mod tests {
                 0.01,
                 0.05,
                 bucket_bytes,
-            );
+            )
+            .with_compression(comp);
             for s in 0..steps {
                 let mut rng = init::rng(1000 + s as u64);
                 let x = init::uniform([p * 2, 6], -1.0, 1.0, &mut rng);
@@ -462,7 +566,7 @@ mod tests {
         // buckets, bucket-sharded master layout; the bits must not move
         let want = ddp_trajectory(4, 3);
         for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
-            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, false);
+            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, false, Compression::None);
             assert_eq!(got.data(), want.data(), "stage {stage:?} with tiny buckets");
         }
     }
@@ -471,8 +575,73 @@ mod tests {
     fn overlapped_backward_stays_bitwise_equal_to_ddp() {
         let want = ddp_trajectory(4, 3);
         for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
-            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, true);
+            let (got, _) = zero_trajectory_opts(4, 3, stage, 64, true, Compression::None);
             assert_eq!(got.data(), want.data(), "stage {stage:?} overlapped");
+        }
+    }
+
+    #[test]
+    fn zero_stages_agree_bitwise_under_quantized_channels() {
+        // Stages share `element_ranges` bucketing, so a quantized channel
+        // perturbs each stage's gradients identically: all three must still
+        // land on the same bits (and differ from the exact run — the lossy
+        // channel really engaged).
+        let (exact, _) = zero_trajectory(4, 3, ZeroStage::One);
+        for comp in [Compression::Int8, Compression::Fp16] {
+            let runs: Vec<Tensor> = [ZeroStage::One, ZeroStage::Two, ZeroStage::Three]
+                .into_iter()
+                .map(|stage| zero_trajectory_opts(4, 3, stage, DEFAULT_BUCKET_BYTES, false, comp).0)
+                .collect();
+            assert_eq!(runs[0].data(), runs[1].data(), "{comp:?}: stage1 == stage2");
+            assert_eq!(runs[0].data(), runs[2].data(), "{comp:?}: stage1 == stage3");
+            assert_ne!(runs[0].data(), exact.data(), "{comp:?} actually engaged");
+        }
+    }
+
+    #[test]
+    fn zero1_int8_matches_dp_int8_at_default_bucket_cap() {
+        // At the default 25 MB cap both DP and ZeRO fuse all gradients into
+        // a single bucket; ZeRO's tail padding is zeros, which change
+        // neither the bucket's maxabs nor any quantized value — so the two
+        // trajectories must agree bitwise.
+        let want = ddp_trajectory_compressed(4, 3, Compression::Int8);
+        let (got, _) = zero_trajectory_opts(
+            4,
+            3,
+            ZeroStage::One,
+            DEFAULT_BUCKET_BYTES,
+            false,
+            Compression::Int8,
+        );
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn zero_topk_falls_back_to_exact_dense() {
+        // Top-k has no sparse reduce-scatter wire format; ZeRO documents it
+        // as DP-only and runs the exact dense path instead.
+        let (exact, _) = zero_trajectory(4, 2, ZeroStage::Two);
+        let (topk, _) = zero_trajectory_opts(
+            4,
+            2,
+            ZeroStage::Two,
+            DEFAULT_BUCKET_BYTES,
+            false,
+            Compression::TopK(4),
+        );
+        assert_eq!(topk.data(), exact.data());
+    }
+
+    #[test]
+    fn overlapped_zero_backward_is_bitwise_neutral_under_int8() {
+        for stage in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let (blocking, _) = zero_trajectory_opts(4, 2, stage, 64, false, Compression::Int8);
+            let (overlapped, _) = zero_trajectory_opts(4, 2, stage, 64, true, Compression::Int8);
+            assert_eq!(
+                blocking.data(),
+                overlapped.data(),
+                "stage {stage:?}: overlap must not change compressed bits"
+            );
         }
     }
 

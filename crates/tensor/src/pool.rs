@@ -33,7 +33,12 @@ use std::sync::{Mutex, OnceLock};
 pub const MIN_POOL_ELEMS: usize = 64;
 /// Number of power-of-two size classes: class `i` serves requests of up to
 /// `MIN_POOL_ELEMS << i` elements. 25 classes top out at 2^30 elements.
-const N_CLASSES: usize = 25;
+pub const N_CLASSES: usize = 25;
+
+/// Largest request (in elements) class `i` serves.
+pub const fn class_elems(idx: usize) -> usize {
+    MIN_POOL_ELEMS << idx
+}
 /// At most this many parked buffers per class. Sized for a simulated
 /// multi-rank world: 16 device threads can each keep a handful of same-class
 /// buffers (gradients, GEMM outputs, flatten scratch) in flight at once, so
@@ -55,6 +60,28 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 static RECYCLED_BYTES: AtomicU64 = AtomicU64::new(0);
 static POOLED_BYTES: AtomicUsize = AtomicUsize::new(0);
 static POOLED_HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+/// Per-class parked-bytes counter and its high-water mark (indexed like
+/// [`CLASSES`]). The per-class marks localize pool pressure: a single hot
+/// class pinned at its cap is invisible in the global high water once a
+/// bigger class dwarfs it.
+struct ClassCounters {
+    bytes: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+static CLASS_COUNTERS: OnceLock<Vec<ClassCounters>> = OnceLock::new();
+
+fn class_counters() -> &'static [ClassCounters] {
+    CLASS_COUNTERS.get_or_init(|| {
+        (0..N_CLASSES)
+            .map(|_| ClassCounters {
+                bytes: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+            })
+            .collect()
+    })
+}
 /// Runtime switch (config / benches). ANDed with the environment gate.
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -122,6 +149,9 @@ pub fn take_buffer(n: usize) -> Vec<f32> {
             if let Some(mut buf) = popped {
                 debug_assert!(buf.capacity() >= n);
                 POOLED_BYTES.fetch_sub(buf.capacity() * 4, Ordering::Relaxed);
+                class_counters()[idx]
+                    .bytes
+                    .fetch_sub(buf.capacity() * 4, Ordering::Relaxed);
                 HITS.fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 return buf;
@@ -166,6 +196,9 @@ pub fn recycle(buf: Vec<f32>) {
     }
     let now = POOLED_BYTES.fetch_add(cap_bytes, Ordering::Relaxed) + cap_bytes;
     POOLED_HIGH_WATER.fetch_max(now, Ordering::Relaxed);
+    let counters = &class_counters()[idx];
+    let class_now = counters.bytes.fetch_add(cap_bytes, Ordering::Relaxed) + cap_bytes;
+    counters.high_water.fetch_max(class_now, Ordering::Relaxed);
     RECYCLED_BYTES.fetch_add(cap_bytes as u64, Ordering::Relaxed);
 }
 
@@ -175,6 +208,9 @@ pub fn clear() {
         class.lock().expect("pool lock").clear();
     }
     POOLED_BYTES.store(0, Ordering::Relaxed);
+    for c in class_counters() {
+        c.bytes.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Zeroes the hit/miss/recycle counters (e.g. after a warm-up step, so a
@@ -184,6 +220,10 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
     RECYCLED_BYTES.store(0, Ordering::Relaxed);
     POOLED_HIGH_WATER.store(POOLED_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    for c in class_counters() {
+        c.high_water
+            .store(c.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// A snapshot of the pool's counters.
@@ -201,6 +241,9 @@ pub struct PoolStats {
     pub pooled_bytes: usize,
     /// High-water mark of [`PoolStats::pooled_bytes`].
     pub pooled_high_water: usize,
+    /// Per-size-class high-water marks of parked bytes (class `i` serves
+    /// requests of up to [`class_elems`]`(i)` elements).
+    pub class_high_water: [usize; N_CLASSES],
 }
 
 impl PoolStats {
@@ -225,17 +268,46 @@ impl PoolStats {
             self.pooled_high_water as f64 / (1usize << 20) as f64,
         )
     }
+
+    /// One-line per-class high-water breakdown: `<class elems>=<hw>` for
+    /// every class that ever parked a buffer (`-` when none did). Sizes are
+    /// the class's request capacity in elements; marks are in MB.
+    pub fn class_summary(&self) -> String {
+        let parts: Vec<String> = self
+            .class_high_water
+            .iter()
+            .enumerate()
+            .filter(|(_, &hw)| hw > 0)
+            .map(|(i, &hw)| {
+                format!(
+                    "{}el={:.2}MB",
+                    class_elems(i),
+                    hw as f64 / (1usize << 20) as f64
+                )
+            })
+            .collect();
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
 }
 
 /// Current counters (process-global: the pool is shared by every simulated
 /// device thread).
 pub fn stats() -> PoolStats {
+    let mut class_high_water = [0usize; N_CLASSES];
+    for (slot, c) in class_high_water.iter_mut().zip(class_counters()) {
+        *slot = c.high_water.load(Ordering::Relaxed);
+    }
     PoolStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         recycled_bytes: RECYCLED_BYTES.load(Ordering::Relaxed),
         pooled_bytes: POOLED_BYTES.load(Ordering::Relaxed),
         pooled_high_water: POOLED_HIGH_WATER.load(Ordering::Relaxed),
+        class_high_water,
     }
 }
 
@@ -314,6 +386,42 @@ mod tests {
         assert_eq!(before.misses, after.misses);
         assert_eq!(before.recycled_bytes, after.recycled_bytes);
         set_pool_enabled(true);
+    }
+
+    #[test]
+    fn class_high_water_tracks_each_class_independently() {
+        // two unusual sizes in different classes so parallel tests don't
+        // collide with these classes' counters
+        let small = 70_001; // class_for_capacity of its cap
+        let large = 1_234_567;
+        let mut a = take_buffer(small);
+        a.resize(small, 1.0);
+        let a_class = class_for_capacity(a.capacity()).unwrap();
+        let a_bytes = a.capacity() * 4;
+        let mut b = take_buffer(large);
+        b.resize(large, 1.0);
+        let b_class = class_for_capacity(b.capacity()).unwrap();
+        let b_bytes = b.capacity() * 4;
+        assert_ne!(a_class, b_class);
+        recycle(a);
+        recycle(b);
+        let s = stats();
+        assert!(
+            s.class_high_water[a_class] >= a_bytes,
+            "class {a_class} high water {} < parked {a_bytes}",
+            s.class_high_water[a_class]
+        );
+        assert!(s.class_high_water[b_class] >= b_bytes);
+        // the marks survive the buffers leaving the pool again
+        let _ = take_buffer(small);
+        let _ = take_buffer(large);
+        let s2 = stats();
+        assert!(s2.class_high_water[a_class] >= a_bytes, "marks are sticky");
+        let line = s2.class_summary();
+        assert!(
+            line.contains("el="),
+            "summary lists per-class marks: {line}"
+        );
     }
 
     #[test]

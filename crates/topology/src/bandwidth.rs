@@ -57,7 +57,10 @@ pub fn probe_collective(cluster: &Cluster, group_sizes: &[usize], bytes: u64) ->
         .collect()
 }
 
-/// Result of probing an all-reduce under both schedules over one group.
+/// Result of probing an all-reduce under the whole algorithm zoo over one
+/// group. Inapplicable schedules (hierarchical on one node, halving-doubling
+/// on a non-power-of-two group) price as the flat ring, so every field is
+/// always a real bandwidth and `>= flat` means "never loses".
 #[derive(Clone, Debug, PartialEq)]
 pub struct AllReduceProbe {
     pub group: Vec<DeviceId>,
@@ -66,13 +69,18 @@ pub struct AllReduceProbe {
     /// Hierarchical (two-level) algorithm bandwidth in bytes/s. Equals
     /// `flat` wherever the hierarchical schedule degrades to the ring.
     pub hierarchical: f64,
+    /// Binomial-tree (reduce + broadcast) algorithm bandwidth in bytes/s.
+    pub tree: f64,
+    /// Recursive-halving-doubling algorithm bandwidth in bytes/s. Equals
+    /// `flat` on non-power-of-two groups.
+    pub rhd: f64,
     /// What [`cost::select_allreduce_algo`] picks for this group and size.
     pub selected: cost::AllReduceAlgo,
 }
 
-/// Probes an all-reduce over each prefix group `{0..k}` under both the
-/// flat-ring and hierarchical schedules (Fig 10c: the bandwidth gap the
-/// topology-aware selector exploits on multi-node systems).
+/// Probes an all-reduce over each prefix group `{0..k}` under every
+/// schedule in the zoo (Fig 10c: the bandwidth gap the topology-aware
+/// selector exploits on multi-node systems).
 pub fn probe_allreduce(
     cluster: &Cluster,
     group_sizes: &[usize],
@@ -83,13 +91,20 @@ pub fn probe_allreduce(
         .map(|&k| {
             assert!(k >= 2 && k <= cluster.n_devices(), "bad group size {k}");
             let group: Vec<DeviceId> = (0..k).collect();
-            let t_flat = cost::allreduce_time(cluster, &group, bytes);
-            let t_hier = cost::hierarchical_allreduce_time(cluster, &group, bytes);
+            let t = |algo| cost::allreduce_time_with(algo, cluster, &group, bytes);
             AllReduceProbe {
                 selected: cost::select_allreduce_algo(cluster, &group, bytes),
+                flat: cost::algorithm_bandwidth(bytes, t(cost::AllReduceAlgo::FlatRing)),
+                hierarchical: cost::algorithm_bandwidth(
+                    bytes,
+                    t(cost::AllReduceAlgo::Hierarchical),
+                ),
+                tree: cost::algorithm_bandwidth(bytes, t(cost::AllReduceAlgo::Tree)),
+                rhd: cost::algorithm_bandwidth(
+                    bytes,
+                    t(cost::AllReduceAlgo::RecursiveHalvingDoubling),
+                ),
                 group,
-                flat: cost::algorithm_bandwidth(bytes, t_flat),
-                hierarchical: cost::algorithm_bandwidth(bytes, t_hier),
             }
         })
         .collect()
@@ -154,22 +169,43 @@ mod tests {
                 "hierarchical must never lose: {:?}",
                 p
             );
+            assert!(p.rhd >= p.flat, "halving-doubling must never lose: {:?}", p);
         }
-        // 4-GPU group fits one node: both schedules are the same ring
+        // 4-GPU group fits one node: hierarchical degrades to the ring and
+        // the power-of-two group goes to halving-doubling
         assert_eq!(probes[0].flat, probes[0].hierarchical);
-        assert_eq!(probes[0].selected, cost::AllReduceAlgo::FlatRing);
-        // cross-node groups: hierarchical wins and gets selected
+        assert_eq!(
+            probes[0].selected,
+            cost::AllReduceAlgo::RecursiveHalvingDoubling
+        );
+        // cross-node groups at 125 MB: hierarchical beats the whole zoo
         for p in &probes[1..] {
             assert!(p.hierarchical > p.flat, "{:?}", p);
+            assert!(p.hierarchical > p.tree, "{:?}", p);
+            assert!(p.hierarchical > p.rhd, "{:?}", p);
             assert_eq!(p.selected, cost::AllReduceAlgo::Hierarchical);
         }
     }
 
     #[test]
-    fn allreduce_probe_is_flat_on_single_node() {
-        for p in probe_allreduce(&system_i(), &[2, 4, 8], PROBE_BYTES) {
+    fn allreduce_probe_covers_the_zoo_on_single_node() {
+        // p=2: every schedule degenerates to the same pairwise exchange —
+        // the tie keeps the flat ring
+        let pair = probe_allreduce(&system_i(), &[2], PROBE_BYTES);
+        assert_eq!(pair[0].rhd, pair[0].flat);
+        assert_eq!(pair[0].selected, cost::AllReduceAlgo::FlatRing);
+        for p in probe_allreduce(&system_i(), &[4, 8], PROBE_BYTES) {
             assert_eq!(p.flat, p.hierarchical);
-            assert_eq!(p.selected, cost::AllReduceAlgo::FlatRing);
+            // power-of-two groups: halving-doubling matches ring bandwidth
+            // with fewer latency terms, so it is selected at every size
+            assert!(p.rhd > p.flat);
+            assert_eq!(p.selected, cost::AllReduceAlgo::RecursiveHalvingDoubling);
         }
+        // non-power-of-two group: rhd prices as flat, and at a latency-bound
+        // message size the tree takes over
+        let small = probe_allreduce(&system_i(), &[6], 1 << 10);
+        assert_eq!(small[0].rhd, small[0].flat);
+        assert!(small[0].tree > small[0].flat);
+        assert_eq!(small[0].selected, cost::AllReduceAlgo::Tree);
     }
 }

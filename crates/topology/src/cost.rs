@@ -81,6 +81,89 @@ pub enum AllReduceAlgo {
     /// Two-level NCCL-style schedule: intra-node reduce-scatter, ring
     /// all-reduce among node leaders, intra-node all-gather.
     Hierarchical,
+    /// Binomial tree: reduce to a root, then broadcast back down. Both
+    /// passes take `ceil(log2 p)` rounds of the full payload, so the
+    /// latency term is logarithmic where the ring's is linear — the
+    /// latency-optimal choice for small messages (and the only
+    /// log-latency schedule for non-power-of-two groups).
+    Tree,
+    /// Recursive halving (reduce-scatter) + recursive doubling
+    /// (all-gather): `log2 p` pairwise-exchange rounds per pass, each
+    /// halving/doubling the live payload. Log latency *and* the ring's
+    /// optimal `2 (p-1)/p` bandwidth factor, but only well-formed for
+    /// power-of-two groups; other sizes fall back to the flat ring.
+    RecursiveHalvingDoubling,
+}
+
+/// `ceil(log2 p)` — pairwise-exchange or tree rounds needed to span `p`
+/// ranks. Zero for the trivial group.
+pub fn ceil_log2(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+/// True when the recursive-halving-doubling schedule is well-formed for a
+/// group of `p` ranks: the pairwise exchange pattern needs a power of two.
+pub fn rhd_applicable(p: usize) -> bool {
+    p > 1 && p.is_power_of_two()
+}
+
+/// The two phase durations of the binomial-tree all-reduce: reduce to the
+/// root, broadcast back. Each phase is `ceil(log2 p)` rounds moving the
+/// full payload over the group's bottleneck link.
+pub fn tree_allreduce_phases(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> (f64, f64) {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return (0.0, 0.0);
+    }
+    let link = cluster.ring_bottleneck(group);
+    let t = ceil_log2(p) as f64 * (link.latency + bytes as f64 / link.bandwidth);
+    (t, t)
+}
+
+/// Seconds for a binomial-tree all-reduce (reduce + broadcast).
+pub fn tree_allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let (t1, t2) = tree_allreduce_phases(cluster, group, bytes);
+    t1 + t2
+}
+
+/// The two phase durations of the recursive-halving-doubling all-reduce
+/// (halving reduce-scatter, doubling all-gather), or `None` when the group
+/// is not a power of two. Each phase runs `log2 p` rounds; round `s` moves
+/// `bytes / 2^s`, so the per-phase volume telescopes to
+/// `bytes (p-1)/p` — the ring's bandwidth optimum at log latency.
+pub fn rhd_allreduce_phases(
+    cluster: &Cluster,
+    group: &[DeviceId],
+    bytes: u64,
+) -> Option<(f64, f64)> {
+    let p = group.len();
+    if !rhd_applicable(p) {
+        return None;
+    }
+    if bytes == 0 {
+        return Some((0.0, 0.0));
+    }
+    let link = cluster.ring_bottleneck(group);
+    let steps = ceil_log2(p) as f64;
+    let t = steps * link.latency + bytes as f64 * (p as f64 - 1.0) / p as f64 / link.bandwidth;
+    Some((t, t))
+}
+
+/// Seconds for a recursive-halving-doubling all-reduce; non-power-of-two
+/// groups degrade to the flat ring (like the hierarchical fallback).
+pub fn rhd_allreduce_time(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> f64 {
+    let p = group.len();
+    if p <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    match rhd_allreduce_phases(cluster, group, bytes) {
+        Some((t1, t2)) => t1 + t2,
+        None => allreduce_time(cluster, group, bytes),
+    }
 }
 
 /// Partitions `group` into node-local subgroups, nodes in first-seen order
@@ -182,19 +265,35 @@ pub fn allreduce_time_with(
     match algo {
         AllReduceAlgo::FlatRing => allreduce_time(cluster, group, bytes),
         AllReduceAlgo::Hierarchical => hierarchical_allreduce_time(cluster, group, bytes),
+        AllReduceAlgo::Tree => tree_allreduce_time(cluster, group, bytes),
+        AllReduceAlgo::RecursiveHalvingDoubling => rhd_allreduce_time(cluster, group, bytes),
     }
 }
 
-/// Picks the cheaper all-reduce schedule for this call by evaluating both
-/// alpha-beta estimates on the actual link graph. Ties (including every
-/// single-node group, where hierarchical degrades to the flat ring) keep the
-/// flat ring.
+/// Picks the cheapest all-reduce schedule for this call by evaluating every
+/// alpha-beta estimate on the actual link graph. The resulting policy falls
+/// out of the model: latency-bound small messages go to the tree (the only
+/// log-latency schedule on non-power-of-two groups), large power-of-two
+/// groups to recursive halving-doubling (log latency at ring bandwidth),
+/// multi-node groups with a slow inter-node link to the hierarchical
+/// schedule. Inapplicable schedules price as the flat ring, and an
+/// equal-time challenger never displaces the incumbent — so ties (including
+/// every trivial group) keep the flat ring.
 pub fn select_allreduce_algo(cluster: &Cluster, group: &[DeviceId], bytes: u64) -> AllReduceAlgo {
-    if hierarchical_allreduce_time(cluster, group, bytes) < allreduce_time(cluster, group, bytes) {
-        AllReduceAlgo::Hierarchical
-    } else {
-        AllReduceAlgo::FlatRing
+    let mut best = AllReduceAlgo::FlatRing;
+    let mut best_t = allreduce_time(cluster, group, bytes);
+    for algo in [
+        AllReduceAlgo::Tree,
+        AllReduceAlgo::RecursiveHalvingDoubling,
+        AllReduceAlgo::Hierarchical,
+    ] {
+        let t = allreduce_time_with(algo, cluster, group, bytes);
+        if t < best_t {
+            best = algo;
+            best_t = t;
+        }
     }
+    best
 }
 
 /// The "algorithm bandwidth" a bandwidth probe would report for a collective
@@ -330,16 +429,116 @@ mod tests {
             select_allreduce_algo(&multi, &group16, bytes),
             AllReduceAlgo::Hierarchical
         );
-        // single-node group: degrades to flat, tie keeps FlatRing
+        // single-node power-of-two group: halving-doubling (same bandwidth
+        // term as the ring, log instead of linear latency) — never
+        // hierarchical, which degrades to flat here
         let group4: Vec<usize> = (0..4).collect();
         assert_eq!(
             select_allreduce_algo(&multi, &group4, bytes),
-            AllReduceAlgo::FlatRing
+            AllReduceAlgo::RecursiveHalvingDoubling
         );
         assert_eq!(
             select_allreduce_algo(&nvlink_box(), &(0..8).collect::<Vec<_>>(), bytes),
+            AllReduceAlgo::RecursiveHalvingDoubling
+        );
+    }
+
+    #[test]
+    fn ceil_log2_rounds() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn tree_phases_are_log_rounds_of_full_payload() {
+        let c = nvlink_box();
+        let group: Vec<usize> = (0..6).collect();
+        let bytes: u64 = 8 << 20;
+        let link = Link::nvlink();
+        let (t1, t2) = tree_allreduce_phases(&c, &group, bytes);
+        let expect = 3.0 * (link.latency + bytes as f64 / link.bandwidth);
+        assert!((t1 - expect).abs() < 1e-15);
+        assert_eq!(t1, t2);
+        assert!((tree_allreduce_time(&c, &group, bytes) - 2.0 * expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rhd_matches_ring_bandwidth_at_log_latency() {
+        let c = nvlink_box();
+        let group: Vec<usize> = (0..8).collect();
+        let bytes: u64 = 64 << 20;
+        let link = Link::nvlink();
+        let rhd = rhd_allreduce_time(&c, &group, bytes);
+        let expect = 2.0 * (3.0 * link.latency + bytes as f64 * (7.0 / 8.0) / link.bandwidth);
+        assert!((rhd - expect).abs() < 1e-12, "{rhd} vs {expect}");
+        // same bandwidth term as the ring, fewer latency terms: RHD must be
+        // strictly cheaper on a power-of-two group at any size
+        assert!(rhd < allreduce_time(&c, &group, bytes));
+        // non-power-of-two: inapplicable, prices as the flat ring
+        let group6: Vec<usize> = (0..6).collect();
+        assert!(rhd_allreduce_phases(&c, &group6, bytes).is_none());
+        assert_eq!(
+            rhd_allreduce_time(&c, &group6, bytes),
+            allreduce_time(&c, &group6, bytes)
+        );
+    }
+
+    #[test]
+    fn selector_picks_tree_for_small_non_pow2_and_rhd_for_large_pow2() {
+        let c = nvlink_box();
+        // small message, 6 ranks: tree's 2*ceil(log2 6)=6 latency terms beat
+        // the ring's 2*(6-1)=10; RHD is inapplicable at p=6
+        let group6: Vec<usize> = (0..6).collect();
+        assert_eq!(select_allreduce_algo(&c, &group6, 4), AllReduceAlgo::Tree);
+        // large message, same group: the tree's full-payload rounds lose to
+        // the ring's chunked pipeline
+        assert_eq!(
+            select_allreduce_algo(&c, &group6, 125 << 20),
             AllReduceAlgo::FlatRing
         );
+        // power-of-two group, large message: halving-doubling wins
+        let group8: Vec<usize> = (0..8).collect();
+        assert_eq!(
+            select_allreduce_algo(&c, &group8, 125 << 20),
+            AllReduceAlgo::RecursiveHalvingDoubling
+        );
+    }
+
+    #[test]
+    fn selected_algo_is_argmin_of_the_zoo() {
+        let mut multi = Cluster::homogeneous(
+            "multi",
+            4,
+            4,
+            GpuSpec::a100(40),
+            HostSpec::workstation(),
+            Link::infiniband_hdr(),
+        );
+        multi.full_mesh_intra_node(Link::nvlink());
+        for group_len in [2usize, 3, 4, 6, 8, 12, 16] {
+            let group: Vec<usize> = (0..group_len).collect();
+            for bytes in [4u64, 1 << 10, 1 << 20, 125 << 20] {
+                let sel = select_allreduce_algo(&multi, &group, bytes);
+                let t_sel = allreduce_time_with(sel, &multi, &group, bytes);
+                for algo in [
+                    AllReduceAlgo::FlatRing,
+                    AllReduceAlgo::Hierarchical,
+                    AllReduceAlgo::Tree,
+                    AllReduceAlgo::RecursiveHalvingDoubling,
+                ] {
+                    let t = allreduce_time_with(algo, &multi, &group, bytes);
+                    assert!(
+                        t_sel <= t,
+                        "p={group_len} bytes={bytes}: selected {sel:?} ({t_sel}) loses to {algo:?} ({t})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

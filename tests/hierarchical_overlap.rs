@@ -1,10 +1,12 @@
 //! Integration: topology-aware hierarchical collectives and bucketed,
 //! backward-overlapped gradient sync.
 //!
-//! The contract under test: the all-reduce *algorithm* (flat ring vs
-//! two-level hierarchical) and the *schedule* (blocking vs comm-stream
-//! overlapped) only move virtual time — the numbers are bitwise-identical
-//! to the serial reference in every case.
+//! The contract under test: the all-reduce *algorithm* (flat ring,
+//! two-level hierarchical, binomial tree, recursive halving-doubling) and
+//! the *schedule* (blocking vs comm-stream overlapped) only move virtual
+//! time — the numbers are bitwise-identical to the serial reference in
+//! every case, including ragged groups where a schedule degrades to the
+//! ring.
 
 use colossalai::autograd::{AdamW, Layer, Linear, Sequential};
 use colossalai::comm::{AllReduceAlgo, DeviceCtx, SpanKind, Track, World};
@@ -74,6 +76,8 @@ fn hierarchical_equals_flat_equals_serial_on_every_system() {
             None,
             Some(AllReduceAlgo::FlatRing),
             Some(AllReduceAlgo::Hierarchical),
+            Some(AllReduceAlgo::Tree),
+            Some(AllReduceAlgo::RecursiveHalvingDoubling),
         ] {
             let got = allreduce_under(cluster.clone(), &members, n, algo);
             assert_eq!(got.len(), members.len(), "{label}: missing ranks");

@@ -115,7 +115,7 @@ fn bucket_sync_grads(overlapped: bool) -> Vec<Vec<f32>> {
         let x = init::uniform([2, 16], -1.0, 1.0, &mut rng);
         let y = model.forward(&x);
         let dy = Tensor::ones(y.shape().clone());
-        let sync = BucketedGradSync::new(&mut model, 64);
+        let mut sync = BucketedGradSync::new(&mut model, 64);
         if overlapped {
             let _ = sync.backward_overlapped(ctx, &g, &mut model, &dy);
         } else {
